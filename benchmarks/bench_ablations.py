@@ -1,0 +1,123 @@
+"""Ablations of the design decisions called out in DESIGN.md.
+
+1. **Bottom-up doubling vs flat search** (paper §3.3's tuning strategy):
+   tune sort with the full bottom-up genetic loop vs a degenerate tuner
+   that only ever trains at the final size; compare the quality of the
+   resulting configuration.
+2. **Sequential cutoff** (paper §3.2's dual code paths): the tuned sort
+   configuration with its tuned cutoff vs forcing task spawning
+   everywhere (cutoff ~ 0) vs never spawning (cutoff = infinity).
+3. **Accuracy bins** (paper §4.1.4): serving a low-accuracy (1e3)
+   Poisson request with the low-accuracy-tuned path vs over-solving with
+   the 1e9 path — the reason the tuner keeps a *set* of algorithms.
+"""
+
+import random
+
+import pytest
+from harness import cached_config, fmt_row, write_report
+
+from bench_fig14_sort import tune_sort_xeon8
+from repro.apps import poisson as p_app
+from repro.apps import sort as sort_app
+from repro.autotuner import Evaluator, GeneticTuner
+from repro.runtime import MACHINES, WorkStealingScheduler
+
+MACHINE = MACHINES["xeon8"]
+
+
+def ablate_bottom_up():
+    program = sort_app.build_program()
+    size = 16384
+    evaluator = Evaluator(program, "Sort", sort_app.input_generator, MACHINE)
+    bottom_up = cached_config("sort_xeon8", tune_sort_xeon8)
+
+    flat_eval = Evaluator(program, "Sort", sort_app.input_generator, MACHINE)
+    flat_tuner = GeneticTuner(
+        flat_eval,
+        min_size=size,
+        max_size=size,  # one generation: no doubling, no smaller sizes
+        population_size=6,
+        parents=2,
+        tunable_rounds=1,
+        refine_passes=0,
+        threshold_metric=sort_app.size_metric,
+    )
+    flat = flat_tuner.tune().config
+    return {
+        "bottom-up": evaluator.time(bottom_up, size),
+        "flat (final size only)": evaluator.time(flat, size),
+    }
+
+
+def ablate_seq_cutoff():
+    program = sort_app.build_program()
+    size = 65536
+    evaluator = Evaluator(program, "Sort", sort_app.input_generator, MACHINE)
+    tuned = cached_config("sort_xeon8", tune_sort_xeon8)
+
+    def with_cutoff(value):
+        clone = type(tuned)(dict(tuned.choices), dict(tuned.tunables))
+        clone.set_tunable("Sort.__seq_cutoff__", value)
+        return clone
+
+    return {
+        "tuned cutoff": evaluator.time(tuned, size),
+        "always spawn (cutoff 2)": evaluator.time(with_cutoff(2), size),
+        "never spawn (cutoff inf)": evaluator.time(
+            with_cutoff(2**31), size
+        ),
+    }
+
+
+def ablate_accuracy_bins():
+    program = p_app.build_program()
+    tuned = cached_config(
+        "poisson_xeon8",
+        lambda: p_app.tune_accuracy(program, MACHINE, max_level=7)[0],
+    )
+    n = 65
+    rng = random.Random(77)
+    x0, b = p_app.input_generator(n, rng)
+    scheduler = WorkStealingScheduler(MACHINE)
+
+    def solve_with_bin(bin_index):
+        solver = program.transform(p_app.poisson_name(bin_index))
+        result = solver.run([x0, b], tuned)
+        return scheduler.run(result.graph).makespan
+
+    return {
+        "1e3 request via 1e3-tuned path": solve_with_bin(1),
+        "1e3 request via 1e9-tuned path": solve_with_bin(4),
+    }
+
+
+def test_ablations(benchmark):
+    results = benchmark.pedantic(
+        lambda: {
+            "bottom-up tuning": ablate_bottom_up(),
+            "sequential cutoff": ablate_seq_cutoff(),
+            "accuracy bins": ablate_accuracy_bins(),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    lines = ["Ablations of DESIGN.md decisions (simulated time units)"]
+    for section, entries in results.items():
+        lines.append(f"-- {section}")
+        for name, value in entries.items():
+            lines.append(fmt_row([name, f"{value:.0f}"], [36, 14]))
+    write_report("ablations", lines)
+
+    cutoff = results["sequential cutoff"]
+    assert cutoff["tuned cutoff"] <= cutoff["always spawn (cutoff 2)"]
+    assert cutoff["tuned cutoff"] <= cutoff["never spawn (cutoff inf)"]
+
+    bins = results["accuracy bins"]
+    assert (
+        bins["1e3 request via 1e3-tuned path"]
+        < bins["1e3 request via 1e9-tuned path"]
+    ), "low-accuracy requests must not pay the high-accuracy price"
+
+    tuning = results["bottom-up tuning"]
+    assert tuning["bottom-up"] <= tuning["flat (final size only)"] * 1.05

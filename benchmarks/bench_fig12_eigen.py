@@ -1,0 +1,96 @@
+"""Figure 12: symmetric tridiagonal eigenproblem on 8 cores.
+
+Series: QR iteration, Bisection + inverse iteration, divide-and-conquer
+(base case n=1... i.e. recursion to tiny blocks), "Cutoff 25" (the
+hard-coded LAPACK dstevd hybrid: DC above n=25, QR below), and the
+autotuned configuration.  Shape expectations from the paper: the
+autotuned hybrid beats all three primitives and the hard-coded cutoff;
+DC beats plain QR and Bisection at large n.
+"""
+
+import pytest
+from harness import cached_config, fmt_row, write_report
+
+from repro.apps import eigen as eig_app
+from repro.autotuner import Evaluator, GeneticTuner
+from repro.compiler import ChoiceConfig, Selector
+from repro.runtime import MACHINES
+
+SIZES = (32, 64, 128, 256, 512)
+
+
+def flat(option):
+    config = ChoiceConfig()
+    config.set_choice(eig_app.EIG_SITE, Selector.static(option))
+    return config
+
+
+def dc_base1():
+    """DC recursing to its internal tiny base (the paper's 'DC')."""
+    config = ChoiceConfig()
+    config.set_choice(eig_app.EIG_SITE, Selector.static(2))
+    return config
+
+
+def tune_eigen_xeon8():
+    program = eig_app.build_program()
+    evaluator = Evaluator(
+        program, "Eig", eig_app.input_generator, MACHINES["xeon8"]
+    )
+    tuner = GeneticTuner(
+        evaluator,
+        min_size=8,
+        max_size=256,
+        population_size=6,
+        parents=2,
+        tunable_rounds=0,
+        refine_passes=0,
+        threshold_metric=eig_app.size_metric,
+    )
+    return tuner.tune().config
+
+
+def build_rows():
+    program = eig_app.build_program()
+    evaluator = Evaluator(
+        program, "Eig", eig_app.input_generator, MACHINES["xeon8"]
+    )
+    autotuned = cached_config("eigen_xeon8", tune_eigen_xeon8)
+    series = {
+        "QR": flat(0),
+        "Bisection": flat(1),
+        "DC": dc_base1(),
+        "Cutoff25": eig_app.cutoff_config(25),
+        "Autotuned": autotuned,
+    }
+    rows = []
+    for size in SIZES:
+        times = {
+            name: evaluator.time(config, size)
+            for name, config in series.items()
+        }
+        rows.append((size, times))
+    return list(series), rows
+
+
+def test_fig12_eigen(benchmark):
+    columns, rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    widths = [6] + [14] * len(columns)
+    lines = [
+        "Figure 12: Eigenproblem on 8 cores (simulated time vs n)",
+        fmt_row(["n"] + columns, widths),
+    ]
+    for size, times in rows:
+        lines.append(
+            fmt_row([size] + [f"{times[c]:.3g}" for c in columns], widths)
+        )
+    write_report("fig12_eigen", lines)
+
+    _, large = rows[-1]
+    # The autotuned hybrid beats every alternative at the large end
+    # (paper: "runs faster than any of the three primary algorithms
+    # alone [and] faster than ... Cutoff 25").
+    for name in ("QR", "Bisection", "DC", "Cutoff25"):
+        assert large["Autotuned"] <= large[name] * 1.05, f"loses to {name}"
+    # Cutoff 25 beats naive DC-to-base-1 (the point of the cutoff).
+    assert large["Cutoff25"] <= large["DC"] * 1.05

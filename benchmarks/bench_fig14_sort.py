@@ -1,0 +1,87 @@
+"""Figure 14: Sort performance on 8 cores.
+
+Series: insertion sort, quicksort, 2-way merge sort, radix sort, and the
+autotuned hybrid, across input sizes up to 1750 (the paper's x-range).
+Expected shape (not absolute numbers): the autotuned composition is at
+least as fast as every single algorithm at every size, insertion sort
+wins only at the small end, and the single-algorithm curves cross.
+"""
+
+import random
+
+import pytest
+from harness import cached_config, fmt_row, write_report
+
+from repro.apps import sort as sort_app
+from repro.autotuner import Evaluator, GeneticTuner
+from repro.compiler import ChoiceConfig, Selector
+from repro.runtime import MACHINES
+
+SIZES = (125, 250, 500, 750, 1000, 1250, 1500, 1750)
+SERIES = {"InsertionSort": 0, "QuickSort": 1, "MergeSort": 2, "RadixSort": 6}
+
+
+def tune_sort_xeon8() -> ChoiceConfig:
+    program = sort_app.build_program()
+    evaluator = Evaluator(
+        program, "Sort", sort_app.input_generator, MACHINES["xeon8"]
+    )
+    tuner = GeneticTuner(
+        evaluator,
+        min_size=64,
+        max_size=16384,
+        population_size=6,
+        parents=2,
+        tunable_rounds=1,
+        refine_passes=0,
+        threshold_metric=sort_app.size_metric,
+    )
+    return tuner.tune().config
+
+
+def build_rows():
+    program = sort_app.build_program()
+    evaluator = Evaluator(
+        program, "Sort", sort_app.input_generator, MACHINES["xeon8"]
+    )
+    autotuned = cached_config("sort_xeon8", tune_sort_xeon8)
+    columns = list(SERIES) + ["Autotuned"]
+    rows = []
+    for size in SIZES:
+        times = {}
+        for name, option in SERIES.items():
+            config = ChoiceConfig()
+            config.set_choice(sort_app.SORT_SITE, Selector.static(option))
+            times[name] = evaluator.time(config, size)
+        times["Autotuned"] = evaluator.time(autotuned, size)
+        rows.append((size, times))
+    return autotuned, columns, rows
+
+
+def test_fig14_sort(benchmark):
+    autotuned, columns, rows = benchmark.pedantic(
+        build_rows, rounds=1, iterations=1
+    )
+    widths = [6] + [14] * len(columns)
+    lines = [
+        "Figure 14: Sort on 8 cores (simulated time units vs input size)",
+        f"autotuned config: {sort_app.describe_config(autotuned)}",
+        fmt_row(["n"] + columns, widths),
+    ]
+    for size, times in rows:
+        lines.append(
+            fmt_row(
+                [size] + [f"{times[c]:.0f}" for c in columns], widths
+            )
+        )
+    write_report("fig14_sort", lines)
+
+    # Shape assertions (who wins, where):
+    for size, times in rows:
+        best_single = min(times[c] for c in SERIES)
+        assert times["Autotuned"] <= best_single * 1.10, (
+            f"autotuned loses to a single algorithm at n={size}"
+        )
+    # Insertion sort must lose badly at the large end.
+    _, large = rows[-1]
+    assert large["InsertionSort"] > 2 * large["Autotuned"]

@@ -1,0 +1,101 @@
+"""Figure 15: Matrix Multiply performance on 8 cores.
+
+Series: basic, blocking, transpose, recursive (the c-dimension
+decomposition shown in the paper's Figure 1), "Strassen 256" (Strassen
+until n = 256, then switching to the basic/flat multiply), and the
+autotuned hybrid.  Shape expectations: transpose < blocking < basic
+(the non-algorithmic choices "make a huge impact"), Strassen's
+asymptotics win at the large end, the autotuned algorithm at least ties
+the best variant everywhere.
+"""
+
+import pytest
+from harness import cached_config, fmt_row, write_report
+
+from repro.apps import matmul as mm_app
+from repro.autotuner import Evaluator, GeneticTuner
+from repro.compiler import ChoiceConfig, Selector
+from repro.runtime import MACHINES
+
+SIZES = (16, 32, 64, 128, 256, 512)
+
+
+def flat(option):
+    config = ChoiceConfig()
+    config.set_choice(mm_app.MM_SITE, Selector.static(option))
+    return config
+
+
+def recursive_with_base(option, base_n):
+    config = ChoiceConfig()
+    config.set_choice(
+        mm_app.MM_SITE,
+        Selector(((mm_app.size_metric(base_n) + 1, 2), (None, option))),
+    )
+    return config
+
+
+def tune_matmul_xeon8():
+    program = mm_app.build_program()
+    evaluator = Evaluator(
+        program, "MatrixMultiply", mm_app.input_generator, MACHINES["xeon8"]
+    )
+    tuner = GeneticTuner(
+        evaluator,
+        min_size=16,
+        max_size=256,
+        population_size=6,
+        parents=2,
+        tunable_rounds=1,
+        refine_passes=0,
+        threshold_metric=mm_app.size_metric,
+    )
+    return tuner.tune().config
+
+
+def build_rows():
+    program = mm_app.build_program()
+    evaluator = Evaluator(
+        program, "MatrixMultiply", mm_app.input_generator, MACHINES["xeon8"]
+    )
+    autotuned = cached_config("matmul_xeon8", tune_matmul_xeon8)
+    series = {
+        "Basic": flat(0),
+        "Blocking": flat(1),
+        "Transpose": flat(2),
+        "Recursive": recursive_with_base(3, 16),
+        "Strassen256": recursive_with_base(6, 256),
+        "Autotuned": autotuned,
+    }
+    rows = []
+    for size in SIZES:
+        times = {
+            name: evaluator.time(config, size)
+            for name, config in series.items()
+        }
+        rows.append((size, times))
+    return list(series), rows
+
+
+def test_fig15_matmul(benchmark):
+    columns, rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    widths = [6] + [14] * len(columns)
+    lines = [
+        "Figure 15: Matrix Multiply on 8 cores (simulated time vs n)",
+        fmt_row(["n"] + columns, widths),
+    ]
+    for size, times in rows:
+        lines.append(
+            fmt_row([size] + [f"{times[c]:.3g}" for c in columns], widths)
+        )
+    write_report("fig15_matmul", lines)
+
+    for size, times in rows:
+        # Non-algorithmic choices: transpose < blocking < basic.
+        assert times["Transpose"] < times["Blocking"] < times["Basic"]
+        # Autotuned at least ties the best series (within noise).
+        best = min(times[c] for c in columns if c != "Autotuned")
+        assert times["Autotuned"] <= best * 1.10, f"autotuned loses at n={size}"
+    # Strassen's asymptotics show at the large end.
+    _, large = rows[-1]
+    assert large["Strassen256"] < large["Basic"]

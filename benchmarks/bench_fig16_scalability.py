@@ -1,0 +1,90 @@
+"""Figure 16: parallel scalability of the four autotuned benchmarks.
+
+Speedup (relative to one worker) as worker threads are added, on the
+Xeon 8-way profile, using each benchmark's 8-core-autotuned
+configuration.  Shape expectations: all four benchmarks scale; the
+embarrassingly-parallel-ish benchmarks (matmul, eigen via DC/bisection
+structure) scale best, and nothing scales past the worker count.
+"""
+
+import random
+
+import pytest
+from harness import cached_config, fmt_row, write_report
+
+from bench_fig11_poisson import MACHINE as _  # noqa: F401 (same profile)
+from bench_fig12_eigen import tune_eigen_xeon8
+from bench_fig14_sort import tune_sort_xeon8
+from bench_fig15_matmul import tune_matmul_xeon8
+from repro.apps import eigen as eig_app
+from repro.apps import matmul as mm_app
+from repro.apps import poisson as p_app
+from repro.apps import sort as sort_app
+from repro.runtime import MACHINES, WorkStealingScheduler
+
+WORKERS = (1, 2, 3, 4, 5, 6, 7, 8)
+MACHINE = MACHINES["xeon8"]
+
+
+def graph_for(app, transform_name, config_name, tune, size):
+    program = app.build_program()
+    config = cached_config(config_name, tune)
+    rng = random.Random(16)
+    inputs = app.input_generator(size, rng)
+    return program.transform(transform_name).run(inputs, config).graph
+
+
+def build_rows():
+    program_p = p_app.build_program()
+    poisson_cfg = cached_config(
+        "poisson_xeon8",
+        lambda: p_app.tune_accuracy(program_p, MACHINE, max_level=7)[0],
+    )
+    rng = random.Random(16)
+    x0, b = p_app.input_generator(65, rng)
+    poisson_graph = (
+        program_p.transform(p_app.poisson_name(4)).run([x0, b], poisson_cfg).graph
+    )
+
+    graphs = {
+        "Matrix Multiply": graph_for(
+            mm_app, "MatrixMultiply", "matmul_xeon8", tune_matmul_xeon8, 256
+        ),
+        "Sort": graph_for(sort_app, "Sort", "sort_xeon8", tune_sort_xeon8, 100_000),
+        "Poisson": poisson_graph,
+        "Eigenvector Solve": graph_for(
+            eig_app, "Eig", "eigen_xeon8", tune_eigen_xeon8, 256
+        ),
+    }
+    scheduler = WorkStealingScheduler(MACHINE)
+    rows = {}
+    for name, graph in graphs.items():
+        base = scheduler.run(graph, workers=1).makespan
+        rows[name] = [
+            base / scheduler.run(graph, workers=w).makespan for w in WORKERS
+        ]
+    return rows
+
+
+def test_fig16_scalability(benchmark):
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    names = list(rows)
+    widths = [20] + [8] * len(WORKERS)
+    lines = [
+        "Figure 16: speedup vs worker threads (Xeon 8-way profile, "
+        "autotuned configs)",
+        fmt_row(["benchmark"] + [f"{w}thr" for w in WORKERS], widths),
+    ]
+    for name in names:
+        lines.append(
+            fmt_row([name] + [f"{s:.2f}" for s in rows[name]], widths)
+        )
+    write_report("fig16_scalability", lines)
+
+    for name, speedups in rows.items():
+        assert speedups[0] == pytest.approx(1.0)
+        # Monotone-ish growth and a real win at 8 workers.
+        assert speedups[-1] > 2.0, f"{name} does not scale"
+        assert speedups[-1] <= 8.001
+        # Speedup should not collapse as workers are added.
+        assert speedups[-1] >= max(speedups) * 0.7

@@ -1,0 +1,57 @@
+"""Paper §1 (introduction): the std::sort cutoff experiment.
+
+libstdc++ switches from merge sort to insertion sort at 15 elements; the
+paper reports that cutoffs around 60-150 perform much better on (their)
+current architectures.  We sweep the IS cutoff of a 2-way merge sort on
+the Xeon 8-way profile and report the optimum — the shape claim is that
+the best cutoff is far above 15.
+"""
+
+import pytest
+from harness import fmt_row, write_report
+
+from repro.apps import sort as sort_app
+from repro.autotuner import Evaluator
+from repro.compiler import ChoiceConfig, Selector
+from repro.runtime import MACHINES
+
+CUTOFFS = (4, 15, 30, 60, 100, 150, 300, 600, 1200)
+SIZE = 30000
+
+
+def build_rows():
+    program = sort_app.build_program()
+    evaluator = Evaluator(
+        program, "Sort", sort_app.input_generator, MACHINES["xeon8"]
+    )
+    rows = []
+    for cutoff in CUTOFFS:
+        config = ChoiceConfig()
+        config.set_choice(
+            sort_app.SORT_SITE,
+            Selector(((sort_app.size_metric(cutoff), 0), (None, 2))),
+        )
+        rows.append((cutoff, evaluator.time(config, SIZE)))
+    return rows
+
+
+def test_intro_cutoff(benchmark):
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    best_cutoff, best_time = min(rows, key=lambda r: r[1])
+    lines = [
+        "Intro experiment: merge sort -> insertion sort cutoff sweep",
+        f"(2MS over IS, n={SIZE}, Xeon 8-way profile)",
+        fmt_row(["cutoff", "time"], [8, 14]),
+    ]
+    for cutoff, elapsed in rows:
+        marker = "  <-- best" if cutoff == best_cutoff else ""
+        lines.append(fmt_row([cutoff, f"{elapsed:.0f}"], [8, 14]) + marker)
+    lines.append(
+        f"best cutoff = {best_cutoff} "
+        f"(paper: 60-150 beats libstdc++'s 15)"
+    )
+    write_report("intro_cutoff", lines)
+
+    times = dict(rows)
+    assert best_cutoff >= 30, "optimal cutoff should be well above 15"
+    assert times[15] > best_time, "cutoff 15 must be suboptimal"

@@ -1,0 +1,118 @@
+"""Table 1: slowdown when sort is trained on one machine and run on
+another (plus §5.1's 1-core-config vs 8-core-config headline).
+
+The sort benchmark is autotuned separately on each architecture profile
+(Mobile 2-core, Xeon 1-way, Xeon 8-way, Niagara); every configuration is
+then run on every machine at n = 100,000 and reported as a slowdown
+relative to that machine's natively-trained configuration.
+
+Shape expectations: the diagonal is 1.0 by construction; off-diagonal
+entries are >= 1 with real slowdowns for mismatched architectures
+(paper: 1.68x average, up to 2.35x for Niagara-config-on-Xeon; the
+8-way-trained config beats the 1-way-trained config by 2.14x when both
+run on 8 cores).
+"""
+
+import pytest
+from harness import cached_config, fmt_row, write_report
+
+from repro.apps import sort as sort_app
+from repro.autotuner import Evaluator, GeneticTuner
+from repro.runtime import MACHINES
+
+TRAIN_MACHINES = ("mobile", "xeon1", "xeon8", "niagara")
+RUN_SIZE = 100_000
+
+
+def tune_on(machine_name):
+    def tune():
+        program = sort_app.build_program()
+        evaluator = Evaluator(
+            program, "Sort", sort_app.input_generator, MACHINES[machine_name]
+        )
+        tuner = GeneticTuner(
+            evaluator,
+            min_size=64,
+            max_size=32768,
+            population_size=6,
+            parents=2,
+            tunable_rounds=1,
+            refine_passes=0,
+            threshold_metric=sort_app.size_metric,
+        )
+        return tuner.tune().config
+
+    return tune
+
+
+def tuned_configs():
+    return {
+        name: cached_config(f"sort_{name}", tune_on(name))
+        for name in TRAIN_MACHINES
+    }
+
+
+def build_table():
+    program = sort_app.build_program()
+    configs = tuned_configs()
+    times = {}
+    for run_on in TRAIN_MACHINES:
+        evaluator = Evaluator(
+            program, "Sort", sort_app.input_generator, MACHINES[run_on]
+        )
+        for trained_on in TRAIN_MACHINES:
+            times[(run_on, trained_on)] = evaluator.time(
+                configs[trained_on], RUN_SIZE
+            )
+    slowdowns = {
+        key: value / times[(key[0], key[0])] for key, value in times.items()
+    }
+    return configs, slowdowns
+
+
+def test_table1_crosstrain(benchmark):
+    configs, slowdowns = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    widths = [10] + [10] * len(TRAIN_MACHINES)
+    lines = [
+        f"Table 1: sort cross-training slowdowns at n={RUN_SIZE} "
+        "(rows = run on, columns = trained on)",
+        fmt_row(["run \\ train"] + list(TRAIN_MACHINES), widths),
+    ]
+    for run_on in TRAIN_MACHINES:
+        lines.append(
+            fmt_row(
+                [run_on]
+                + [
+                    f"{slowdowns[(run_on, t)]:.2f}x"
+                    for t in TRAIN_MACHINES
+                ],
+                widths,
+            )
+        )
+    off_diagonal = [
+        s for (run, train), s in slowdowns.items() if run != train
+    ]
+    avg = sum(off_diagonal) / len(off_diagonal)
+    headline = slowdowns[("xeon8", "xeon1")]
+    lines.append(f"average off-diagonal slowdown: {avg:.2f}x (paper: 1.68x)")
+    lines.append(
+        f"Xeon-1-way config run on 8 cores: {headline:.2f}x slower than "
+        "the natively tuned config (paper: 2.14x)"
+    )
+    for name in TRAIN_MACHINES:
+        lines.append(f"  {name}: {sort_app.describe_config(configs[name])}")
+    write_report("table1_crosstrain", lines)
+
+    # Diagonal is 1.0 by construction.
+    for (run, train), s in slowdowns.items():
+        if run == train:
+            assert s == pytest.approx(1.0)
+    # Architecture mismatch costs performance on average and produces at
+    # least one substantial slowdown (§5.2; the paper saw up to 2.35x).
+    # Individual off-diagonal entries below 1.0 can occur when the
+    # native genetic tuning run was itself suboptimal — reported, not
+    # hidden.
+    assert avg > 1.05
+    assert max(off_diagonal) > 1.3
+    # §5.1: training on 1 core and running on 8 leaves speed on the table.
+    assert headline > 1.05

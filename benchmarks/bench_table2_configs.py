@@ -1,0 +1,80 @@
+"""Table 2: the automatically tuned sort configurations per architecture
+and their parallel scalability.
+
+For each machine profile we report the tuned algorithm composition in
+the paper's notation (e.g. ``IS(600) QS(1420) 2MS(inf)``) and the
+speedup of the tuned configuration on that machine's own core count
+relative to one core.
+
+Shape expectations: the compositions *differ across architectures*; the
+Niagara profile (cheap scheduling relative to compute) leans on parallel
+recursive algorithms, while the Intel profiles use more sequential
+bottom layers; multi-core profiles show real scalability (paper: 1.92 on
+2-core Mobile, 5.69-7.79 on the 8-way machines).
+"""
+
+import random
+
+import pytest
+from harness import fmt_row, write_report
+
+from bench_table1_crosstrain import tuned_configs
+from repro.apps import sort as sort_app
+from repro.compiler.config import site_key
+from repro.runtime import MACHINES, WorkStealingScheduler
+
+RUN_SIZE = 100_000
+
+
+def build_table():
+    program = sort_app.build_program()
+    configs = tuned_configs()
+    rows = []
+    for name, config in configs.items():
+        machine = MACHINES[name]
+        rng = random.Random(2)
+        inputs = sort_app.input_generator(RUN_SIZE, rng)
+        graph = program.transform("Sort").run(inputs, config).graph
+        scheduler = WorkStealingScheduler(machine)
+        base = scheduler.run(graph, workers=1).makespan
+        native = scheduler.run(graph, workers=machine.cores).makespan
+        rows.append(
+            {
+                "machine": name,
+                "cores": machine.cores,
+                "scalability": base / native,
+                "config": sort_app.describe_config(config),
+            }
+        )
+    return rows
+
+
+def test_table2_configs(benchmark):
+    rows = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    lines = [
+        f"Table 2: tuned sort configurations per architecture (n={RUN_SIZE})",
+        fmt_row(["machine", "cores", "scalability", "algorithm choices"],
+                [10, 6, 12, 40]),
+    ]
+    for row in rows:
+        lines.append(
+            fmt_row(
+                [
+                    row["machine"],
+                    row["cores"],
+                    f"{row['scalability']:.2f}",
+                    row["config"],
+                ],
+                [10, 6, 12, 40],
+            )
+        )
+    write_report("table2_configs", lines)
+
+    by_machine = {row["machine"]: row for row in rows}
+    # Configurations are architecture-dependent (the paper's key claim).
+    assert len({row["config"] for row in rows}) >= 2
+    # Single-core profile cannot "scale"; multi-core profiles must.
+    assert by_machine["xeon1"]["scalability"] == pytest.approx(1.0)
+    assert by_machine["xeon8"]["scalability"] > 3.0
+    assert by_machine["niagara"]["scalability"] > 3.0
+    assert 1.0 < by_machine["mobile"]["scalability"] <= 2.001

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Heat diffusion in the DSL: versions, priorities, and scheduling.
+
+Shows the language features working together on one of the paper's
+motivating domains: a versioned matrix ``U<0..k>[n]`` holds the
+simulation timeline, a three-point stencil rule computes interior cells
+from the previous version, a lower-priority rule handles the boundary
+corner cases, and the compiler derives that versions must be swept in
+ascending order while cells within a version stay data parallel.
+
+Run:  python examples/heat_diffusion.py
+"""
+
+import numpy as np
+
+from repro import ChoiceConfig, MACHINES, WorkStealingScheduler, compile_program
+
+HEAT = """
+transform Heat
+from A[n]
+to B[n]
+through U<0..k>[n]
+{
+  // version 0 is the input
+  to (U.cell(0, i) u) from (A.cell(i) a) { u = a; }
+
+  // interior smoothing (reads three cells of the previous version)
+  to (U.cell(t, i) u)
+  from (U.cell(t-1, i-1) l, U.cell(t-1, i) m, U.cell(t-1, i+1) r)
+  {
+    u = (l + 2 * m + r) / 4;
+  }
+
+  // boundaries carry forward (corner-case rule, lower priority)
+  secondary to (U.cell(t, i) u) from (U.cell(t-1, i) m) { u = m; }
+
+  // the answer is the last version
+  to (B.cell(i) b) from (U.cell(k, i) u) { b = u; }
+}
+"""
+
+
+def main() -> None:
+    program = compile_program(HEAT)
+    heat = program.transform("Heat")
+
+    print("choice grid of U (version dimension first):")
+    for segment in heat.grid.segments["U"]:
+        options = ", ".join(o.describe(heat.ir) for o in segment.options)
+        order = heat.depgraph.rule_directions.get(
+            (segment.key, segment.options[0].primary)
+        )
+        sweep = "parallel" if order is None or order.is_parallel else (
+            f"sweep dims {order.priority} signs {order.signs}"
+        )
+        print(f"  {segment.key}: {segment.box}  rules: {options}  [{sweep}]")
+
+    # A unit spike spreading out over 10 steps.
+    n, steps = 41, 10
+    spike = np.zeros(n)
+    spike[n // 2] = 1.0
+    result = heat.run([spike], sizes={"k": steps})
+    out = result.output("B")
+    print(f"\nafter {steps} steps: peak {out.max():.4f} "
+          f"(mass conserved: {out.sum():.6f})")
+
+    # Parallelism: each version's cells are independent; versions chain.
+    # (A larger grid so per-version work dominates task overheads.)
+    wide = np.zeros(4001)
+    wide[2000] = 1.0
+    config = ChoiceConfig()
+    config.set_tunable("Heat.__seq_cutoff__", 1)
+    config.set_tunable("Heat.__block_size__", 512)
+    graph = heat.run([wide], config, sizes={"k": 6}).graph
+    for workers in (1, 4, 8):
+        sched = WorkStealingScheduler(MACHINES["xeon8"]).run(graph, workers=workers)
+        print(f"  {workers} workers: simulated time {sched.makespan:10.0f} "
+              f"(speedup {sched.speedup:4.2f})")
+
+
+if __name__ == "__main__":
+    main()

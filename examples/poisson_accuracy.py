@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Accuracy choice alongside algorithmic choice (paper §4.1).
+
+Runs the variable-accuracy autotuner over the Poisson_i / Multigrid_i
+family and prints, for each grid size and accuracy bin, the chosen
+algorithm — reproducing the structure of the paper's Figure 9(b): the
+tuned solver calls *different accuracy variants* during its recursive
+descent, often preferring several cheap low-accuracy V-cycles over one
+expensive high-accuracy solve.
+
+Run:  python examples/poisson_accuracy.py
+"""
+
+import random
+
+import numpy as np
+
+from repro import MACHINES
+from repro.apps import poisson as p_app
+
+
+def main() -> None:
+    program = p_app.build_program()
+    print("tuning the accuracy-aware Poisson family (grids 5..65) ...")
+    config, history = p_app.tune_accuracy(
+        program, MACHINES["xeon8"], max_level=6
+    )
+
+    print("\nchoices per (grid, accuracy bin):")
+    print(f"{'grid':>6} " + "".join(
+        f"{f'1e{2 * i + 1}':>14}" for i in range(len(p_app.ACCURACY_BINS))
+    ))
+    by_grid = {}
+    for n, bin_index, label, _, _ in history:
+        by_grid.setdefault(n, {})[bin_index] = label
+    for n in sorted(by_grid):
+        row = by_grid[n]
+        print(f"{n:>6} " + "".join(
+            f"{row.get(i, '-'):>14}" for i in range(len(p_app.ACCURACY_BINS))
+        ))
+
+    # Solve one problem at two accuracy targets with the tuned family.
+    n = 65
+    rng = random.Random(7)
+    x0, b = p_app.input_generator(n, rng)
+    print(f"\nsolving a {n}x{n} Poisson problem with the tuned family:")
+    for bin_index in (1, 4):
+        solver = program.transform(p_app.poisson_name(bin_index))
+        result = solver.run([x0, b], config)
+        accuracy = p_app.measure_accuracy(x0, result.output("Y"), b)
+        target = p_app.ACCURACY_BINS[bin_index]
+        print(
+            f"  target {target:.0e}: achieved accuracy {accuracy:9.2e}, "
+            f"work {result.graph.total_work():.2e} units"
+        )
+
+
+if __name__ == "__main__":
+    main()

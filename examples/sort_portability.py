@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Portability through retuning (paper §5.2, Tables 1 and 2, scaled down).
+
+Autotunes the Sort benchmark on two very different simulated
+architectures — the Xeon 8-way and the Sun Niagara — then cross-runs
+each configuration on the other machine.  The tuned compositions differ
+(the Niagara's cheap scheduling favours parallel recursive algorithms)
+and running a mismatched configuration costs real performance, which is
+the paper's case for shipping programs that retune per machine.
+
+Run:  python examples/sort_portability.py   (takes a few minutes: it
+performs two full autotuning runs)
+"""
+
+from repro import Evaluator, GeneticTuner, MACHINES
+from repro.apps import sort as sort_app
+
+
+def tune_on(machine_name: str):
+    program = sort_app.build_program()
+    evaluator = Evaluator(
+        program, "Sort", sort_app.input_generator, MACHINES[machine_name]
+    )
+    tuner = GeneticTuner(
+        evaluator,
+        min_size=64,
+        max_size=8192,
+        population_size=6,
+        parents=2,
+        tunable_rounds=1,
+        refine_passes=0,
+        threshold_metric=sort_app.size_metric,
+    )
+    return evaluator, tuner.tune().config
+
+
+def main() -> None:
+    machines = ("xeon8", "niagara")
+    evaluators = {}
+    configs = {}
+    for name in machines:
+        print(f"autotuning sort on {name} ...")
+        evaluators[name], configs[name] = tune_on(name)
+        print(f"  tuned composition: {sort_app.describe_config(configs[name])}")
+
+    size = 50_000
+    print(f"\ncross-running at n={size}:")
+    for run_on in machines:
+        evaluator = evaluators[run_on]
+        native = evaluator.time(configs[run_on], size)
+        for trained_on in machines:
+            elapsed = evaluator.time(configs[trained_on], size)
+            print(
+                f"  run on {run_on:8s} with {trained_on:8s}-trained config: "
+                f"{elapsed / native:5.2f}x native"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""PetaBricks — a language and compiler for algorithmic choice.
+
+Python reproduction of Ansel et al., PLDI 2009.  The package makes
+*algorithmic choice* a first-class construct: programs declare multiple
+rules for computing the same data, the compiler analyzes where each rule
+applies and what it depends on, and an autotuner picks the hybrid
+composition (plus cutoffs and tunables) that is fastest on the target
+machine.
+
+Quickstart::
+
+    from repro import compile_program, ChoiceConfig
+
+    program = compile_program('''
+        transform RollingSum
+        from A[n] to B[n]
+        {
+          to (B.cell(i) b) from (A.region(0, i+1) in) { b = sum(in); }
+          to (B.cell(i) b) from (A.cell(i) a, B.cell(i-1) s) { b = a + s; }
+        }
+    ''')
+    result = program.transform("RollingSum").run([[1.0, 2.0, 3.0]])
+    print(result.output("B"))          # [1. 3. 6.]
+
+Layers (bottom-up): :mod:`repro.symbolic` (affine region algebra),
+:mod:`repro.runtime` (matrices, tasks, the work-stealing scheduler and
+machine models), :mod:`repro.language` (the DSL), :mod:`repro.compiler`
+(analysis passes + execution engine + builder API),
+:mod:`repro.autotuner` (genetic bottom-up tuning, n-ary search,
+consistency checking, accuracy bins), :mod:`repro.linalg` (the LAPACK
+stand-in), and :mod:`repro.apps` (the paper's benchmark suite).
+"""
+
+from repro.autotuner import Evaluator, GeneticTuner, check_consistency
+from repro.compiler import (
+    ChoiceConfig,
+    CompiledProgram,
+    CompiledTransform,
+    NativeContext,
+    Selector,
+    TransformBuilder,
+    compile_program,
+)
+from repro.language import parse_program, parse_transform
+from repro.runtime import MACHINES, Machine, Matrix, WorkStealingScheduler
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ChoiceConfig",
+    "CompiledProgram",
+    "CompiledTransform",
+    "Evaluator",
+    "GeneticTuner",
+    "MACHINES",
+    "Machine",
+    "Matrix",
+    "NativeContext",
+    "Selector",
+    "TransformBuilder",
+    "WorkStealingScheduler",
+    "check_consistency",
+    "compile_program",
+    "parse_program",
+    "parse_transform",
+]

@@ -1,0 +1,28 @@
+"""The PetaBricks benchmark suite (paper §4).
+
+Each module builds the paper's benchmark as a PetaBricks program through
+the builder frontend, with the same algorithmic choices the paper gives
+the compiler:
+
+* :mod:`repro.apps.sort` — insertion sort, quicksort, n-way merge sort
+  (n in {2,4,8,16}, 2-way with a parallelizable recursive merge), and a
+  16-bucket MSD radix sort, all recursing through a generalized Sort.
+* :mod:`repro.apps.matmul` — basic, blocked, transposed, three recursive
+  decompositions, and Strassen.
+* :mod:`repro.apps.eigen` — QR iteration, bisection + inverse iteration,
+  and divide-and-conquer over the symmetric tridiagonal eigenproblem.
+* :mod:`repro.apps.poisson` — direct banded Cholesky, Jacobi, Red-Black
+  SOR, and multigrid for the 2-D Poisson equation, with the paper's
+  variable-accuracy POISSON_i / MULTIGRID_i family.
+* :mod:`repro.apps.rollingsum` — the paper's running example.
+
+Rule bodies execute real numerics on numpy-backed views; each rule
+*charges* abstract work per its documented cost model (see module
+docstrings), which the schedule simulator prices on an architecture
+profile.  DESIGN.md records why this substitution preserves the paper's
+comparisons.
+"""
+
+from repro.apps import eigen, matmul, poisson, rollingsum, sort  # noqa: F401
+
+__all__ = ["eigen", "matmul", "poisson", "rollingsum", "sort"]

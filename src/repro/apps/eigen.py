@@ -1,0 +1,202 @@
+"""The symmetric tridiagonal eigenproblem benchmark (paper §4.2, Fig 12).
+
+``Eig`` computes all eigenvalues and eigenvectors of a symmetric
+tridiagonal matrix.  Packing (single input, single output, per the
+engine's one-output-matrix-per-rule contract):
+
+* input  ``T[2, n]``: ``T[0, i] = d_i`` (diagonal), ``T[1, i] = e_i``
+  (sub-diagonal, entry ``n-1`` unused);
+* output ``VL[n+1, n]``: column ``x = 0`` holds the ascending
+  eigenvalues (``VL[0, k] = lambda_k``), and ``VL[1 + i, k] = Q[i, k]``.
+
+Choices (pseudo code in the paper's Figure 13):
+
+====  ======================  =================================================
+rule  algorithm               cost model (work units ~ flops)
+====  ======================  =================================================
+0     QR iteration            ``9 n^3`` — sequential rotations
+1     bisection + inv. iter.  ``14 n^2`` per eigenpair (``14 n^3`` total) but
+                              embarrassingly parallel: one task per chunk of
+                              eigenpairs
+2     divide and conquer      split + two recursive Eig calls (parallel) +
+                              merge ``2.4 n^3 / 2`` (secular solve + the two
+                              half eigenvector products)
+====  ======================  =================================================
+
+"Cutoff 25" in Figure 12 (LAPACK dstevd's hard-coded hybrid) is simply a
+configuration of this transform: DC above, QR at and below n = 25 — see
+:func:`cutoff_config`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+import numpy as np
+
+from repro.compiler import ChoiceConfig, CompiledProgram, Selector, TransformBuilder, compile_program
+from repro.linalg import eig_bisection, eig_qr
+from repro.linalg.tridiag_eig import rank_one_update
+
+QR_FACTOR = 9.0
+BI_FACTOR = 14.0
+DC_MERGE_FACTOR = 1.2
+CALL_OVERHEAD = 80.0
+BI_CHUNK = 32  # eigenpairs per parallel task
+
+EIG_SITE = "Eig.VL.0"
+ALGORITHM_NAMES = ("QR", "Bisection", "DC")
+
+
+def pack_input(d: np.ndarray, e: np.ndarray) -> np.ndarray:
+    """Pack (d, e) into the transform's T[2, n] layout."""
+    n = d.shape[0]
+    T = np.zeros((2, n))
+    T[0, :] = d
+    T[1, : max(0, n - 1)] = e
+    return T
+
+
+def unpack_output(vl: np.ndarray):
+    """Unpack VL[n+1, n] into (lam, Q) with Q[i, k] the i-th component
+    of the k-th eigenvector."""
+    lam = vl[0, :].copy()
+    Q = vl[1:, :].copy()
+    return lam, Q
+
+
+def _unpack_ctx(ctx):
+    T = ctx["t"].to_numpy()
+    n = T.shape[1]
+    d = T[0, :]
+    e = T[1, : max(0, n - 1)]
+    return d, e, ctx["vl"], n
+
+
+def _write_result(out, lam, Q) -> None:
+    n = lam.shape[0]
+    packed = np.empty((n + 1, n))
+    packed[0, :] = lam
+    packed[1:, :] = Q
+    out.assign(packed)
+
+
+def eig_rule_qr(ctx) -> None:
+    d, e, out, n = _unpack_ctx(ctx)
+    lam, Q = eig_qr(d, e)
+    _write_result(out, lam, Q)
+    ctx.charge(CALL_OVERHEAD + QR_FACTOR * float(n) ** 3)
+
+
+def eig_rule_bisection(ctx) -> None:
+    d, e, out, n = _unpack_ctx(ctx)
+    lam, Q = eig_bisection(d, e)
+    _write_result(out, lam, Q)
+    ctx.charge(CALL_OVERHEAD)
+    # Each eigenpair is independent (paper: "embarrassingly parallel");
+    # one task per chunk of eigenpairs.
+    per_pair = BI_FACTOR * float(n) ** 2
+    thunks = []
+    for start in range(0, n, BI_CHUNK):
+        pairs = min(BI_CHUNK, n - start)
+        thunks.append(lambda cost=per_pair * pairs: ctx.charge(cost))
+    if thunks:
+        ctx.parallel(*thunks)
+
+
+def eig_rule_dc(ctx) -> None:
+    """Divide and conquer; the two half-problems go back through the Eig
+    transform, so the tuner picks the algorithm at every level."""
+    d, e, out, n = _unpack_ctx(ctx)
+    if n <= 2:
+        lam, Q = eig_qr(d, e)
+        _write_result(out, lam, Q)
+        ctx.charge(CALL_OVERHEAD + QR_FACTOR * float(n) ** 3)
+        return
+    m = n // 2
+    rho = float(e[m - 1])
+    d1 = d[:m].copy()
+    d2 = d[m:].copy()
+    if rho != 0.0:
+        d1[m - 1] -= rho
+        d2[0] -= rho
+    halves = ctx.parallel(
+        lambda: unpack_output(
+            ctx.call("Eig", pack_input(d1, e[: m - 1])).to_numpy()
+        ),
+        lambda: unpack_output(
+            ctx.call("Eig", pack_input(d2, e[m:])).to_numpy()
+        ),
+    )
+    (lam1, Q1), (lam2, Q2) = halves
+    if rho == 0.0:
+        lam = np.concatenate([lam1, lam2])
+        Q = np.zeros((n, n))
+        Q[:m, :m] = Q1
+        Q[m:, m:] = Q2
+        order = np.argsort(lam)
+        lam, Q = lam[order], Q[:, order]
+    else:
+        D = np.concatenate([lam1, lam2])
+        z = np.concatenate([Q1[m - 1, :], Q2[0, :]])
+        lam, U = rank_one_update(D, z, rho)
+        Q = np.zeros((n, n))
+        Q[:m, :] = Q1 @ U[:m, :]
+        Q[m:, :] = Q2 @ U[m:, :]
+    _write_result(out, lam, Q)
+    # Merge cost: secular solve (~50 n^2, itself one-root-per-task
+    # parallel) + the two (n/2 x n/2)(n/2 x n) eigenvector products
+    # (n^3 flops), data parallel across output column chunks.
+    ctx.charge(CALL_OVERHEAD)
+    secular_chunk = 50.0 * float(n) ** 2 / 4.0
+    ctx.parallel(*[(lambda c=secular_chunk: ctx.charge(c)) for _ in range(4)])
+    product_chunk = DC_MERGE_FACTOR * (float(n) ** 3) / 8.0
+    ctx.parallel(
+        *[(lambda c=product_chunk: ctx.charge(c)) for _ in range(8)]
+    )
+
+
+def build_program() -> CompiledProgram:
+    """Compile the Eig benchmark program."""
+    b = TransformBuilder("Eig")
+    b.input("T", "2", "n")
+    b.output("VL", "n+1", "n")
+    bodies = [
+        ("QR", eig_rule_qr, False),
+        ("Bisection", eig_rule_bisection, False),
+        ("DC", eig_rule_dc, True),
+    ]
+    for label, body, recursive in bodies:
+        b.rule(
+            to=[("VL", "all", "vl")],
+            from_=[("T", "all", "t")],
+            body=body,
+            label=label,
+            recursive=recursive,
+        )
+    return compile_program([b.build()])
+
+
+def size_metric(n: int) -> int:
+    """Selection metric for an Eig call on an n x n problem: the cell
+    footprint 2n + (n+1)n."""
+    return 2 * n + (n + 1) * n
+
+
+def cutoff_config(cutoff: int = 25) -> ChoiceConfig:
+    """The paper's "Cutoff 25" comparator (LAPACK dstevd's strategy):
+    divide and conquer above ``cutoff``, QR iteration at and below."""
+    config = ChoiceConfig()
+    config.set_choice(
+        EIG_SITE, Selector(((size_metric(cutoff) + 1, 0), (None, 2)))
+    )
+    return config
+
+
+def input_generator(size: int, rng: random.Random) -> List[np.ndarray]:
+    """Random symmetric tridiagonal matrices, as in the paper."""
+    np_rng = np.random.default_rng(rng.getrandbits(32))
+    d = np_rng.standard_normal(size)
+    e = np_rng.standard_normal(max(0, size - 1))
+    return [pack_input(d, e)]

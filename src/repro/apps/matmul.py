@@ -1,0 +1,243 @@
+"""The dense Matrix Multiply benchmark (paper §4.4, Figure 15).
+
+``MatrixMultiply: AB[w,h] = A[c,h] * B[w,c]`` (paper coordinates: first
+index is the column/x).  Algorithmic choices:
+
+====  ==============================  ==========================================
+rule  variant (Figure 15 series)      cost model (work units ~ flops)
+====  ==============================  ==========================================
+0     basic                           ``2 w h c * 1.9`` — column-major strides
+                                      miss cache on every B access
+1     blocking                        ``2 w h c * 1.2`` + per-block overhead;
+                                      one task per block row (parallel)
+2     transpose                       transpose copies ``(w c + c h)`` then
+                                      unit-stride product ``2 w h c * 1.0``;
+                                      row-block tasks (parallel)
+3     recursive split in c            two half multiplies + matrix add
+4     recursive split in w            two independent half multiplies
+5     recursive split in h            two independent half multiplies
+6     Strassen                        7 recursive multiplies on halves +
+                                      ``18 (n/2)^2`` adds (square, even only;
+                                      falls back to transpose otherwise)
+====  ==============================  ==========================================
+
+The relative constants encode the cache story of Figure 15 (basic >
+blocking > transpose at large sizes); recursion and Strassen change the
+*asymptotics and parallelism*, which the task graph captures directly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+import numpy as np
+
+from repro.compiler import CompiledProgram, TransformBuilder, compile_program
+
+BASIC_FACTOR = 1.9
+BLOCKED_FACTOR = 1.2
+TRANSPOSE_FACTOR = 1.0
+CALL_OVERHEAD = 40.0
+DEFAULT_BLOCK = 64
+
+MM_SITE = "MatrixMultiply.AB.0"
+
+#: rule index -> Figure 15 series name
+VARIANT_NAMES = (
+    "basic",
+    "blocking",
+    "transpose",
+    "recursive-c",
+    "recursive-w",
+    "recursive-h",
+    "strassen",
+)
+
+
+def _multiply(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Reference product in paper coordinates: AB[x,y] = sum_k A[k,y]B[x,k]."""
+    return np.einsum("ky,xk->xy", a, b)
+
+
+def _dims(ctx):
+    a = ctx["a"].to_numpy()
+    b = ctx["b"].to_numpy()
+    c, h = a.shape
+    w = b.shape[0]
+    return a, b, ctx["ab"], w, h, c
+
+
+def mm_basic(ctx) -> None:
+    a, b, out, w, h, c = _dims(ctx)
+    out.assign(_multiply(a, b))
+    ctx.charge(CALL_OVERHEAD + BASIC_FACTOR * 2.0 * w * h * c)
+
+
+def mm_blocked(ctx) -> None:
+    a, b, out, w, h, c = _dims(ctx)
+    block = ctx.tunable("blockSize", DEFAULT_BLOCK)
+    out.assign(_multiply(a, b))
+    ctx.charge(CALL_OVERHEAD)
+    # One task per block row of the output: parallel across blocks.
+    thunks = []
+    for x0 in range(0, max(w, 1), block):
+        span = min(block, w - x0) if w else 0
+        cost = BLOCKED_FACTOR * 2.0 * span * h * c + 5.0
+        thunks.append(lambda cost=cost: ctx.charge(cost))
+    if thunks:
+        ctx.parallel(*thunks)
+
+
+def mm_transpose(ctx) -> None:
+    a, b, out, w, h, c = _dims(ctx)
+    out.assign(_multiply(a, b))
+    ctx.charge(CALL_OVERHEAD + (w * c + c * h))  # the transposed copies
+    thunks = []
+    step = max(1, h // 8) if h else 1
+    for y0 in range(0, max(h, 1), step):
+        span = min(step, h - y0) if h else 0
+        cost = TRANSPOSE_FACTOR * 2.0 * w * span * c + 5.0
+        thunks.append(lambda cost=cost: ctx.charge(cost))
+    if thunks:
+        ctx.parallel(*thunks)
+
+
+def _fallback_direct(ctx, a, b, out, w, h, c) -> None:
+    """Base behaviour for recursive rules whose split dimension has
+    bottomed out (length < 2): compute like the transpose variant."""
+    out.assign(_multiply(a, b))
+    ctx.charge(
+        CALL_OVERHEAD + (w * c + c * h) + TRANSPOSE_FACTOR * 2.0 * w * h * c
+    )
+
+
+def mm_split_c(ctx) -> None:
+    """Split the reduction dimension: two products then an add
+    (sequentialized by the dependency on both halves)."""
+    a, b, out, w, h, c = _dims(ctx)
+    if c < 2:
+        _fallback_direct(ctx, a, b, out, w, h, c)
+        return
+    half = c // 2
+    first, second = ctx.parallel(
+        lambda: ctx.call(
+            "MatrixMultiply", a[:half, :], b[:, :half]
+        ).to_numpy(),
+        lambda: ctx.call(
+            "MatrixMultiply", a[half:, :], b[:, half:]
+        ).to_numpy(),
+    )
+    out.assign(first + second)
+    ctx.charge(CALL_OVERHEAD + w * h)  # the matrix add
+
+
+def mm_split_w(ctx) -> None:
+    a, b, out, w, h, c = _dims(ctx)
+    if w < 2:
+        _fallback_direct(ctx, a, b, out, w, h, c)
+        return
+    half = w // 2
+    left, right = ctx.parallel(
+        lambda: ctx.call("MatrixMultiply", a, b[:half, :]).to_numpy(),
+        lambda: ctx.call("MatrixMultiply", a, b[half:, :]).to_numpy(),
+    )
+    out.assign(np.concatenate([left, right], axis=0))
+    ctx.charge(CALL_OVERHEAD)
+
+
+def mm_split_h(ctx) -> None:
+    a, b, out, w, h, c = _dims(ctx)
+    if h < 2:
+        _fallback_direct(ctx, a, b, out, w, h, c)
+        return
+    half = h // 2
+    top, bottom = ctx.parallel(
+        lambda: ctx.call("MatrixMultiply", a[:, :half], b).to_numpy(),
+        lambda: ctx.call("MatrixMultiply", a[:, half:], b).to_numpy(),
+    )
+    out.assign(np.concatenate([top, bottom], axis=1))
+    ctx.charge(CALL_OVERHEAD)
+
+
+def mm_strassen(ctx) -> None:
+    """Strassen's seven-multiplication scheme on even square inputs;
+    other shapes fall back to the transpose variant's behaviour."""
+    a, b, out, w, h, c = _dims(ctx)
+    if not (w == h == c and w % 2 == 0 and w >= 4):
+        out.assign(_multiply(a, b))
+        ctx.charge(CALL_OVERHEAD + (w * c + c * h) + TRANSPOSE_FACTOR * 2.0 * w * h * c)
+        return
+    n = w
+    half = n // 2
+    # Map to math convention: with AB[x,y] = sum_k A[k,y] B[x,k], the
+    # math matrices are the storage transposes (Amath = a.T, Bmath = b.T,
+    # Cmath = ab.T); run classic Strassen there and transpose back.
+    A = a.T
+    B = b.T
+    A11, A12 = A[:half, :half], A[:half, half:]
+    A21, A22 = A[half:, :half], A[half:, half:]
+    B11, B12 = B[:half, :half], B[:half, half:]
+    B21, B22 = B[half:, :half], B[half:, half:]
+
+    def mult(x, y):
+        # Math-convention product via the transform's storage convention.
+        return ctx.call("MatrixMultiply", x.T, y.T).to_numpy().T
+
+    m1, m2, m3, m4, m5, m6, m7 = ctx.parallel(
+        lambda: mult(A11 + A22, B11 + B22),
+        lambda: mult(A21 + A22, B11),
+        lambda: mult(A11, B12 - B22),
+        lambda: mult(A22, B21 - B11),
+        lambda: mult(A11 + A12, B22),
+        lambda: mult(A21 - A11, B11 + B12),
+        lambda: mult(A12 - A22, B21 + B22),
+    )
+    C = np.empty((n, n))
+    C[:half, :half] = m1 + m4 - m5 + m7
+    C[:half, half:] = m3 + m5
+    C[half:, :half] = m2 + m4
+    C[half:, half:] = m1 - m2 + m3 + m6
+    out.assign(C.T)
+    ctx.charge(CALL_OVERHEAD + 18.0 * half * half)
+
+
+def build_program() -> CompiledProgram:
+    """Compile the MatrixMultiply benchmark program."""
+    b = TransformBuilder("MatrixMultiply")
+    b.input("A", "c", "h")
+    b.input("B", "w", "c")
+    b.output("AB", "w", "h")
+    b.tunable("blockSize", 8, 512, DEFAULT_BLOCK)
+    bodies = [
+        ("basic", mm_basic, False),
+        ("blocking", mm_blocked, False),
+        ("transpose", mm_transpose, False),
+        ("recursive-c", mm_split_c, True),
+        ("recursive-w", mm_split_w, True),
+        ("recursive-h", mm_split_h, True),
+        ("strassen", mm_strassen, True),
+    ]
+    for label, body, recursive in bodies:
+        b.rule(
+            to=[("AB", "all", "ab")],
+            from_=[("A", "all", "a"), ("B", "all", "b")],
+            body=body,
+            label=label,
+            recursive=recursive,
+        )
+    return compile_program([b.build()])
+
+
+def size_metric(n: int) -> int:
+    """Selection metric for a square n x n multiply: 3 n^2 cells."""
+    return 3 * n * n
+
+
+def input_generator(size: int, rng: random.Random) -> List[np.ndarray]:
+    """Two square matrices of uniform random values."""
+    np_rng = np.random.default_rng(rng.getrandbits(32))
+    return [
+        np_rng.standard_normal((size, size)),
+        np_rng.standard_normal((size, size)),
+    ]

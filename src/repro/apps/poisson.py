@@ -1,0 +1,755 @@
+"""The Poisson benchmark (paper §4.1, Figures 5-11).
+
+Solves the 2-D Poisson equation on an ``n x n`` grid (``n = 2^k + 1``)
+with homogeneous Dirichlet boundaries.  We use the h^2-scaled five-point
+operator ``L(x)[i,j] = 4 x[i,j] - x[i-1,j] - x[i+1,j] - x[i,j-1] -
+x[i,j+1]`` on interior points and solve ``L(x) = b``.
+
+Methods (paper table in §4.1, with their serial complexities):
+
+* **direct** — banded Cholesky of the interior system (our DPBSV),
+  O(n^4) for an n x n grid;
+* **Jacobi** — O(n^2) sweeps to fix accuracy;
+* **Red-Black SOR** — with the optimal weight ``w = 2 / (1 + sin(pi
+  h))``, O(n) sweeps (the red/black ordering is the paper's Figure 5
+  dependency pattern; each half-sweep is one dense data-parallel pass);
+* **Multigrid** — V-cycles, O(1) cycles per digit.
+
+Variable accuracy (§4.1.4): the program is a *family* ``Poisson_i`` /
+``Multigrid_i`` for the accuracy bins ``{10^1, 10^3, 10^5, 10^7,
+10^9}``.  ``Poisson_i`` chooses between: solve directly / iterate SOR
+until accuracy ``p_i`` / run ``Multigrid_j`` cycles until accuracy
+``p_i`` (``j`` is the tunable accuracy of the sub-cycles — the
+cross-accuracy paths of Figure 9b).  ``Multigrid_i`` performs the
+Figure 10 V-cycle: one SOR(1.15) sweep, restrict the residual, call
+``Poisson_i`` on the coarse grid, interpolate + correct, one SOR(1.15)
+sweep.
+
+Accuracy is estimated at run time by residual-RMS reduction (the paper
+defines accuracy as input/output error-RMS ratio against the true
+solution, available only with training data; for this operator the
+residual reduction factor tracks the error reduction factor, and the
+benchmark harness reports true-error accuracies measured against the
+direct solve — see EXPERIMENTS.md).
+
+Cost model: every sweep/stencil pass charges ~its flop count (5-9 ops
+per cell) and is recorded as a fan of row-block tasks (data parallel);
+the direct solve charges ``interior * bandwidth^2``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.compiler import (
+    ChoiceConfig,
+    CompiledProgram,
+    Selector,
+    TransformBuilder,
+    compile_program,
+)
+from repro.linalg import BandedCholesky
+
+#: The paper's accuracy bins.
+ACCURACY_BINS: Tuple[float, ...] = (1e1, 1e3, 1e5, 1e7, 1e9)
+
+JACOBI_SWEEP_COST = 6.0
+SOR_SWEEP_COST = 8.0
+STENCIL_COST = 5.0
+CALL_OVERHEAD = 60.0
+MAX_SWEEPS = 200_000
+MAX_CYCLES = 100
+PARALLEL_CHUNKS = 8
+
+
+# ---------------------------------------------------------------------------
+# numerical kernels
+# ---------------------------------------------------------------------------
+
+
+def apply_operator(x: np.ndarray) -> np.ndarray:
+    """The five-point operator L on interior points (boundary rows/cols
+    of the result are zero)."""
+    out = np.zeros_like(x)
+    out[1:-1, 1:-1] = (
+        4.0 * x[1:-1, 1:-1]
+        - x[:-2, 1:-1]
+        - x[2:, 1:-1]
+        - x[1:-1, :-2]
+        - x[1:-1, 2:]
+    )
+    return out
+
+
+def residual(x: np.ndarray, b: np.ndarray) -> np.ndarray:
+    r = np.zeros_like(x)
+    r[1:-1, 1:-1] = b[1:-1, 1:-1] - (
+        4.0 * x[1:-1, 1:-1]
+        - x[:-2, 1:-1]
+        - x[2:, 1:-1]
+        - x[1:-1, :-2]
+        - x[1:-1, 2:]
+    )
+    return r
+
+
+def rms(values: np.ndarray) -> float:
+    if values.size == 0:
+        return 0.0
+    return float(np.sqrt(np.mean(np.square(values))))
+
+
+def jacobi_sweep(x: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """One weighted Jacobi sweep (returns a new array)."""
+    new = x.copy()
+    new[1:-1, 1:-1] = 0.25 * (
+        b[1:-1, 1:-1]
+        + x[:-2, 1:-1]
+        + x[2:, 1:-1]
+        + x[1:-1, :-2]
+        + x[1:-1, 2:]
+    )
+    return new
+
+
+def sor_sweep(x: np.ndarray, b: np.ndarray, omega: float) -> None:
+    """One Red-Black SOR iteration in place (paper Figure 5).
+
+    Red cells ((i + j) even) update first from the previous black
+    values; black cells then update from the fresh red values.  The
+    original splits the grid into two dense half-size matrices for cache
+    behaviour; numpy's strided slicing gives the same two dense passes.
+    """
+    n = x.shape[0]
+    # parity 0 = red cells ((i + j) even), parity 1 = black.
+    for parity in (0, 1):
+        for i_start in (1, 2):
+            rows = slice(i_start, n - 1, 2)
+            j_start = 1 + ((i_start + parity + 1) % 2)
+            cols = slice(j_start, n - 1, 2)
+            gs = 0.25 * (
+                b[rows, cols]
+                + x[rows.start - 1 : n - 2 : 2, cols]
+                + x[rows.start + 1 : n : 2, cols]
+                + x[rows, cols.start - 1 : n - 2 : 2]
+                + x[rows, cols.start + 1 : n : 2]
+            )
+            x[rows, cols] += omega * (gs - x[rows, cols])
+
+
+def optimal_sor_weight(n: int) -> float:
+    """w_opt for the 2-D discrete Poisson problem (Demmel 1997)."""
+    if n <= 2:
+        return 1.0
+    return 2.0 / (1.0 + math.sin(math.pi / (n - 1)))
+
+
+def restrict_full_weighting(fine: np.ndarray) -> np.ndarray:
+    """Full-weighting restriction to the (n+1)/2 coarse grid."""
+    n = fine.shape[0]
+    m = (n + 1) // 2
+    coarse = np.zeros((m, m))
+    c = coarse[1:-1, 1:-1]
+    f = fine
+    ii = np.arange(1, m - 1) * 2
+    c[:, :] = (
+        4.0 * f[np.ix_(ii, ii)]
+        + 2.0 * (f[np.ix_(ii - 1, ii)] + f[np.ix_(ii + 1, ii)]
+                 + f[np.ix_(ii, ii - 1)] + f[np.ix_(ii, ii + 1)])
+        + (f[np.ix_(ii - 1, ii - 1)] + f[np.ix_(ii - 1, ii + 1)]
+           + f[np.ix_(ii + 1, ii - 1)] + f[np.ix_(ii + 1, ii + 1)])
+    ) / 16.0
+    return coarse
+
+
+def interpolate(coarse: np.ndarray, n: int) -> np.ndarray:
+    """Bilinear interpolation from the coarse grid to an n x n grid."""
+    fine = np.zeros((n, n))
+    fine[::2, ::2] = coarse
+    fine[1::2, ::2] = 0.5 * (coarse[:-1, :] + coarse[1:, :])
+    fine[::2, 1::2] = 0.5 * (coarse[:, :-1] + coarse[:, 1:])
+    fine[1::2, 1::2] = 0.25 * (
+        coarse[:-1, :-1] + coarse[1:, :-1] + coarse[:-1, 1:] + coarse[1:, 1:]
+    )
+    return fine
+
+
+_DIRECT_CACHE: Dict[int, BandedCholesky] = {}
+
+
+def direct_solve(b: np.ndarray) -> np.ndarray:
+    """Exact interior solve via our banded Cholesky (LAPACK DPBSV role).
+
+    The factorization of the n-point Laplacian is cached per grid size
+    (the matrix depends only on n), matching how the benchmark
+    amortizes; the solve itself is fresh per right-hand side.
+    """
+    n = b.shape[0]
+    m = n - 2  # interior points per side
+    if m <= 0:
+        return np.zeros_like(b)
+    if n not in _DIRECT_CACHE:
+        order = m * m
+        band = np.zeros((m + 1, order))
+        band[0, :] = 4.0
+        # -1 coupling to the next interior point in the same column
+        # (row-major interior index = i * m + j).
+        band[1, :] = -1.0
+        band[1, m - 1 :: m] = 0.0  # no coupling across column boundary
+        band[m, : order - m] = -1.0
+        _DIRECT_CACHE[n] = BandedCholesky(band)
+    chol = _DIRECT_CACHE[n]
+    x = np.zeros_like(b)
+    x[1:-1, 1:-1] = chol.solve(b[1:-1, 1:-1].ravel()).reshape(m, m)
+    return x
+
+
+def true_solution(b: np.ndarray) -> np.ndarray:
+    """Reference solution (used for accuracy measurement in benchmarks)."""
+    return direct_solve(b)
+
+
+def direct_work(n: int) -> float:
+    m = max(1, n - 2)
+    return float(m * m) * float(m) ** 2
+
+
+# ---------------------------------------------------------------------------
+# task/work helpers
+# ---------------------------------------------------------------------------
+
+
+def _charge_parallel(ctx, total: float, chunks: int = PARALLEL_CHUNKS) -> None:
+    """Charge ``total`` work as a fan of data-parallel chunk tasks."""
+    if total <= 0:
+        return
+    share = total / chunks
+    ctx.parallel(*[(lambda s=share: ctx.charge(s)) for _ in range(chunks)])
+
+
+# ---------------------------------------------------------------------------
+# the Poisson_i / Multigrid_i transform family
+# ---------------------------------------------------------------------------
+
+
+def poisson_name(bin_index: int) -> str:
+    return f"Poisson_{bin_index}"
+
+
+def multigrid_name(bin_index: int) -> str:
+    return f"Multigrid_{bin_index}"
+
+
+def poisson_site(bin_index: int) -> str:
+    return f"{poisson_name(bin_index)}.Y.0"
+
+
+def _make_direct_rule():
+    def rule(ctx) -> None:
+        b = ctx["b"].to_numpy()
+        n = b.shape[0]
+        ctx["y"].assign(direct_solve(b))
+        ctx.charge(CALL_OVERHEAD + direct_work(n))
+
+    return rule
+
+
+def _make_sor_rule():
+    """Iterate SOR(w_opt) a *trained* number of sweeps.
+
+    The paper's pseudo code reads "iterate using SOR_wopt until accuracy
+    p_i is achieved"; with the paper's assumption of representative
+    training data this is realized as an iteration count fixed during
+    autotuning (the ``sorIters`` tunable, size-leveled) — the runtime has
+    no access to the true solution to measure accuracy against.
+    """
+
+    def rule(ctx) -> None:
+        x = ctx["x"].to_numpy().copy()
+        b = ctx["b"].to_numpy()
+        n = b.shape[0]
+        omega = optimal_sor_weight(n)
+        sweeps = max(1, ctx.tunable("sorIters"))
+        for _ in range(sweeps):
+            sor_sweep(x, b, omega)
+        ctx["y"].assign(x)
+        ctx.charge(CALL_OVERHEAD)
+        _charge_parallel(ctx, sweeps * SOR_SWEEP_COST * n * n)
+
+    return rule
+
+
+def _make_multigrid_choice_rule():
+    """Run a trained number of ``Multigrid_j`` V-cycles, where both the
+    cycle count (``mgCycles``) and the sub-cycle accuracy ``j``
+    (``mgAccuracy`` — the cross-accuracy paths of Figure 9b) are
+    size-leveled tunables set by the accuracy tuner."""
+
+    def rule(ctx) -> None:
+        x = ctx["x"].to_numpy().copy()
+        b = ctx["b"].to_numpy()
+        sub_bin = ctx.tunable("mgAccuracy")
+        cycles = max(1, ctx.tunable("mgCycles"))
+        mg = multigrid_name(int(sub_bin))
+        for _ in range(cycles):
+            x = ctx.call(mg, x, b).to_numpy().copy()
+        ctx["y"].assign(x)
+        ctx.charge(CALL_OVERHEAD)
+
+    return rule
+
+
+def _make_fmg_rule(bin_index: int):
+    """Full multigrid (paper §4.1.2's deferred extension): solve the
+    restricted problem on the coarse grid first (recursively, through
+    the tuned Poisson of this accuracy bin), interpolate the coarse
+    solution as the initial guess, then run trained ``fmgCycles``
+    V-cycles of the trained sub-accuracy."""
+
+    def rule(ctx) -> None:
+        b = ctx["b"].to_numpy()
+        n = b.shape[0]
+        if n <= 3:
+            ctx["y"].assign(direct_solve(b))
+            ctx.charge(CALL_OVERHEAD + direct_work(n))
+            return
+        coarse_b = 4.0 * restrict_full_weighting(b)
+        _charge_parallel(ctx, STENCIL_COST * n * n)
+        m = coarse_b.shape[0]
+        coarse = ctx.call(
+            poisson_name(bin_index), np.zeros((m, m)), coarse_b
+        ).to_numpy()
+        x = interpolate(coarse, n)
+        _charge_parallel(ctx, STENCIL_COST * n * n)
+        cycles = max(1, ctx.tunable("fmgCycles"))
+        mg = multigrid_name(int(ctx.tunable("mgAccuracy")))
+        for _ in range(cycles):
+            x = ctx.call(mg, x, b).to_numpy().copy()
+        ctx["y"].assign(x)
+        ctx.charge(CALL_OVERHEAD)
+
+    return rule
+
+
+def _make_jacobi_rule():
+    """Weighted Jacobi with a trained sweep count.  The paper excluded
+    Jacobi from the final search space ("SOR performs much better ...
+    for similar computation cost per iteration"); keeping it as a choice
+    lets the autotuner rediscover that exclusion."""
+
+    def rule(ctx) -> None:
+        x = ctx["x"].to_numpy().copy()
+        b = ctx["b"].to_numpy()
+        n = b.shape[0]
+        sweeps = max(1, ctx.tunable("jacobiIters"))
+        for _ in range(sweeps):
+            x = jacobi_sweep(x, b)
+        ctx["y"].assign(x)
+        ctx.charge(CALL_OVERHEAD)
+        _charge_parallel(ctx, sweeps * JACOBI_SWEEP_COST * n * n)
+
+    return rule
+
+
+def _make_vcycle_rule(bin_index: int):
+    def rule(ctx) -> None:
+        x = ctx["x"].to_numpy().copy()
+        b = ctx["b"].to_numpy()
+        n = b.shape[0]
+        if n <= 3:
+            ctx["y"].assign(direct_solve(b))
+            ctx.charge(CALL_OVERHEAD + direct_work(n))
+            return
+        # Figure 10 MULTIGRID_i: SOR(1.15) x1, restrict residual,
+        # Poisson_i on the coarse grid, interpolate + correct, SOR(1.15).
+        sor_sweep(x, b, 1.15)
+        _charge_parallel(ctx, SOR_SWEEP_COST * n * n)
+        r = residual(x, b)
+        coarse_rhs = 4.0 * restrict_full_weighting(r)
+        _charge_parallel(ctx, 2.0 * STENCIL_COST * n * n)
+        m = coarse_rhs.shape[0]
+        coarse_guess = np.zeros((m, m))
+        correction = ctx.call(
+            poisson_name(bin_index), coarse_guess, coarse_rhs
+        ).to_numpy()
+        x += interpolate(correction, n)
+        _charge_parallel(ctx, STENCIL_COST * n * n)
+        sor_sweep(x, b, 1.15)
+        _charge_parallel(ctx, SOR_SWEEP_COST * n * n)
+        ctx["y"].assign(x)
+        ctx.charge(CALL_OVERHEAD)
+
+    return rule
+
+
+def build_program() -> CompiledProgram:
+    """Compile the full Poisson_i / Multigrid_i family (paper §4.1.4)."""
+    transforms = []
+    for index, target in enumerate(ACCURACY_BINS):
+        p = TransformBuilder(poisson_name(index))
+        p.input("X", "n", "n")
+        p.input("B", "n", "n")
+        p.output("Y", "n", "n")
+        p.tunable("mgAccuracy", 0, len(ACCURACY_BINS) - 1, default=index)
+        p.tunable("mgCycles", 1, MAX_CYCLES, default=2)
+        p.tunable("sorIters", 1, MAX_SWEEPS, default=50)
+        p.tunable("fmgCycles", 1, MAX_CYCLES, default=1)
+        p.tunable("jacobiIters", 1, MAX_SWEEPS, default=100)
+        p.rule(
+            to=[("Y", "all", "y")],
+            from_=[("X", "all", "x"), ("B", "all", "b")],
+            body=_make_direct_rule(),
+            label="direct",
+        )
+        p.rule(
+            to=[("Y", "all", "y")],
+            from_=[("X", "all", "x"), ("B", "all", "b")],
+            body=_make_sor_rule(),
+            label="sor",
+        )
+        p.rule(
+            to=[("Y", "all", "y")],
+            from_=[("X", "all", "x"), ("B", "all", "b")],
+            body=_make_multigrid_choice_rule(),
+            label="multigrid",
+            recursive=True,  # Multigrid_j recurses back into Poisson_j
+        )
+        p.rule(
+            to=[("Y", "all", "y")],
+            from_=[("X", "all", "x"), ("B", "all", "b")],
+            body=_make_fmg_rule(index),
+            label="fmg",
+            recursive=True,
+        )
+        p.rule(
+            to=[("Y", "all", "y")],
+            from_=[("X", "all", "x"), ("B", "all", "b")],
+            body=_make_jacobi_rule(),
+            label="jacobi",
+        )
+        transforms.append(p.build())
+
+        m = TransformBuilder(multigrid_name(index))
+        m.input("X", "n", "n")
+        m.input("B", "n", "n")
+        m.output("Y", "n", "n")
+        m.rule(
+            to=[("Y", "all", "y")],
+            from_=[("X", "all", "x"), ("B", "all", "b")],
+            body=_make_vcycle_rule(index),
+            label="vcycle",
+            recursive=True,
+        )
+        transforms.append(m.build())
+    return compile_program(transforms)
+
+
+def size_metric(n: int) -> int:
+    """Selection metric for a Poisson call on an n x n grid: 3 n^2."""
+    return 3 * n * n
+
+
+def grid_size(level: int) -> int:
+    """The paper's N = 2^k + 1 grids."""
+    return 2**level + 1
+
+
+def input_generator(size: int, rng: random.Random) -> List[np.ndarray]:
+    """Zero initial guess and a random smooth-ish right-hand side."""
+    np_rng = np.random.default_rng(rng.getrandbits(32))
+    b = np.zeros((size, size))
+    b[1:-1, 1:-1] = np_rng.standard_normal((size - 2, size - 2))
+    return [np.zeros((size, size)), b]
+
+
+# ---------------------------------------------------------------------------
+# variable-accuracy autotuning (paper §4.1.4)
+# ---------------------------------------------------------------------------
+
+
+def _levels_from_picks(
+    picks: List[Tuple[int, int]], top_value: int
+) -> "Selector":
+    """Build a size-leveled selector from ascending (grid, value) picks:
+    each pick covers problem sizes up to the next picked grid; ``top_value``
+    covers everything beyond the last pick."""
+    levels: List[Tuple[Optional[int], int]] = []
+    for idx, (grid, value) in enumerate(picks):
+        if idx + 1 < len(picks):
+            threshold: Optional[int] = size_metric(picks[idx + 1][0])
+        else:
+            threshold = size_metric(grid) + 1
+        levels.append((threshold, value))
+    levels.append((None, top_value))
+    return Selector(tuple(levels))
+
+
+def _minimal_sor_sweeps(
+    x0: np.ndarray, b: np.ndarray, reference: np.ndarray, target: float
+) -> Optional[int]:
+    """Fewest SOR(w_opt) sweeps reaching the target accuracy on the
+    training problem (None if MAX_SWEEPS is not enough)."""
+    n = b.shape[0]
+    omega = optimal_sor_weight(n)
+    err0 = rms((x0 - reference)[1:-1, 1:-1])
+    x = x0.copy()
+    for sweeps in range(1, MAX_SWEEPS + 1):
+        sor_sweep(x, b, omega)
+        err = rms((x - reference)[1:-1, 1:-1])
+        if err == 0.0 or err0 / err >= target:
+            return sweeps
+    return None
+
+
+def tune_accuracy(
+    program: CompiledProgram,
+    machine,
+    max_level: int = 6,
+    workers: Optional[int] = None,
+    seed: int = 20090615,
+):
+    """Bottom-up variable-accuracy autotuning of the Poisson family.
+
+    Implements the paper's §4.1.4 procedure: for each grid level (sizes
+    ``2^k + 1``, ascending) and *each accuracy bin*, try every choice —
+    direct, SOR with the minimal trained sweep count, and ``Multigrid_j``
+    V-cycles for every sub-accuracy ``j`` with the minimal trained cycle
+    count (the cross-accuracy paths of Figure 9b) — keep the fastest that
+    achieves the bin's accuracy on training data, and record it as a
+    size level so larger grids build on the already-tuned smaller-grid
+    behaviour ("the autotuner tunes all accuracies at a given level
+    before moving to a higher level").  Iteration counts are measured on
+    training data with the true solution available, exactly the paper's
+    representative-training-data assumption, and are recorded as
+    size-leveled tunables.
+
+    Returns ``(config, history)`` where history rows are
+    ``(grid, bin_index, choice_label, simulated_time, accuracy)``.
+    """
+    from repro.runtime.scheduler import WorkStealingScheduler
+
+    scheduler = WorkStealingScheduler(machine)
+    config = ChoiceConfig()
+    bins = ACCURACY_BINS
+    nbins = len(bins)
+    choice_picks: Dict[int, List[Tuple[int, int]]] = {i: [] for i in range(nbins)}
+    sor_picks: Dict[int, List[Tuple[int, int]]] = {i: [] for i in range(nbins)}
+    cycle_picks: Dict[int, List[Tuple[int, int]]] = {i: [] for i in range(nbins)}
+    acc_picks: Dict[int, List[Tuple[int, int]]] = {i: [] for i in range(nbins)}
+    fmg_picks: Dict[int, List[Tuple[int, int]]] = {i: [] for i in range(nbins)}
+    jacobi_picks: Dict[int, List[Tuple[int, int]]] = {i: [] for i in range(nbins)}
+    history: List[Tuple[int, int, str, float, float]] = []
+
+    def rebuild(trial: ChoiceConfig, bin_index: int, extra: Dict[str, Tuple[int, int]]) -> None:
+        """Write this bin's selector + leveled tunables into ``trial``,
+        optionally extending with this level's candidate values."""
+        name = poisson_name(bin_index)
+        table = {
+            "choice": (choice_picks[bin_index], poisson_site(bin_index)),
+            "sorIters": (sor_picks[bin_index], f"{name}.sorIters"),
+            "mgCycles": (cycle_picks[bin_index], f"{name}.mgCycles"),
+            "mgAccuracy": (acc_picks[bin_index], f"{name}.mgAccuracy"),
+            "fmgCycles": (fmg_picks[bin_index], f"{name}.fmgCycles"),
+            "jacobiIters": (jacobi_picks[bin_index], f"{name}.jacobiIters"),
+        }
+        for kind, (picks, key) in table.items():
+            extended = list(picks)
+            if kind in extra:
+                extended.append(extra[kind])
+            if not extended:
+                continue
+            selector = _levels_from_picks(extended, extended[-1][1])
+            if kind == "choice":
+                trial.set_choice(key, selector)
+            else:
+                trial.set_leveled_tunable(key, selector)
+
+    rng = random.Random(seed)
+    for level in range(2, max_level + 1):
+        n = grid_size(level)
+        x0, b = input_generator(n, rng)
+        reference = true_solution(b)
+        for bin_index, target in enumerate(bins):
+            solver = program.transform(poisson_name(bin_index))
+            # Candidate list: (label, option, extra leveled values).
+            candidates: List[Tuple[str, Dict[str, Tuple[int, int]]]] = [
+                ("direct", {"choice": (n, 0)})
+            ]
+            sweeps = _minimal_sor_sweeps(x0, b, reference, target)
+            if sweeps is not None:
+                candidates.append(
+                    ("sor", {"choice": (n, 1), "sorIters": (n, sweeps)})
+                )
+            # Jacobi is only worth *considering* on small grids (its
+            # sweep counts explode quadratically; the paper dropped it
+            # from the search space altogether).
+            jacobi_sweeps = (
+                _minimal_jacobi_sweeps(x0, b, reference, target)
+                if n <= 33
+                else None
+            )
+            if jacobi_sweeps is not None:
+                candidates.append(
+                    (
+                        "jacobi",
+                        {"choice": (n, 4), "jacobiIters": (n, jacobi_sweeps)},
+                    )
+                )
+            for j in range(nbins):
+                cycles = _minimal_mg_cycles(
+                    program, config, j, x0, b, reference, target
+                )
+                if cycles is not None:
+                    candidates.append(
+                        (
+                            f"mg(acc={j})",
+                            {
+                                "choice": (n, 2),
+                                "mgCycles": (n, cycles),
+                                "mgAccuracy": (n, j),
+                            },
+                        )
+                    )
+                fmg_cycles = _minimal_fmg_cycles(
+                    program, config, bin_index, j, x0, b, reference, target
+                )
+                if fmg_cycles is not None:
+                    candidates.append(
+                        (
+                            f"fmg(acc={j})",
+                            {
+                                "choice": (n, 3),
+                                "fmgCycles": (n, fmg_cycles),
+                                "mgAccuracy": (n, j),
+                            },
+                        )
+                    )
+            best = None
+            for label, extra in candidates:
+                trial = config.copy()
+                rebuild(trial, bin_index, extra)
+                try:
+                    result = solver.run([x0, b], trial)
+                except Exception:
+                    continue
+                accuracy = measure_accuracy(x0, result.output("Y"), b)
+                if accuracy < target * 0.99:
+                    continue
+                elapsed = scheduler.run(result.graph, workers=workers).makespan
+                if best is None or elapsed < best[0]:
+                    best = (elapsed, label, extra, accuracy)
+            if best is None:  # direct is exact, so this cannot happen
+                raise RuntimeError(
+                    f"no candidate reached accuracy {target} at grid {n}"
+                )
+            elapsed, label, extra, accuracy = best
+            for kind, pick in extra.items():
+                {
+                    "choice": choice_picks,
+                    "sorIters": sor_picks,
+                    "mgCycles": cycle_picks,
+                    "mgAccuracy": acc_picks,
+                    "fmgCycles": fmg_picks,
+                    "jacobiIters": jacobi_picks,
+                }[kind][bin_index].append(pick)
+            rebuild(config, bin_index, {})
+            history.append((n, bin_index, label, elapsed, accuracy))
+    return config, history
+
+
+#: skip the Jacobi candidate beyond this many training sweeps (it never
+#: wins there and the search itself would dominate tuning time)
+_JACOBI_SEARCH_CAP = 20_000
+
+
+def _minimal_jacobi_sweeps(
+    x0: np.ndarray, b: np.ndarray, reference: np.ndarray, target: float
+) -> Optional[int]:
+    """Fewest weighted-Jacobi sweeps reaching the target accuracy."""
+    err0 = rms((x0 - reference)[1:-1, 1:-1])
+    x = x0.copy()
+    for sweeps in range(1, _JACOBI_SEARCH_CAP + 1):
+        x = jacobi_sweep(x, b)
+        err = rms((x - reference)[1:-1, 1:-1])
+        if err == 0.0 or err0 / err >= target:
+            return sweeps
+    return None
+
+
+def _minimal_fmg_cycles(
+    program: CompiledProgram,
+    config: ChoiceConfig,
+    bin_index: int,
+    sub_bin: int,
+    x0: np.ndarray,
+    b: np.ndarray,
+    reference: np.ndarray,
+    target: float,
+) -> Optional[int]:
+    """Fewest post-FMG V-cycles reaching the target accuracy, with the
+    coarse pre-solve running through the already-tuned config."""
+    n = b.shape[0]
+    if n <= 3:
+        return None
+    err0 = rms((x0 - reference)[1:-1, 1:-1])
+    coarse_b = 4.0 * restrict_full_weighting(b)
+    m = coarse_b.shape[0]
+    try:
+        coarse = program.transform(poisson_name(bin_index)).run(
+            [np.zeros((m, m)), coarse_b], config
+        ).output("Y")
+    except Exception:
+        return None
+    x = interpolate(coarse, n)
+    solver = program.transform(multigrid_name(sub_bin))
+    for cycles in range(1, MAX_CYCLES + 1):
+        try:
+            x = solver.run([x, b], config).output("Y")
+        except Exception:
+            return None
+        err = rms((x - reference)[1:-1, 1:-1])
+        if err == 0.0 or err0 / err >= target:
+            return cycles
+    return None
+
+
+def _minimal_mg_cycles(
+    program: CompiledProgram,
+    config: ChoiceConfig,
+    sub_bin: int,
+    x0: np.ndarray,
+    b: np.ndarray,
+    reference: np.ndarray,
+    target: float,
+) -> Optional[int]:
+    """Fewest Multigrid_j V-cycles reaching the target accuracy on the
+    training problem, under the already-tuned coarse-grid config."""
+    solver = program.transform(multigrid_name(sub_bin))
+    err0 = rms((x0 - reference)[1:-1, 1:-1])
+    x = x0
+    for cycles in range(1, MAX_CYCLES + 1):
+        try:
+            x = solver.run([x, b], config).output("Y")
+        except Exception:
+            return None
+        err = rms((x - reference)[1:-1, 1:-1])
+        if err == 0.0 or err0 / err >= target:
+            return cycles
+    return None
+
+
+def measure_accuracy(
+    x0: np.ndarray, result: np.ndarray, b: np.ndarray
+) -> float:
+    """The paper's accuracy metric: RMS input error / RMS output error,
+    against the true (direct) solution."""
+    reference = true_solution(b)
+    err_in = rms((x0 - reference)[1:-1, 1:-1])
+    err_out = rms((result - reference)[1:-1, 1:-1])
+    if err_out == 0.0:
+        return float("inf")
+    return err_in / err_out

@@ -1,0 +1,45 @@
+"""RollingSum — the paper's running example (Figure 3), via the DSL.
+
+Exposes the compiled program plus the input generator used by tests,
+examples, and the quickstart.  Rule 0 is the Theta(n^2) data-parallel
+choice, rule 1 the Theta(n) sequential choice; the interesting tuning
+question is which wins at which size on how many cores.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+import numpy as np
+
+from repro.compiler import CompiledProgram, compile_program
+
+SOURCE = """
+// RollingSum, paper Figure 3.  B[x] = A[0] + ... + A[x].
+// (The paper's figure writes region(0, i); with half-open regions the
+// shipped benchmark's region(0, i+1) is the consistent form.)
+transform RollingSum
+from A[n]
+to B[n]
+{
+  // rule 0: sum all elements to the left -- Theta(n^2), data parallel
+  to (B.cell(i) b) from (A.region(0, i+1) in) {
+    b = sum(in);
+  }
+  // rule 1: use the previously computed value -- Theta(n), sequential
+  to (B.cell(i) b) from (A.cell(i) a, B.cell(i-1) leftSum) {
+    b = a + leftSum;
+  }
+}
+"""
+
+
+def build_program() -> CompiledProgram:
+    """Compile the RollingSum program."""
+    return compile_program(SOURCE)
+
+
+def input_generator(size: int, rng: random.Random) -> List[np.ndarray]:
+    """Training/benchmark inputs: uniform random values."""
+    return [np.array([rng.uniform(-1.0, 1.0) for _ in range(size)])]

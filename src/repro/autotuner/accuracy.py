@@ -1,0 +1,77 @@
+"""Variable-accuracy autotuning support (paper §4.1.3-4.1.4).
+
+For algorithms with a time/accuracy trade-off (the multigrid Poisson
+solver), the tuner keeps, instead of one optimal algorithm per input
+size, a *set*: the fastest algorithm achieving at least ``p_i`` for each
+accuracy level in a discrete bin list (the paper uses
+``{10, 10^3, 10^5, 10^7, 10^9}``).
+
+``accuracy`` follows the paper's definition: the ratio of input RMS
+error to output RMS error, so higher is better and one multigrid V-cycle
+multiplies accuracies roughly independently of absolute error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generic, List, Optional, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+#: The discrete accuracy levels used for the Poisson benchmark.
+PAPER_ACCURACY_BINS: Tuple[float, ...] = (1e1, 1e3, 1e5, 1e7, 1e9)
+
+
+@dataclass(frozen=True)
+class Scored(Generic[T]):
+    """A candidate with its measured time and achieved accuracy."""
+
+    candidate: T
+    time: float
+    accuracy: float
+
+
+def accuracy_ratio(
+    input_error_rms: float, output_error_rms: float
+) -> float:
+    """Paper §4.1.3: accuracy = RMS error of input / RMS error of output."""
+    if output_error_rms <= 0:
+        return float("inf")
+    return input_error_rms / output_error_rms
+
+
+def rms(values: np.ndarray) -> float:
+    if values.size == 0:
+        return 0.0
+    return float(np.sqrt(np.mean(np.square(values))))
+
+
+def pareto_front(scored: Sequence[Scored]) -> List[Scored]:
+    """Candidates not dominated in both accuracy and time (the square
+    markers of Figure 9a).  Lower time and higher accuracy are better."""
+    ordered = sorted(scored, key=lambda s: (s.time, -s.accuracy))
+    front: List[Scored] = []
+    best_accuracy = -float("inf")
+    for entry in ordered:
+        if entry.accuracy > best_accuracy:
+            front.append(entry)
+            best_accuracy = entry.accuracy
+    return front
+
+
+def fastest_per_bin(
+    scored: Sequence[Scored],
+    bins: Sequence[float] = PAPER_ACCURACY_BINS,
+) -> Dict[float, Optional[Scored]]:
+    """For each accuracy level, the fastest candidate achieving at least
+    it (the solid squares of Figure 9a); None when no candidate reaches
+    the level."""
+    result: Dict[float, Optional[Scored]] = {}
+    for level in bins:
+        achieving = [s for s in scored if s.accuracy >= level]
+        result[level] = (
+            min(achieving, key=lambda s: s.time) if achieving else None
+        )
+    return result

@@ -1,0 +1,87 @@
+"""Automated consistency checking (paper §3.5).
+
+Having multiple implementations of the same problem lets the system check
+the algorithms against each other: with a fixed input, every candidate
+single-algorithm configuration must produce the same output (within a
+threshold, for iterative/approximate methods).  This runs alongside
+autotuning when enabled, concentrating testing on the choices the tuner
+actually explores.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.compiler.codegen import CompiledProgram
+from repro.compiler.config import ChoiceConfig
+
+from repro.autotuner.candidates import seed_population
+from repro.autotuner.evaluation import InputGenerator
+
+
+class ConsistencyError(AssertionError):
+    """Two candidate algorithms disagree beyond the threshold."""
+
+
+def check_consistency(
+    program: CompiledProgram,
+    transform: str,
+    input_generator: InputGenerator,
+    sizes: Sequence[int],
+    threshold: float = 0.0,
+    extra_configs: Sequence[ChoiceConfig] = (),
+    seed: int = 0xC0DE,
+) -> Dict[int, int]:
+    """Check all single-algorithm configs (plus ``extra_configs``) agree.
+
+    Returns {size: number of configurations compared}.  Raises
+    :class:`ConsistencyError` with the offending pair on disagreement.
+    Non-terminating configurations are skipped (they are nonviable, not
+    inconsistent).
+    """
+    target = program.transform(transform)
+    candidates = seed_population([target])
+    configs: List[ChoiceConfig] = [c.config for c in candidates]
+    configs.extend(extra_configs)
+
+    compared: Dict[int, int] = {}
+    for size in sizes:
+        rng = random.Random(seed * 1000003 + size)
+        inputs = input_generator(size, rng)
+        reference: Optional[Dict[str, np.ndarray]] = None
+        reference_label = ""
+        count = 0
+        for index, config in enumerate(configs):
+            try:
+                result = target.run(inputs, config)
+            except Exception:
+                continue  # nonviable configuration
+            outputs = {
+                name: np.array(matrix.data, copy=True)
+                for name, matrix in result.outputs.items()
+            }
+            count += 1
+            if reference is None:
+                reference = outputs
+                reference_label = f"config{index}"
+                continue
+            for name, expected in reference.items():
+                got = outputs[name]
+                if got.shape != expected.shape:
+                    raise ConsistencyError(
+                        f"{transform}@{size}: output {name!r} shape "
+                        f"{got.shape} (config{index}) vs {expected.shape} "
+                        f"({reference_label})"
+                    )
+                error = float(np.max(np.abs(got - expected))) if got.size else 0.0
+                if error > threshold:
+                    raise ConsistencyError(
+                        f"{transform}@{size}: output {name!r} differs by "
+                        f"{error:g} (> {threshold:g}) between "
+                        f"{reference_label} and config{index}"
+                    )
+        compared[size] = count
+    return compared

@@ -1,0 +1,132 @@
+"""The autotuner's objective function.
+
+``Evaluator.time(config, size)`` executes the target transform on a
+generated input of the requested size, records the task graph, and
+simulates it on the target machine with the work-stealing scheduler.
+Autotuning is therefore performed "on the target system" exactly as in
+the paper — here the target system is a simulated architecture profile,
+which keeps the objective deterministic and lets the benchmark suite
+retune for Mobile/Xeon/Niagara without the hardware.
+
+Measurements are cached by (configuration signature, size, trial).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
+
+from repro.compiler.codegen import CompiledProgram, CompiledTransform, RunResult
+from repro.compiler.config import ChoiceConfig
+from repro.runtime.machine import Machine
+from repro.runtime.scheduler import ScheduleResult, WorkStealingScheduler
+
+#: Builds inputs for one training size: (size, rng) -> inputs for run().
+InputGenerator = Callable[[int, random.Random], object]
+
+
+def config_signature(config: ChoiceConfig) -> str:
+    """A canonical string identifying a configuration's behaviour."""
+    return config.to_json()
+
+
+def generator_inputs(
+    program: CompiledProgram, transform_name: str
+) -> InputGenerator:
+    """Build an input generator from the transform's ``generator``
+    declaration (paper §2): the named transform is run with every size
+    variable bound to the training size, and its outputs (in declaration
+    order) become the target transform's inputs.  The ``rand()`` builtin
+    is reseeded per call so training rounds see varied data
+    deterministically."""
+    from repro.language.interp import seed_rand
+
+    target = program.transform(transform_name)
+    generator_name = target.ir.generator
+    if generator_name is None:
+        raise ValueError(
+            f"transform {transform_name!r} declares no generator"
+        )
+    generator = program.transform(generator_name)
+    if len(generator.ir.outputs) != len(target.ir.inputs):
+        raise ValueError(
+            f"generator {generator_name!r} produces "
+            f"{len(generator.ir.outputs)} outputs but {transform_name!r} "
+            f"takes {len(target.ir.inputs)} inputs"
+        )
+
+    def make(size: int, rng: random.Random):
+        seed_rand(rng.getrandbits(32))
+        result = generator.run(
+            sizes={var: size for var in generator.ir.size_vars}
+        )
+        return [result.outputs[m.name].data for m in generator.ir.outputs]
+
+    return make
+
+
+class Evaluator:
+    """Times configurations of one transform on one (simulated) machine."""
+
+    def __init__(
+        self,
+        program: CompiledProgram,
+        transform: str,
+        input_generator: InputGenerator,
+        machine: Machine,
+        workers: Optional[int] = None,
+        trials: int = 1,
+        seed: int = 20090615,  # PLDI'09 started June 15 2009
+    ) -> None:
+        self.program = program
+        self.transform: CompiledTransform = program.transform(transform)
+        self.input_generator = input_generator
+        self.machine = machine
+        self.workers = workers if workers is not None else machine.cores
+        self.trials = trials
+        self.seed = seed
+        self.scheduler = WorkStealingScheduler(machine, seed=seed)
+        self._cache: Dict[Tuple[str, int], float] = {}
+        self.evaluations = 0
+
+    def run_once(
+        self, config: ChoiceConfig, size: int, trial: int = 0
+    ) -> Tuple[RunResult, ScheduleResult]:
+        """One full execute + schedule simulation (uncached)."""
+        rng = random.Random(self.seed * 1000003 + size * 1009 + trial)
+        inputs = self.input_generator(size, rng)
+        result = self.transform.run(inputs, config)
+        schedule = self.scheduler.run(result.graph, workers=self.workers)
+        return result, schedule
+
+    def time(self, config: ChoiceConfig, size: int) -> float:
+        """Simulated parallel time of ``config`` at input ``size`` (cached,
+        averaged over ``trials`` generated inputs)."""
+        key = (config_signature(config), size)
+        if key not in self._cache:
+            total = 0.0
+            for trial in range(self.trials):
+                _, schedule = self.run_once(config, size, trial)
+                total += schedule.makespan
+            self._cache[key] = total / self.trials
+            self.evaluations += 1
+        return self._cache[key]
+
+    def sequential_time(self, config: ChoiceConfig, size: int) -> float:
+        """Simulated single-core time (no scheduling overhead)."""
+        _, schedule = self.run_once(config, size)
+        return schedule.sequential_time
+
+    def with_machine(
+        self, machine: Machine, workers: Optional[int] = None
+    ) -> "Evaluator":
+        """A sibling evaluator targeting a different machine (fresh cache)."""
+        return Evaluator(
+            program=self.program,
+            transform=self.transform.name,
+            input_generator=self.input_generator,
+            machine=machine,
+            workers=workers,
+            trials=self.trials,
+            seed=self.seed,
+        )

@@ -1,0 +1,78 @@
+"""N-ary search for scalar tunables (paper §3.3).
+
+PetaBricks tunes cutoffs, block sizes, and user tunables with an n-ary
+search: probe ``n`` geometrically spaced values across the range, narrow
+the range around the best probe, repeat until converged.  Cutoff-style
+parameters have smooth unimodal-ish cost curves, so this converges in a
+handful of rounds with far fewer evaluations than a full sweep.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Tuple
+
+
+def _probe_points(lo: int, hi: int, arity: int) -> List[int]:
+    """``arity`` distinct integers spanning [lo, hi] geometrically."""
+    if lo < 1:
+        raise ValueError("n-ary search operates on positive ranges")
+    if hi <= lo:
+        return [lo]
+    points = set()
+    ratio = (hi / lo) ** (1.0 / (arity - 1))
+    value = float(lo)
+    for _ in range(arity):
+        points.add(int(round(value)))
+        value *= ratio
+    points.add(lo)
+    points.add(hi)
+    return sorted(p for p in points if lo <= p <= hi)
+
+
+def nary_search(
+    objective: Callable[[int], float],
+    lo: int,
+    hi: int,
+    arity: int = 4,
+    rounds: int = 4,
+) -> Tuple[int, float]:
+    """Minimize ``objective`` over integers in [lo, hi].
+
+    Returns ``(best_value, best_cost)``.  ``objective`` is called at most
+    ``arity * rounds`` times (plus boundary probes); repeated values are
+    memoized.
+    """
+    if hi < lo:
+        raise ValueError(f"empty range [{lo}, {hi}]")
+    cache = {}
+
+    def evaluate(value: int) -> float:
+        if value not in cache:
+            cache[value] = objective(value)
+        return cache[value]
+
+    cur_lo, cur_hi = lo, hi
+    best_value, best_cost = lo, evaluate(lo)
+    for _ in range(rounds):
+        points = _probe_points(cur_lo, cur_hi, arity)
+        scored = sorted((evaluate(p), p) for p in points)
+        cost, value = scored[0]
+        if cost < best_cost:
+            best_cost, best_value = cost, value
+        if len(points) <= 2:
+            break
+        # Narrow to the neighbourhood of the best probe.
+        index = points.index(value)
+        cur_lo = points[max(0, index - 1)]
+        cur_hi = points[min(len(points) - 1, index + 1)]
+        if cur_hi - cur_lo <= 1:
+            break
+    # Final local polish, only when the remaining range is small enough
+    # to sweep exhaustively.
+    if cur_hi - cur_lo <= 16:
+        for value in range(cur_lo, cur_hi + 1):
+            cost = evaluate(value)
+            if cost < best_cost:
+                best_cost, best_value = cost, value
+    return best_value, best_cost

@@ -1,0 +1,223 @@
+"""Command-line interface — the paper's Figure 2 workflow.
+
+The original toolchain was: compile the source (step 1-2), autotune to
+produce a configuration file (step 3), then either run with the
+configuration (step 4a) or feed it back for a static build (step 4b).
+The CLI mirrors those steps::
+
+    python -m repro compile program.pbcc
+    python -m repro tune program.pbcc -t Sort -o sort.cfg --machine xeon8
+    python -m repro run program.pbcc -t Sort --random-input 1000 \\
+        --config sort.cfg
+    python -m repro report sort.cfg
+
+Inputs for ``run`` come from ``--input file.npy`` / ``.txt`` (repeat per
+input matrix, in declaration order) or ``--random-input N`` (uniform
+random data for every declared input).  ``tune`` uses the transform's
+``generator`` declaration when present, random data otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.autotuner import Evaluator, GeneticTuner
+from repro.autotuner.evaluation import generator_inputs
+from repro.compiler import ChoiceConfig, CompiledProgram, compile_program
+from repro.runtime import MACHINES
+
+
+def _load_program(path: str) -> CompiledProgram:
+    with open(path, "r", encoding="utf-8") as handle:
+        return compile_program(handle.read())
+
+
+def _random_inputs(program: CompiledProgram, transform: str, size: int):
+    """Uniform random arrays matching the transform's declared inputs."""
+    target = program.transform(transform)
+
+    def make(n: int, rng: random.Random):
+        np_rng = np.random.default_rng(rng.getrandbits(32))
+        arrays = []
+        env = {var: n for var in target.ir.size_vars}
+        for mat in target.ir.inputs:
+            shape = tuple(dim.eval_floor(env) for dim in mat.dims)
+            arrays.append(np_rng.random(shape))
+        return arrays
+
+    return make
+
+
+def _load_input(path: str) -> np.ndarray:
+    if path.endswith(".npy"):
+        return np.load(path)
+    return np.loadtxt(path)
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    program = _load_program(args.source)
+    for name, compiled in sorted(program.transforms.items()):
+        ir = compiled.ir
+        print(f"transform {name}")
+        print(f"  inputs : {[m.name for m in ir.inputs]}")
+        print(f"  outputs: {[m.name for m in ir.outputs]}")
+        print(f"  rules  : {len(ir.rules)}")
+        for key, segment in compiled.choice_sites():
+            options = ", ".join(
+                opt.describe(ir) for opt in segment.options
+            )
+            print(f"  site {key}: {segment.box}  choices: {options}")
+        if compiled.grid.order_guards:
+            guards = ", ".join(
+                f"{g} >= 0" for g in compiled.grid.order_guards
+            )
+            print(f"  size requirements: {guards}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    program = _load_program(args.source)
+    transform = program.transform(args.transform)
+    config = ChoiceConfig.load(args.config) if args.config else None
+    sizes = dict(
+        (key, int(value))
+        for key, _, value in (item.partition("=") for item in args.size or [])
+    )
+
+    if args.input:
+        inputs: Optional[List[np.ndarray]] = [
+            _load_input(path) for path in args.input
+        ]
+    elif args.random_input is not None:
+        rng = random.Random(args.seed)
+        inputs = _random_inputs(program, args.transform, args.random_input)(
+            args.random_input, rng
+        )
+    elif not transform.ir.inputs:
+        inputs = None
+    else:
+        print("error: provide --input files or --random-input N", file=sys.stderr)
+        return 2
+
+    result = transform.run(inputs, config, sizes=sizes or None)
+    for name, matrix in result.outputs.items():
+        data = matrix.data
+        if args.output:
+            path = f"{args.output}.{name}.npy" if len(result.outputs) > 1 else args.output
+            np.save(path, data)
+            print(f"{name}: saved to {path} (shape {data.shape})")
+        else:
+            preview = np.array2string(data, threshold=20, precision=6)
+            print(f"{name} (shape {data.shape}):\n{preview}")
+    print(
+        f"-- {result.rule_applications} rule applications, "
+        f"{len(result.graph)} tasks, "
+        f"{result.graph.total_work():.0f} work units"
+    )
+    return 0
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    program = _load_program(args.source)
+    transform = program.transform(args.transform)
+    machine = MACHINES[args.machine]
+    if transform.ir.generator:
+        inputs = generator_inputs(program, args.transform)
+    else:
+        inputs = _random_inputs(program, args.transform, args.max_size)
+    evaluator = Evaluator(program, args.transform, inputs, machine)
+    tuner = GeneticTuner(
+        evaluator,
+        min_size=args.min_size,
+        max_size=args.max_size,
+        population_size=args.population,
+        refine_passes=0,
+    )
+    result = tuner.tune()
+    print(result.describe())
+    for log in result.history:
+        print(
+            f"  size {log.size:>8}: best {log.best_time:>12.0f}  "
+            f"({log.evaluated} evaluations)  {log.best_lineage}"
+        )
+    if args.output:
+        result.config.save(args.output)
+        print(f"configuration written to {args.output}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    config = ChoiceConfig.load(args.config)
+    print("choice sites:")
+    for site, selector in sorted(config.choices.items()):
+        print(f"  {site}: {selector.describe()}")
+    if config.tunables:
+        print("tunables:")
+        for name, value in sorted(config.tunables.items()):
+            print(f"  {name} = {value}")
+    if config.leveled_tunables:
+        print("size-leveled tunables:")
+        for name, selector in sorted(config.leveled_tunables.items()):
+            print(f"  {name}: {selector.describe()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PetaBricks (PLDI 2009 reproduction) command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser("compile", help="compile and show analyses")
+    p_compile.add_argument("source")
+    p_compile.set_defaults(func=cmd_compile)
+
+    p_run = sub.add_parser("run", help="run a transform")
+    p_run.add_argument("source")
+    p_run.add_argument("-t", "--transform", required=True)
+    p_run.add_argument("--config", help="choice configuration JSON")
+    p_run.add_argument(
+        "--input", action="append", help=".npy/.txt file per input matrix"
+    )
+    p_run.add_argument("--random-input", type=int, metavar="N")
+    p_run.add_argument(
+        "--size", action="append", metavar="VAR=VALUE",
+        help="bind a free size variable",
+    )
+    p_run.add_argument("--output", help="save outputs as .npy")
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.set_defaults(func=cmd_run)
+
+    p_tune = sub.add_parser("tune", help="autotune a transform")
+    p_tune.add_argument("source")
+    p_tune.add_argument("-t", "--transform", required=True)
+    p_tune.add_argument(
+        "--machine", choices=sorted(MACHINES), default="xeon8"
+    )
+    p_tune.add_argument("--min-size", type=int, default=16)
+    p_tune.add_argument("--max-size", type=int, default=4096)
+    p_tune.add_argument("--population", type=int, default=6)
+    p_tune.add_argument("-o", "--output", help="write configuration JSON")
+    p_tune.set_defaults(func=cmd_tune)
+
+    p_report = sub.add_parser("report", help="pretty-print a configuration")
+    p_report.add_argument("config")
+    p_report.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,252 @@
+"""Normalization and applicable-region inference (paper §3.1, phases 1-2).
+
+For every rule we compute:
+
+* **rule-variable bounds** — for each rule variable, the half-open
+  interval of values for which *every* region the rule touches stays
+  inside its matrix (the intersection of the per-dependency applicable
+  regions the paper describes), further constrained by affine ``where``
+  clauses;
+* **size guards** — constraints that involve only size variables (e.g.
+  that a recursive decomposition's sub-regions are well-formed); provably
+  violated guards are compile errors, undecidable ones are checked at
+  run time;
+* **per-matrix applicable regions** — the image of the rule-variable box
+  under each ``to`` binding, in matrix coordinates, which feeds the
+  choice-grid pass.
+
+``where`` clauses that cannot be folded into affine single-variable
+bounds are kept as *residual* predicates; the choice-grid pass treats
+such rules as restricted (bounding-box + meta-rule semantics, §3.1).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.language import ast_nodes as ast
+from repro.language.errors import CompileError
+from repro.symbolic import Affine, Assumptions, Box, Interval
+from repro.symbolic.expr import SymbolicCompareError
+from repro.symbolic.interval import _symbolic_max, _symbolic_min
+
+from repro.compiler.ir import RuleIR, TransformIR
+
+
+def analyze_applicable_regions(transform: TransformIR) -> None:
+    """Fill ``rule.var_bounds``, ``rule.size_guards``, ``rule.applicable``
+    and ``rule.residual_where`` for every rule of ``transform``."""
+    for rule in transform.rules:
+        _analyze_rule(transform, rule)
+
+
+class _Bounds:
+    """Accumulates lower/upper bounds for one rule variable."""
+
+    def __init__(self) -> None:
+        self.lo: Optional[Affine] = None
+        self.hi: Optional[Affine] = None
+
+    def add_lower(self, bound: Affine, assumptions: Assumptions) -> None:
+        self.lo = bound if self.lo is None else _symbolic_max(self.lo, bound, assumptions)
+
+    def add_upper(self, bound: Affine, assumptions: Assumptions) -> None:
+        self.hi = bound if self.hi is None else _symbolic_min(self.hi, bound, assumptions)
+
+    def interval(self, var: str) -> Interval:
+        if self.lo is None or self.hi is None:
+            raise CompileError(
+                f"rule variable {var!r} has an unbounded instance space"
+            )
+        return Interval(self.lo, self.hi)
+
+
+def _analyze_rule(transform: TransformIR, rule: RuleIR) -> None:
+    assumptions = transform.assumptions
+    bounds: Dict[str, _Bounds] = {var: _Bounds() for var in rule.rule_vars}
+    guards: List[Affine] = []
+
+    def add_ge_zero(expr: Affine, strict: bool = False) -> None:
+        """Record constraint expr >= 0 (or > 0), splitting by rule vars."""
+        if strict:
+            expr = expr - 1  # integer semantics: e > 0  <=>  e - 1 >= 0
+        rule_var_list = [v for v in expr.variables() if v in bounds]
+        if not rule_var_list:
+            if expr.always_ge(0, assumptions):
+                return  # trivially satisfied
+            if expr.always_lt(0, assumptions):
+                raise CompileError(
+                    f"{transform.name} {rule.label}: constraint "
+                    f"{expr} >= 0 is never satisfiable"
+                )
+            guards.append(expr)
+            return
+        if len(rule_var_list) > 1:
+            # Couple multiple rule variables: keep as residual predicate.
+            residual.append(_ge_zero_node(expr))
+            return
+        var = rule_var_list[0]
+        coeff = expr.coefficient(var)
+        rest = expr - Affine(0, {var: coeff})
+        bound = (-rest) / coeff
+        if coeff > 0:
+            bounds[var].add_lower(_ceil_for_integers(bound), assumptions)
+        else:
+            # var <= bound; half-open upper is bound + 1 for integral bounds.
+            bounds[var].add_upper(bound + 1, assumptions)
+
+    residual: List[ast.ExprNode] = []
+
+    # 1. Every region must fit inside its matrix: 0 <= lo, hi <= size,
+    #    and lo <= hi for region bindings.
+    for region in rule.to_regions + rule.from_regions:
+        mat = transform.matrices[region.matrix]
+        for dim, interval in enumerate(region.box.intervals):
+            size = mat.dims[dim]
+            add_ge_zero(interval.lo)
+            add_ge_zero(size - interval.hi)
+            if region.view_kind == "region":
+                add_ge_zero(interval.hi - interval.lo)
+
+    # 2. where clauses: affine single-variable conditions tighten bounds,
+    #    everything else is residual.
+    for condition in rule.where:
+        folded = _fold_where(condition, add_ge_zero)
+        if not folded:
+            residual.append(condition)
+
+    # 3. Materialize per-variable intervals.
+    for var in rule.rule_vars:
+        rule.var_bounds[var] = bounds[var].interval(var)
+    rule.size_guards = tuple(guards)
+    rule.residual_where = tuple(residual)
+
+    # 4. Applicable matrix regions: image of the variable box under each
+    #    to-binding, per output matrix (bounding box across bindings).
+    applicable: Dict[str, Box] = {}
+    for region in rule.to_regions:
+        image = _image_box(region.box, rule.var_bounds, transform, rule)
+        if region.matrix in applicable:
+            applicable[region.matrix] = _bounding_box(
+                applicable[region.matrix], image, assumptions
+            )
+        else:
+            applicable[region.matrix] = image
+    rule.applicable = applicable
+
+
+def _ceil_for_integers(bound: Affine) -> Affine:
+    """Lower bounds from division keep exact rational form; concrete
+    evaluation rounds with ceil (Interval.concrete), so no rewrite is
+    needed — kept as a named hook for clarity."""
+    return bound
+
+
+def _ge_zero_node(expr: Affine) -> ast.ExprNode:
+    """Rebuild ``expr >= 0`` as an AST predicate for runtime filtering."""
+    node: ast.ExprNode = ast.Num(int(expr.constant)) if expr.constant.denominator == 1 else ast.Num(float(expr.constant))
+    for var, coeff in expr.coefficients.items():
+        if coeff.denominator == 1:
+            term: ast.ExprNode = ast.BinOp("*", ast.Num(int(coeff)), ast.Var(var))
+        else:
+            term = ast.BinOp(
+                "/",
+                ast.BinOp("*", ast.Num(coeff.numerator), ast.Var(var)),
+                ast.Num(coeff.denominator),
+            )
+        node = ast.BinOp("+", node, term)
+    return ast.BinOp(">=", node, ast.Num(0))
+
+
+def _fold_where(condition: ast.ExprNode, add_ge_zero) -> bool:
+    """Try to fold an affine comparison into variable bounds.
+
+    Returns True when fully folded; False leaves it residual.
+    """
+    if not isinstance(condition, ast.BinOp):
+        return False
+    if condition.op not in ("<", "<=", ">", ">=", "=="):
+        return False
+    try:
+        lhs = condition.left.to_affine()
+        rhs = condition.right.to_affine()
+    except ValueError:
+        return False
+    try:
+        if condition.op == "<":
+            add_ge_zero(rhs - lhs, strict=True)
+        elif condition.op == "<=":
+            add_ge_zero(rhs - lhs)
+        elif condition.op == ">":
+            add_ge_zero(lhs - rhs, strict=True)
+        elif condition.op == ">=":
+            add_ge_zero(lhs - rhs)
+        else:  # ==
+            add_ge_zero(lhs - rhs)
+            add_ge_zero(rhs - lhs)
+    except SymbolicCompareError:
+        return False
+    return True
+
+
+def _image_box(
+    box: Box,
+    var_bounds: Dict[str, Interval],
+    transform: TransformIR,
+    rule: RuleIR,
+) -> Box:
+    """Image of a to-binding box as rule variables sweep their bounds.
+
+    Each bound expression may reference at most one rule variable and its
+    coefficient must be ±1 (unit stride) so that the swept union stays a
+    contiguous interval; the paper's programs satisfy this, anything else
+    is rejected.
+    """
+    intervals: List[Interval] = []
+    for interval in box.intervals:
+        lo = _sweep(interval.lo, var_bounds, transform, rule, is_upper=False)
+        hi = _sweep(interval.hi, var_bounds, transform, rule, is_upper=True)
+        intervals.append(Interval(lo, hi))
+    return Box(intervals)
+
+
+def _sweep(
+    expr: Affine,
+    var_bounds: Dict[str, Interval],
+    transform: TransformIR,
+    rule: RuleIR,
+    is_upper: bool,
+) -> Affine:
+    swept = expr
+    for var in expr.variables():
+        if var not in var_bounds:
+            continue  # a size variable
+        coeff = swept.coefficient(var)
+        if abs(coeff) != 1:
+            raise CompileError(
+                f"{transform.name} {rule.label}: output coordinate {expr} "
+                f"has non-unit stride in {var!r}"
+            )
+        vb = var_bounds[var]
+        increasing = coeff > 0
+        # For the union's lower bound take the minimizing end of var's
+        # range; for the upper bound the maximizing end.  The variable
+        # interval is half-open, so its maximum value is hi - 1.
+        if is_upper == increasing:
+            swept = swept.subs({var: vb.hi - 1})
+        else:
+            swept = swept.subs({var: vb.lo})
+    return swept
+
+
+def _bounding_box(a: Box, b: Box, assumptions: Assumptions) -> Box:
+    intervals = []
+    for iv_a, iv_b in zip(a.intervals, b.intervals):
+        intervals.append(
+            Interval(
+                _symbolic_min(iv_a.lo, iv_b.lo, assumptions),
+                _symbolic_max(iv_a.hi, iv_b.hi, assumptions),
+            )
+        )
+    return Box(intervals)

@@ -1,0 +1,845 @@
+"""Code generation and the execution engine (paper §3.1 phase 5, §3.2).
+
+A :class:`CompiledTransform` is the executable artifact: the analogue of
+the generated C++.  Running one:
+
+1. binds the transform's size variables from the concrete input shapes,
+2. allocates output and ``through`` matrices,
+3. walks the choice dependency graph in schedule order; for each
+   choice-grid segment it consults the :class:`ChoiceConfig` selector for
+   that site (dynamic mode) to pick an option — possibly a different rule
+   per region size, which is how autotuned recursive compositions arise,
+4. applies the chosen rule: per-instance with the iteration order and
+   blocking dictated by the dependency analysis, or once for whole-region
+   rules, recursing into other transforms for calls in the body,
+5. records the task graph a work-stealing runtime would execute — each
+   block/application is a task with its dependency edges; below the
+   tuned sequential cutoff, code switches to the sequential version
+   (tasks are inlined, no spawn overhead), mirroring the dual code paths
+   of §3.2.
+
+Static mode (:func:`specialize`) bakes a configuration in: selectors are
+frozen, unreachable options are stripped, and the result no longer
+consults a config at run time.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.language import ast_nodes as ast
+from repro.language import parse_program
+from repro.language.errors import CompileError, PetaBricksError
+from repro.language.interp import Scope, evaluate, execute
+from repro.runtime.matrix import Matrix, MatrixView
+from repro.runtime.task import TaskGraph, TaskRecorder
+from repro.symbolic import Affine, solve_bounds_for
+
+from repro.compiler.choicegrid import ChoiceGrid, ChoiceOption, Segment, build_choice_grid
+from repro.compiler.applicable import analyze_applicable_regions
+from repro.compiler.config import ChoiceConfig, Selector, site_key
+from repro.compiler.depgraph import ChoiceDepGraph, build_dep_graph
+from repro.compiler.ir import (
+    ROLE_INPUT,
+    ROLE_OUTPUT,
+    ROLE_THROUGH,
+    ProgramIR,
+    RegionIR,
+    RuleIR,
+    TransformIR,
+    build_ir,
+)
+
+ArrayLike = Union[Matrix, MatrixView, np.ndarray, Sequence[float]]
+
+
+class ExecutionError(PetaBricksError):
+    """Raised for failures while running generated code (bad input
+    shapes, unsatisfied size guards, runaway recursion...)."""
+
+
+@dataclass
+class RunResult:
+    """Outputs plus the recorded task graph of one top-level run."""
+
+    outputs: Dict[str, Matrix]
+    graph: TaskGraph
+    sizes: Dict[str, int]
+    rule_applications: int
+
+    def output(self, name: Optional[str] = None) -> np.ndarray:
+        """Convenience: one output as a numpy array."""
+        if name is None:
+            if len(self.outputs) != 1:
+                raise ValueError("transform has multiple outputs; pass a name")
+            name = next(iter(self.outputs))
+        return self.outputs[name].data
+
+
+class _EngineState:
+    """Mutable state threaded through one top-level run."""
+
+    __slots__ = (
+        "config",
+        "recorder",
+        "inline",
+        "call_stack",
+        "applications",
+        "problem_size",
+    )
+
+    def __init__(self, config: ChoiceConfig, recorder: TaskRecorder) -> None:
+        self.config = config
+        self.recorder = recorder
+        self.inline = False
+        self.call_stack: List[Tuple[str, Tuple[int, ...]]] = []
+        self.applications = 0
+        #: footprint of the innermost transform frame; used to resolve
+        #: size-leveled tunables.
+        self.problem_size = 0
+
+
+class CompiledProgram:
+    """A compiled set of transforms sharing one call graph."""
+
+    def __init__(self, ir: ProgramIR) -> None:
+        self.ir = ir
+        self.transforms: Dict[str, CompiledTransform] = {}
+        for name, tir in ir.transforms.items():
+            self.transforms[name] = CompiledTransform(tir, self)
+
+    def transform(self, name: str) -> "CompiledTransform":
+        if name not in self.transforms:
+            raise CompileError(f"unknown transform {name!r}")
+        return self.transforms[name]
+
+
+def compile_program(
+    source: Union[str, ProgramIR, TransformIR, Sequence[TransformIR]],
+    template_values: Optional[Dict[str, Sequence[int]]] = None,
+) -> CompiledProgram:
+    """Compile DSL source text, a ProgramIR, or built TransformIR(s).
+
+    ``template_values`` instantiates template transforms: e.g.
+    ``{"T": [4, 64]}`` creates independently-tuned ``T_4`` and ``T_64``.
+    """
+    if isinstance(source, str):
+        ir = build_ir(parse_program(source), template_values)
+    elif isinstance(source, ProgramIR):
+        ir = source
+    elif isinstance(source, TransformIR):
+        ir = ProgramIR({source.name: source})
+    else:
+        table = {t.name: t for t in source}
+        ir = ProgramIR(table)
+    return CompiledProgram(ir)
+
+
+class CompiledTransform:
+    """One executable transform: IR + analyses + execution engine."""
+
+    def __init__(self, ir: TransformIR, program: CompiledProgram) -> None:
+        self.ir = ir
+        self.program = program
+        analyze_applicable_regions(ir)
+        self.grid: ChoiceGrid = build_choice_grid(ir)
+        # The grid's order guards are checked at run time, so downstream
+        # analyses may assume them: fold single-variable guards (e.g.
+        # ``n - 2 >= 0``) into the size assumptions before dependency
+        # analysis — this prunes provably-empty conservative edges.
+        for guard in self.grid.order_guards:
+            variables = guard.variables()
+            if len(variables) != 1:
+                continue
+            var = variables[0]
+            coeff = guard.coefficient(var)
+            if coeff <= 0:
+                continue
+            minimum = math.ceil(-guard.constant / coeff)
+            ir.assumptions = ir.assumptions.with_at_least(var, int(minimum))
+        self.depgraph: ChoiceDepGraph = build_dep_graph(ir, self.grid)
+        self._segments: Dict[str, Segment] = {
+            seg.key: seg for seg in self.grid.all_segments()
+        }
+
+    # -- public API ------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.ir.name
+
+    def choice_sites(self) -> List[Tuple[str, Segment]]:
+        """All (config key, segment) choice sites of this transform."""
+        return [
+            (site_key(self.name, seg.matrix, seg.index), seg)
+            for seg in self.grid.all_segments()
+        ]
+
+    def run(
+        self,
+        inputs: Union[Mapping[str, ArrayLike], Sequence[ArrayLike], None] = None,
+        config: Optional[ChoiceConfig] = None,
+        sizes: Optional[Mapping[str, int]] = None,
+    ) -> RunResult:
+        """Execute the transform and record its task graph."""
+        config = config or ChoiceConfig()
+        recorder = TaskRecorder()
+        state = _EngineState(config, recorder)
+        input_views = self._coerce_inputs(inputs)
+        outputs, env = self._execute(state, input_views, sizes)
+        return RunResult(
+            outputs=outputs,
+            graph=recorder.graph(),
+            sizes={k: int(v) for k, v in env.items()},
+            rule_applications=state.applications,
+        )
+
+    # -- input handling -----------------------------------------------------------
+
+    def _coerce_inputs(
+        self,
+        inputs: Union[Mapping[str, ArrayLike], Sequence[ArrayLike], None],
+    ) -> Dict[str, MatrixView]:
+        declared = self.ir.inputs
+        views: Dict[str, MatrixView] = {}
+        if inputs is None:
+            inputs = {}
+        if isinstance(inputs, Mapping):
+            items = dict(inputs)
+            for mat in declared:
+                if mat.name not in items:
+                    raise ExecutionError(
+                        f"{self.name}: missing input {mat.name!r}"
+                    )
+                views[mat.name] = _as_view(items.pop(mat.name))
+            if items:
+                raise ExecutionError(
+                    f"{self.name}: unexpected inputs {sorted(items)}"
+                )
+        else:
+            supplied = list(inputs)
+            if len(supplied) != len(declared):
+                raise ExecutionError(
+                    f"{self.name}: expected {len(declared)} inputs, "
+                    f"got {len(supplied)}"
+                )
+            for mat, value in zip(declared, supplied):
+                views[mat.name] = _as_view(value)
+        return views
+
+    def _bind_sizes(
+        self,
+        input_views: Mapping[str, MatrixView],
+        explicit: Optional[Mapping[str, int]],
+    ) -> Dict[str, int]:
+        env: Dict[str, int] = dict(explicit or {})
+        # Iteratively bind size variables from dimension equations.
+        equations: List[Tuple[Affine, int, str]] = []
+        for mat in self.ir.inputs:
+            view = input_views[mat.name]
+            if view.ndim != mat.ndim:
+                raise ExecutionError(
+                    f"{self.name}: input {mat.name!r} is {view.ndim}-D, "
+                    f"declared {mat.ndim}-D"
+                )
+            for expr, extent in zip(mat.dims, view.shape):
+                equations.append((expr, extent, mat.name))
+        progress = True
+        while progress:
+            progress = False
+            for expr, extent, mat_name in equations:
+                unknown = [v for v in expr.variables() if v not in env]
+                if len(unknown) == 1:
+                    var = unknown[0]
+                    coeff = expr.coefficient(var)
+                    rest = expr - Affine(0, {var: coeff})
+                    value = (extent - rest.evaluate(env)) / coeff
+                    if value.denominator != 1 or value < 0:
+                        raise ExecutionError(
+                            f"{self.name}: input {mat_name!r} extent "
+                            f"{extent} does not satisfy {expr}"
+                        )
+                    env[var] = int(value)
+                    progress = True
+        for expr, extent, mat_name in equations:
+            if any(v not in env for v in expr.variables()):
+                raise ExecutionError(
+                    f"{self.name}: cannot infer sizes from {mat_name!r} "
+                    f"dimension {expr}"
+                )
+            if expr.eval_floor(env) != extent:
+                raise ExecutionError(
+                    f"{self.name}: input {mat_name!r} extent {extent} "
+                    f"inconsistent with {expr} = {expr.eval_floor(env)}"
+                )
+        for var in self.ir.size_vars:
+            if var not in env:
+                raise ExecutionError(
+                    f"{self.name}: size variable {var!r} unbound; pass "
+                    f"sizes={{...}}"
+                )
+        return env
+
+    # -- the engine -------------------------------------------------------------
+
+    def _execute(
+        self,
+        state: _EngineState,
+        input_views: Dict[str, MatrixView],
+        explicit_sizes: Optional[Mapping[str, int]] = None,
+    ) -> Tuple[Dict[str, Matrix], Dict[str, int]]:
+        env = self._bind_sizes(input_views, explicit_sizes)
+
+        for guard in self.grid.order_guards:
+            if guard.evaluate(env) < 0:
+                raise ExecutionError(
+                    f"{self.name}: sizes {dict(env)} violate the assumed "
+                    f"region ordering {guard} >= 0 (input too small for "
+                    f"this program's choice grid)"
+                )
+
+        frame = (self.name, tuple(sorted(env.items())))
+        if frame in state.call_stack:
+            raise ExecutionError(
+                f"{self.name}: infinite recursion — the configuration "
+                f"selects a recursive rule at sizes {dict(env)}"
+            )
+        state.call_stack.append(frame)
+        try:
+            return self._execute_frame(state, input_views, env), env
+        finally:
+            state.call_stack.pop()
+
+    def _execute_frame(
+        self,
+        state: _EngineState,
+        input_views: Dict[str, MatrixView],
+        env: Dict[str, int],
+    ) -> Dict[str, Matrix]:
+        # Allocate outputs and intermediates.
+        views: Dict[str, MatrixView] = dict(input_views)
+        outputs: Dict[str, Matrix] = {}
+        for mat in self.ir.outputs + self.ir.throughs:
+            shape = tuple(dim.eval_floor(env) for dim in mat.dims)
+            storage = Matrix.zeros(shape, name=f"{self.name}.{mat.name}")
+            views[mat.name] = storage.whole()
+            if mat.role == ROLE_OUTPUT:
+                outputs[mat.name] = storage
+
+        # The problem size steering choice selection and the sequential
+        # cutoff: total cells across every matrix of this call.  Using the
+        # whole call footprint (not just outputs) makes the metric shrink
+        # under *any* recursive decomposition, including splits along
+        # reduction dimensions that keep the output size constant.
+        problem_size = sum(view.size for view in views.values())
+        cutoff = state.config.seq_cutoff(self.name)
+        outer_inline = state.inline
+        outer_problem_size = state.problem_size
+        state.problem_size = problem_size
+        if problem_size < cutoff:
+            state.inline = True
+
+        try:
+            with state.recorder.task(label=self.name, inline=state.inline):
+                node_tasks: Dict[str, Optional[int]] = {}
+                for node in self.depgraph.schedule_order:
+                    if node not in self._segments:
+                        node_tasks[node] = None  # an input matrix
+                        continue
+                    segment = self._segments[node]
+                    deps = sorted(
+                        {
+                            node_tasks[edge.src]
+                            for edge in self.depgraph.edges_into(node)
+                            if edge.src != node
+                            and node_tasks.get(edge.src) is not None
+                        }
+                    )
+                    node_tasks[node] = self._execute_segment(
+                        state, segment, env, views, deps, problem_size
+                    )
+        finally:
+            state.inline = outer_inline
+            state.problem_size = outer_problem_size
+        return outputs
+
+    def _execute_segment(
+        self,
+        state: _EngineState,
+        segment: Segment,
+        env: Dict[str, int],
+        views: Dict[str, MatrixView],
+        deps: List[int],
+        problem_size: int,
+    ) -> Optional[int]:
+        bounds = segment.box.concrete(env)
+        volume = 1
+        for lo, hi in bounds:
+            volume *= max(0, hi - lo)
+        if volume == 0:
+            return None
+
+        option = self._select_option(state.config, segment, problem_size)
+        rule = self.ir.rules[option.primary]
+        fallback = (
+            self.ir.rules[option.fallback] if option.fallback is not None else None
+        )
+        self._check_size_guards(rule, env)
+
+        with state.recorder.task(
+            deps=deps, label=f"{self.name}.{segment.key}", inline=state.inline
+        ) as segment_task:
+            if rule.is_instance_rule:
+                self._apply_instance_rule(
+                    state, segment, rule, fallback, env, views, bounds
+                )
+            else:
+                self._apply_whole_rule(state, rule, env, views)
+        return segment_task
+
+    def _select_option(
+        self, config: ChoiceConfig, segment: Segment, volume: int
+    ) -> ChoiceOption:
+        key = site_key(self.name, segment.matrix, segment.index)
+        selector = config.choice_for(key)
+        if selector is None:
+            selector = self._default_selector(segment)
+        index = selector.pick(volume)
+        if not (0 <= index < len(segment.options)):
+            raise ExecutionError(
+                f"{self.name}: configuration picks option {index} at "
+                f"{key}, but the site has {len(segment.options)} options"
+            )
+        return segment.options[index]
+
+    def _default_selector(self, segment: Segment) -> Selector:
+        """Untuned default: the first non-recursive option (guaranteed to
+        terminate); falls back to option 0."""
+        for index, option in enumerate(segment.options):
+            if not self.ir.rules[option.primary].is_recursive:
+                return Selector.static(index)
+        return Selector.static(0)
+
+    def _check_size_guards(self, rule: RuleIR, env: Dict[str, int]) -> None:
+        for guard in rule.size_guards:
+            if guard.evaluate(env) < 0:
+                raise ExecutionError(
+                    f"{self.name} {rule.label}: size constraint "
+                    f"{guard} >= 0 fails for {dict(env)}"
+                )
+
+    # -- instance rules --------------------------------------------------------
+
+    def _apply_instance_rule(
+        self,
+        state: _EngineState,
+        segment: Segment,
+        rule: RuleIR,
+        fallback: Optional[RuleIR],
+        env: Dict[str, int],
+        views: Dict[str, MatrixView],
+        segment_bounds: Tuple[Tuple[int, int], ...],
+    ) -> None:
+        var_ranges = self._instance_ranges(segment, rule, env, segment_bounds)
+        directions, var_order = self._var_directions(segment, rule)
+
+        # Split the (priority-ordered) variables into the directional
+        # outer loops — executed as sequential steps with a barrier
+        # between them — and the free inner variables, whose instances
+        # are data parallel within each step.
+        chain_vars = [v for v in var_order if directions.get(v, 0) != 0]
+        free_vars = [v for v in var_order if directions.get(v, 0) == 0]
+
+        def values_of(var: str) -> List[int]:
+            lo, hi = var_ranges[var]
+            values = list(range(lo, hi))
+            if directions.get(var, 0) < 0:
+                values.reverse()
+            return values
+
+        free_ranges = [values_of(var) for var in free_vars]
+        block = max(1, state.config.block_size(self.name))
+
+        def run_instance(assignment: Dict[str, int]) -> None:
+            instance_env = dict(env)
+            instance_env.update(assignment)
+            chosen = rule
+            if rule.residual_where and not self._residual_ok(
+                rule, instance_env
+            ):
+                if fallback is None:
+                    raise ExecutionError(
+                        f"{self.name} {rule.label}: where-clause fails "
+                        f"at {assignment} and no fallback exists"
+                    )
+                chosen = fallback
+            self._apply_once(state, chosen, instance_env, views)
+
+        def run_step(step_env: Dict[str, int], deps: List[int]) -> List[int]:
+            """One data-parallel step: blocked tasks over the free vars."""
+            # product() of zero ranges yields one empty tuple (the single
+            # instance of a chain-only rule); an empty *range* yields no
+            # instances at all, as it should.
+            instances = list(itertools.product(*free_ranges))
+            block_tasks: List[int] = []
+            for start in range(0, len(instances), block):
+                with state.recorder.task(
+                    deps=deps,
+                    label=f"{rule.label}[{start}]",
+                    inline=state.inline,
+                ) as block_task:
+                    for values in instances[start : start + block]:
+                        assignment = dict(step_env)
+                        assignment.update(zip(free_vars, values))
+                        run_instance(assignment)
+                if block_task is not None:
+                    block_tasks.append(block_task)
+            return block_tasks
+
+        if not chain_vars:
+            run_step({}, [])
+            return
+        previous: List[int] = []
+        for chain_values in itertools.product(
+            *(values_of(var) for var in chain_vars)
+        ):
+            step_env = dict(zip(chain_vars, chain_values))
+            step_tasks = run_step(step_env, sorted(set(previous)))
+            if step_tasks:
+                previous = step_tasks
+
+    def _instance_ranges(
+        self,
+        segment: Segment,
+        rule: RuleIR,
+        env: Dict[str, int],
+        segment_bounds: Tuple[Tuple[int, int], ...],
+    ) -> Dict[str, Tuple[int, int]]:
+        """Concrete [lo, hi) per rule variable: the preimage of the
+        segment under the to-binding, intersected with the applicable
+        variable bounds."""
+        ranges: Dict[str, Tuple[int, int]] = {}
+        for var in rule.rule_vars:
+            interval = rule.var_bounds[var]
+            ranges[var] = interval.concrete(env)
+
+        for region in rule.to_regions:
+            if region.matrix != segment.matrix:
+                continue
+            for dim, interval in enumerate(region.box.intervals):
+                expr = interval.lo  # cell bindings: lo is the coordinate
+                seg_lo, seg_hi = segment_bounds[dim]
+                rule_vars_here = [
+                    v for v in expr.variables() if v in rule.var_bounds
+                ]
+                if not rule_vars_here:
+                    continue
+                if len(rule_vars_here) > 1:
+                    raise ExecutionError(
+                        f"{self.name} {rule.label}: output coordinate "
+                        f"{expr} couples rule variables"
+                    )
+                var = rule_vars_here[0]
+                solved = solve_bounds_for(var, expr, seg_lo, seg_hi)
+                if solved is None:
+                    continue
+                lo, hi = solved.concrete(env)
+                old_lo, old_hi = ranges[var]
+                ranges[var] = (max(lo, old_lo), min(hi, old_hi))
+        return ranges
+
+    def _var_directions(
+        self, segment: Segment, rule: RuleIR
+    ) -> Tuple[Dict[str, int], List[str]]:
+        """Iteration direction per rule variable, plus the loop-nesting
+        order (outermost first), from the dependency analysis."""
+        order = self.depgraph.rule_directions.get(
+            (segment.key, rule.rule_id)
+        )
+        if order is None:
+            return {}, list(rule.rule_vars)
+        directions: Dict[str, int] = {}
+        controlling_dim: Dict[str, int] = {}
+        for region in rule.to_regions:
+            if region.matrix != segment.matrix:
+                continue
+            for dim, interval in enumerate(region.box.intervals):
+                for var in interval.lo.variables():
+                    if var not in rule.var_bounds:
+                        continue
+                    controlling_dim.setdefault(var, dim)
+                    if order.signs[dim] == 0:
+                        continue
+                    coeff = interval.lo.coefficient(var)
+                    sign = 1 if coeff > 0 else -1
+                    required = order.signs[dim] * sign
+                    if directions.get(var, required) != required:
+                        raise ExecutionError(
+                            f"{self.name} {rule.label}: variable {var!r} "
+                            f"has conflicting iteration directions"
+                        )
+                    directions[var] = required
+        # Nest loops by the dependency analysis' dimension priority.
+        rank = {dim: pos for pos, dim in enumerate(order.priority)}
+        var_order = sorted(
+            rule.rule_vars,
+            key=lambda v: rank.get(controlling_dim.get(v, 0), 0),
+        )
+        return directions, var_order
+
+    def _residual_ok(self, rule: RuleIR, env: Dict[str, int]) -> bool:
+        scope = Scope(dict(env))
+        return all(
+            float(evaluate(cond, scope)) != 0 for cond in rule.residual_where
+        )
+
+    # -- rule application ------------------------------------------------------------
+
+    def _apply_whole_rule(
+        self,
+        state: _EngineState,
+        rule: RuleIR,
+        env: Dict[str, int],
+        views: Dict[str, MatrixView],
+    ) -> None:
+        self._apply_once(state, rule, dict(env), views)
+
+    def _apply_once(
+        self,
+        state: _EngineState,
+        rule: RuleIR,
+        env: Dict[str, int],
+        views: Dict[str, MatrixView],
+    ) -> None:
+        state.applications += 1
+        bindings: Dict[str, object] = {}
+        for region in rule.to_regions + rule.from_regions:
+            bindings[region.bind_name] = _region_view(
+                region, env, views[region.matrix]
+            )
+        tunables = {
+            t.name: state.config.tunable_at(
+                f"{self.name}.{t.name}",
+                state.problem_size,
+                t.default if t.default is not None else t.lo,
+            )
+            for t in self.ir.tunables
+        }
+
+        if rule.native_body is not None:
+            context = NativeContext(
+                engine=self,
+                state=state,
+                bindings=bindings,
+                env=dict(env),
+                tunables=tunables,
+            )
+            rule.native_body(context)
+            state.recorder.charge(rule.base_work)
+            return
+
+        scope_bindings: Dict[str, object] = {}
+        scope_bindings.update(env)
+        scope_bindings.update(tunables)
+        scope_bindings.update(bindings)
+        scope = Scope(
+            scope_bindings,
+            call_transform=lambda name, args: self._call_sibling(
+                state, name, args
+            ),
+        )
+        execute(rule.body, scope)
+        state.recorder.charge(rule.base_work + scope.ops)
+
+    def _call_sibling(
+        self, state: _EngineState, name: str, args: Sequence[MatrixView]
+    ) -> MatrixView:
+        callee = self.program.transform(name)
+        outputs, _ = callee._execute(
+            state, callee._coerce_inputs(list(args))
+        )
+        if len(outputs) != 1:
+            raise ExecutionError(
+                f"call to {name!r} in an expression requires exactly one "
+                f"output, it has {len(outputs)}"
+            )
+        return next(iter(outputs.values())).whole()
+
+
+# ---------------------------------------------------------------------------
+# Native rule bodies
+# ---------------------------------------------------------------------------
+
+
+class NativeContext:
+    """The interface handed to native (Python) rule bodies.
+
+    Provides the bound region views, size variables, tunables, work
+    accounting, parallel task structure, and calls to other transforms —
+    everything the embedded C++ of the original could reach through the
+    runtime library.
+    """
+
+    def __init__(
+        self,
+        engine: CompiledTransform,
+        state: _EngineState,
+        bindings: Dict[str, object],
+        env: Dict[str, int],
+        tunables: Dict[str, int],
+    ) -> None:
+        self._engine = engine
+        self._state = state
+        self._bindings = bindings
+        self._env = env
+        self._tunables = tunables
+
+    def __getitem__(self, name: str) -> MatrixView:
+        if name not in self._bindings:
+            raise ExecutionError(f"no binding named {name!r}")
+        return self._bindings[name]  # type: ignore[return-value]
+
+    def var(self, name: str) -> int:
+        if name not in self._env:
+            raise ExecutionError(f"no variable named {name!r}")
+        return int(self._env[name])
+
+    def tunable(self, name: str, default: Optional[int] = None) -> int:
+        if name in self._tunables:
+            return self._tunables[name]
+        if default is not None:
+            return default
+        raise ExecutionError(f"no tunable named {name!r}")
+
+    @property
+    def config(self) -> ChoiceConfig:
+        return self._state.config
+
+    def charge(self, work: float) -> None:
+        """Charge abstract work units to the current task."""
+        self._state.recorder.charge(work)
+
+    def call(self, name: str, *inputs: ArrayLike) -> MatrixView:
+        """Run another transform (or this one recursively) and return its
+        single output as a view."""
+        views = [_as_view(value) for value in inputs]
+        return self._engine._call_sibling(self._state, name, views)
+
+    def call_multi(self, name: str, *inputs: ArrayLike) -> Dict[str, Matrix]:
+        """Run a transform with multiple outputs."""
+        callee = self._engine.program.transform(name)
+        views = [_as_view(value) for value in inputs]
+        outputs, _ = callee._execute(
+            self._state, callee._coerce_inputs(views)
+        )
+        return outputs
+
+    def parallel(self, *thunks: Callable[[], object]) -> List[object]:
+        """Run thunks as sibling tasks (parallel in the task graph; the
+        scheduler simulator may overlap them)."""
+        results: List[object] = []
+        for index, thunk in enumerate(thunks):
+            with self._state.recorder.task(
+                label=f"par{index}", inline=self._state.inline
+            ):
+                results.append(thunk())
+        return results
+
+    def spawn(self, thunk: Callable[[], object]) -> object:
+        """Run one thunk in a child task."""
+        return self.parallel(thunk)[0]
+
+
+# ---------------------------------------------------------------------------
+# static specialization
+# ---------------------------------------------------------------------------
+
+
+def dead_choice_report(
+    program: CompiledProgram, config: ChoiceConfig
+) -> Dict[str, List[str]]:
+    """Which options static specialization eliminates per choice site.
+
+    The original fed the configuration back into the compiler "to
+    eliminate unused choices and allow additional optimizations"; this
+    reports, per site, the rule choices the given configuration can
+    never select (by label), i.e. the dead code a static build strips.
+    """
+    report: Dict[str, List[str]] = {}
+    for name, compiled in program.transforms.items():
+        for key, segment in compiled.choice_sites():
+            selector = config.choice_for(key)
+            if selector is None:
+                selector = compiled._default_selector(segment)
+            used = set(selector.options_used())
+            dead = [
+                option.describe(compiled.ir)
+                for index, option in enumerate(segment.options)
+                if index not in used
+            ]
+            if dead:
+                report[key] = dead
+    return report
+
+
+def specialize(
+    program: CompiledProgram, config: ChoiceConfig
+) -> CompiledProgram:
+    """Static code generation mode: bake ``config`` into the program.
+
+    The returned program ignores configs passed at run time (matching the
+    original's statically-compiled binaries, where the C++ compiler could
+    optimize away dead choices).
+    """
+
+    class _StaticTransform(CompiledTransform):
+        def run(self, inputs=None, config_override=None, sizes=None, **kw):  # type: ignore[override]
+            return CompiledTransform.run(self, inputs, config, sizes)
+
+    static = CompiledProgram.__new__(CompiledProgram)
+    static.ir = program.ir
+    static.transforms = {}
+    for name, compiled in program.transforms.items():
+        clone = _StaticTransform.__new__(_StaticTransform)
+        clone.ir = compiled.ir
+        clone.program = static
+        clone.grid = compiled.grid
+        clone.depgraph = compiled.depgraph
+        clone._segments = compiled._segments
+        static.transforms[name] = clone
+    return static
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _as_view(value: ArrayLike) -> MatrixView:
+    if isinstance(value, MatrixView):
+        return value
+    if isinstance(value, Matrix):
+        return value.whole()
+    return Matrix.from_array(value).whole()
+
+
+def _region_view(
+    region: RegionIR, env: Dict[str, int], base: MatrixView
+) -> MatrixView:
+    bounds = region.box.concrete(env)
+    if region.view_kind == "cell":
+        return base.cell(*(lo for lo, _ in bounds))
+    if region.view_kind == "row":
+        return base.row(bounds[1][0])
+    if region.view_kind == "column":
+        return base.column(bounds[0][0])
+    if region.view_kind == "all":
+        return base
+    los = [lo for lo, _ in bounds]
+    his = [hi for _, hi in bounds]
+    return base.region(*los, *his)

@@ -1,0 +1,203 @@
+"""Choice configuration files (paper §3.1 Figure 2, §3.3).
+
+Autotuning emits an *application configuration file* that controls when
+different choices are made.  A configuration holds:
+
+* one :class:`Selector` per choice site (a segment of a matrix in some
+  transform) — a multi-level algorithm: an ordered list of
+  ``(max_input_size, option)`` levels, so different options fire at
+  different region sizes (this is how recursive compositions such as
+  "quicksort above 600, insertion sort below" are encoded);
+* integer tunables, including the runtime's sequential cutoff and
+  per-site parallel block sizes, plus user ``tunable`` declarations.
+
+Configurations serialize to JSON (the original used a flat text format;
+the structure — a flat key/value space — is preserved) and can be fed
+back into the compiler for static specialization.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+INFINITE = None  # marker: level applies to all sizes
+
+
+@dataclass(frozen=True)
+class Selector:
+    """A multi-level choice: ordered ``(max_size, option)`` levels.
+
+    ``pick(size)`` returns the option of the first level whose
+    ``max_size`` (exclusive) exceeds the region size; the final level
+    should use ``None`` (infinity).  A selector with one ``(None, k)``
+    level is a static choice of option ``k``.
+    """
+
+    levels: Tuple[Tuple[Optional[int], int], ...]
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise ValueError("selector needs at least one level")
+        thresholds = [t for t, _ in self.levels[:-1]]
+        if any(t is None for t in thresholds):
+            raise ValueError("only the last level may be unbounded")
+        if self.levels[-1][0] is not None:
+            raise ValueError("last level must be unbounded (max_size=None)")
+        if any(
+            thresholds[i] >= thresholds[i + 1]
+            for i in range(len(thresholds) - 1)
+        ):
+            raise ValueError("level thresholds must be strictly increasing")
+
+    @staticmethod
+    def static(option: int) -> "Selector":
+        """A selector that always picks ``option``."""
+        return Selector(((None, option),))
+
+    def pick(self, size: int) -> int:
+        for max_size, option in self.levels:
+            if max_size is None or size < max_size:
+                return option
+        return self.levels[-1][1]
+
+    def options_used(self) -> Tuple[int, ...]:
+        return tuple(dict.fromkeys(option for _, option in self.levels))
+
+    def describe(self) -> str:
+        parts = []
+        for max_size, option in self.levels:
+            bound = "inf" if max_size is None else str(max_size)
+            parts.append(f"{option}(<{bound})")
+        return " ".join(parts)
+
+
+@dataclass
+class ChoiceConfig:
+    """A complete application configuration.
+
+    Keys are flat strings (the paper's flat configuration space):
+    choice sites are ``"Transform.Matrix.segment"``, tunables are
+    ``"Transform.name"`` plus the reserved runtime tunables
+    ``"Transform.__seq_cutoff__"`` and ``"Transform.__block_size__"``.
+    """
+
+    choices: Dict[str, Selector] = field(default_factory=dict)
+    tunables: Dict[str, int] = field(default_factory=dict)
+    #: size-leveled tunables: like choice selectors, the tuned value may
+    #: depend on the problem size (e.g. iteration counts per grid size in
+    #: the variable-accuracy Poisson solver).  A leveled entry shadows
+    #: the flat entry of the same name.
+    leveled_tunables: Dict[str, Selector] = field(default_factory=dict)
+
+    # -- choice sites --------------------------------------------------------
+
+    def set_choice(self, site: str, selector: Selector) -> None:
+        self.choices[site] = selector
+
+    def choice_for(self, site: str) -> Optional[Selector]:
+        return self.choices.get(site)
+
+    # -- tunables ------------------------------------------------------------
+
+    def set_tunable(self, name: str, value: int) -> None:
+        self.tunables[name] = int(value)
+
+    def set_leveled_tunable(self, name: str, selector: Selector) -> None:
+        """Set a tunable whose value depends on the problem size; the
+        selector's "options" are the tunable's values per size band."""
+        self.leveled_tunables[name] = selector
+
+    def tunable(self, name: str, default: int) -> int:
+        return self.tunables.get(name, default)
+
+    def tunable_at(self, name: str, size: int, default: int) -> int:
+        """Resolve a tunable at a problem size (leveled entries win)."""
+        leveled = self.leveled_tunables.get(name)
+        if leveled is not None:
+            return leveled.pick(size)
+        return self.tunables.get(name, default)
+
+    def seq_cutoff(self, transform: str, default: int = 64) -> int:
+        """Region size below which generated code runs the sequential
+        (non-task-spawning) version (paper §3.2)."""
+        return self.tunable(f"{transform}.__seq_cutoff__", default)
+
+    def block_size(self, transform: str, default: int = 64) -> int:
+        """Granularity for splitting data-parallel regions into tasks."""
+        return self.tunable(f"{transform}.__block_size__", default)
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_json(self) -> str:
+        payload = {
+            "choices": {
+                site: [
+                    [max_size, option] for max_size, option in sel.levels
+                ]
+                for site, sel in sorted(self.choices.items())
+            },
+            "tunables": dict(sorted(self.tunables.items())),
+            "leveled_tunables": {
+                name: [
+                    [max_size, value] for max_size, value in sel.levels
+                ]
+                for name, sel in sorted(self.leveled_tunables.items())
+            },
+        }
+        return json.dumps(payload, indent=2)
+
+    @staticmethod
+    def from_json(text: str) -> "ChoiceConfig":
+        payload = json.loads(text)
+        config = ChoiceConfig()
+
+        def parse_levels(levels) -> Selector:
+            return Selector(
+                tuple(
+                    (None if max_size is None else int(max_size), int(value))
+                    for max_size, value in levels
+                )
+            )
+
+        for site, levels in payload.get("choices", {}).items():
+            config.choices[site] = parse_levels(levels)
+        for name, value in payload.get("tunables", {}).items():
+            config.tunables[name] = int(value)
+        for name, levels in payload.get("leveled_tunables", {}).items():
+            config.leveled_tunables[name] = parse_levels(levels)
+        return config
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @staticmethod
+    def load(path: str) -> "ChoiceConfig":
+        with open(path, "r", encoding="utf-8") as handle:
+            return ChoiceConfig.from_json(handle.read())
+
+    def merged_with(self, other: "ChoiceConfig") -> "ChoiceConfig":
+        """A new config where ``other``'s entries win on conflicts."""
+        merged = ChoiceConfig(
+            dict(self.choices),
+            dict(self.tunables),
+            dict(self.leveled_tunables),
+        )
+        merged.choices.update(other.choices)
+        merged.tunables.update(other.tunables)
+        merged.leveled_tunables.update(other.leveled_tunables)
+        return merged
+
+    def copy(self) -> "ChoiceConfig":
+        return ChoiceConfig(
+            dict(self.choices),
+            dict(self.tunables),
+            dict(self.leveled_tunables),
+        )
+
+
+def site_key(transform: str, matrix: str, segment_index: int) -> str:
+    """The flat configuration key of a choice site."""
+    return f"{transform}.{matrix}.{segment_index}"

@@ -1,0 +1,489 @@
+"""Intermediate representation of transforms after semantic analysis.
+
+The IR is frontend-agnostic: the DSL parser and the Python builder API
+both lower into :class:`TransformIR`.  All geometry is symbolic
+(:class:`~repro.symbolic.Affine` / :class:`~repro.symbolic.Box`) over two
+variable families:
+
+* *size variables* — free variables of matrix dimension expressions
+  (``n``, ``w``, ``h``, ``c``), bound at call time from input shapes;
+* *rule variables* — free variables of a rule's region coordinates
+  (``i``, ``x``, ``y``), bound per rule application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.language import ast_nodes as ast
+from repro.language.errors import CompileError
+from repro.symbolic import Affine, Assumptions, Box, Interval
+
+ROLE_INPUT = "from"
+ROLE_OUTPUT = "to"
+ROLE_THROUGH = "through"
+
+#: A native rule body: called with a NativeContext (see builder module).
+NativeBody = Callable[["object"], None]
+
+
+@dataclass(frozen=True)
+class MatrixIR:
+    """A matrix declared in a transform header.
+
+    ``dims`` are symbolic extents; a version range ``A<lo..hi>`` has been
+    desugared into an extra leading dimension of extent ``hi - lo + 1``.
+    """
+
+    name: str
+    role: str
+    dims: Tuple[Affine, ...]
+
+    @property
+    def ndim(self) -> int:
+        return len(self.dims)
+
+    def whole_box(self) -> Box:
+        return Box.whole(self.dims)
+
+
+@dataclass(frozen=True)
+class RegionIR:
+    """One region binding of a rule (either side).
+
+    ``box`` is the covered region of ``matrix`` in matrix coordinates,
+    symbolic over rule + size variables.  ``view_kind`` dictates the shape
+    of the bound view (``cell`` -> 0-D, ``row``/``column`` -> 1-D, else
+    the full box).
+    """
+
+    matrix: str
+    view_kind: str  # cell | region | row | column | all
+    box: Box
+    bind_name: str
+
+    def ndim(self) -> int:
+        return self.box.ndim
+
+
+@dataclass
+class RuleIR:
+    """One rule after semantic analysis.
+
+    Exactly one of ``body`` (DSL statements) or ``native_body`` (Python
+    callable) is set.  ``applicable`` (per output matrix, in matrix
+    coordinates) is filled in by the applicable-regions pass.
+    """
+
+    rule_id: int
+    label: str
+    priority: int
+    to_regions: Tuple[RegionIR, ...]
+    from_regions: Tuple[RegionIR, ...]
+    rule_vars: Tuple[str, ...]
+    body: Tuple[ast.Statement, ...] = ()
+    native_body: Optional[NativeBody] = None
+    where: Tuple[ast.ExprNode, ...] = ()
+    #: work-units charged per application before body accounting; native
+    #: bodies normally charge explicitly through the context instead.
+    base_work: float = 1.0
+    #: True when the rule (directly) calls its own transform — used by
+    #: default-configuration synthesis to guarantee termination.  Native
+    #: rules set this through the builder's ``recursive=`` flag.
+    is_recursive: bool = False
+    # Filled by analysis passes:
+    applicable: Dict[str, Box] = field(default_factory=dict)
+    var_bounds: Dict[str, Interval] = field(default_factory=dict)
+    residual_where: Tuple[ast.ExprNode, ...] = ()
+    size_guards: Tuple[Affine, ...] = ()
+
+    @property
+    def is_instance_rule(self) -> bool:
+        """True when the rule is applied per point of an instance space
+        (it has rule variables); False for whole-region rules."""
+        return bool(self.rule_vars)
+
+    def writes_matrices(self) -> Tuple[str, ...]:
+        return tuple(dict.fromkeys(r.matrix for r in self.to_regions))
+
+    def reads_matrices(self) -> Tuple[str, ...]:
+        return tuple(dict.fromkeys(r.matrix for r in self.from_regions))
+
+
+@dataclass
+class TransformIR:
+    """A transform after semantic analysis."""
+
+    name: str
+    matrices: Dict[str, MatrixIR]
+    rules: List[RuleIR]
+    size_vars: Tuple[str, ...]
+    tunables: Tuple[ast.TunableDecl, ...] = ()
+    generator: Optional[str] = None
+    assumptions: Assumptions = field(default_factory=Assumptions)
+
+    def matrices_with_role(self, role: str) -> List[MatrixIR]:
+        return [m for m in self.matrices.values() if m.role == role]
+
+    @property
+    def inputs(self) -> List[MatrixIR]:
+        return self.matrices_with_role(ROLE_INPUT)
+
+    @property
+    def outputs(self) -> List[MatrixIR]:
+        return self.matrices_with_role(ROLE_OUTPUT)
+
+    @property
+    def throughs(self) -> List[MatrixIR]:
+        return self.matrices_with_role(ROLE_THROUGH)
+
+
+@dataclass
+class ProgramIR:
+    """A set of transforms compiled together (call graph unit)."""
+
+    transforms: Dict[str, TransformIR]
+
+    def transform(self, name: str) -> TransformIR:
+        if name not in self.transforms:
+            raise CompileError(f"unknown transform {name!r}")
+        return self.transforms[name]
+
+
+# ---------------------------------------------------------------------------
+# AST -> IR lowering
+# ---------------------------------------------------------------------------
+
+
+def build_ir(
+    program: ast.Program,
+    template_values: Optional[Dict[str, Sequence[int]]] = None,
+) -> ProgramIR:
+    """Semantic analysis: lower a parsed program to IR.
+
+    Template transforms (paper §2: "each template instance is autotuned
+    separately") are instantiated for every value listed in
+    ``template_values[name]``; each instance becomes an independent
+    transform named ``Name_<value>`` with its own choice sites.  A
+    template transform with no requested values is skipped (it cannot
+    execute unbound).
+    """
+    transforms: Dict[str, TransformIR] = {}
+    for decl in program.transforms:
+        if decl.template_params:
+            for value in (template_values or {}).get(decl.name, ()):
+                instance = instantiate_template(decl, value)
+                if instance.name in transforms:
+                    raise CompileError(
+                        f"duplicate transform {instance.name!r}"
+                    )
+                transforms[instance.name] = _build_transform(instance)
+            continue
+        if decl.name in transforms:
+            raise CompileError(f"duplicate transform {decl.name!r}")
+        transforms[decl.name] = _build_transform(decl)
+    return ProgramIR(transforms)
+
+
+def instantiate_template(
+    decl: ast.TransformDecl, value: int
+) -> ast.TransformDecl:
+    """One concrete instance of a template transform: the template
+    parameter becomes the literal ``value`` everywhere, and the instance
+    is renamed ``Name_<value>`` so it is tuned independently."""
+    if len(decl.template_params) != 1:
+        raise CompileError(
+            f"{decl.name}: exactly one template parameter is supported"
+        )
+    param, lo, hi = decl.template_params[0]
+    if not (lo <= value <= hi):
+        raise CompileError(
+            f"{decl.name}: template value {value} outside [{lo}, {hi}]"
+        )
+    env = {param: ast.Num(value)}
+
+    def subst_expr(node: ast.ExprNode) -> ast.ExprNode:
+        if isinstance(node, ast.Var):
+            return env.get(node.name, node)
+        if isinstance(node, ast.Num):
+            return node
+        if isinstance(node, ast.BinOp):
+            return ast.BinOp(node.op, subst_expr(node.left), subst_expr(node.right))
+        if isinstance(node, ast.UnaryOp):
+            return ast.UnaryOp(node.op, subst_expr(node.operand))
+        if isinstance(node, ast.Ternary):
+            return ast.Ternary(
+                subst_expr(node.cond),
+                subst_expr(node.if_true),
+                subst_expr(node.if_false),
+            )
+        if isinstance(node, ast.Call):
+            return ast.Call(node.name, tuple(subst_expr(a) for a in node.args))
+        if isinstance(node, ast.CellAccess):
+            return ast.CellAccess(
+                node.base, tuple(subst_expr(a) for a in node.args)
+            )
+        return node
+
+    def subst_matrix(mat: ast.MatrixDecl) -> ast.MatrixDecl:
+        return ast.MatrixDecl(
+            name=mat.name,
+            dims=tuple(subst_expr(d) for d in mat.dims),
+            version=None
+            if mat.version is None
+            else (subst_expr(mat.version[0]), subst_expr(mat.version[1])),
+        )
+
+    def subst_rule(rule: ast.RuleDecl) -> ast.RuleDecl:
+        return ast.RuleDecl(
+            to_bindings=tuple(
+                ast.RegionBind(b.matrix, b.accessor, tuple(subst_expr(a) for a in b.args), b.name)
+                for b in rule.to_bindings
+            ),
+            from_bindings=tuple(
+                ast.RegionBind(b.matrix, b.accessor, tuple(subst_expr(a) for a in b.args), b.name)
+                for b in rule.from_bindings
+            ),
+            body=tuple(
+                ast.Assign(subst_expr(s.target), s.op, subst_expr(s.value))
+                for s in rule.body
+            ),
+            where=tuple(
+                ast.WhereClause(subst_expr(w.condition)) for w in rule.where
+            ),
+            priority=rule.priority,
+            label=rule.label,
+            escapes=rule.escapes,
+        )
+
+    return ast.TransformDecl(
+        name=f"{decl.name}_{value}",
+        to_matrices=tuple(subst_matrix(m) for m in decl.to_matrices),
+        from_matrices=tuple(subst_matrix(m) for m in decl.from_matrices),
+        through_matrices=tuple(subst_matrix(m) for m in decl.through_matrices),
+        rules=tuple(subst_rule(r) for r in decl.rules),
+        tunables=decl.tunables,
+        generator=decl.generator,
+        template_params=(),
+    )
+
+
+def _build_transform(decl: ast.TransformDecl) -> TransformIR:
+    matrices: Dict[str, MatrixIR] = {}
+    for role, decls in (
+        (ROLE_INPUT, decl.from_matrices),
+        (ROLE_OUTPUT, decl.to_matrices),
+        (ROLE_THROUGH, decl.through_matrices),
+    ):
+        for mat in decls:
+            if mat.name in matrices:
+                raise CompileError(
+                    f"matrix {mat.name!r} declared twice in {decl.name}"
+                )
+            matrices[mat.name] = MatrixIR(
+                name=mat.name, role=role, dims=_matrix_dims(mat)
+            )
+
+    size_vars = decl.size_variables
+    assumptions = Assumptions()
+    for var in size_vars:
+        assumptions = assumptions.with_at_least(var, 1)
+
+    tunable_names = {t.name for t in decl.tunables}
+    rules: List[RuleIR] = []
+    for index, rule in enumerate(decl.rules):
+        built = _build_rule(
+            decl.name, index, rule, matrices, size_vars, tunable_names
+        )
+        built.is_recursive = _calls_transform(rule.body, decl.name)
+        rules.append(built)
+
+    return TransformIR(
+        name=decl.name,
+        matrices=matrices,
+        rules=rules,
+        size_vars=size_vars,
+        tunables=decl.tunables,
+        generator=decl.generator,
+        assumptions=assumptions,
+    )
+
+
+def _calls_transform(statements, name: str) -> bool:
+    """Does any statement call ``name`` (direct recursion detection)?"""
+
+    def expr_calls(node: ast.ExprNode) -> bool:
+        if isinstance(node, ast.Call):
+            if node.name == name:
+                return True
+            return any(expr_calls(arg) for arg in node.args)
+        if isinstance(node, ast.BinOp):
+            return expr_calls(node.left) or expr_calls(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return expr_calls(node.operand)
+        if isinstance(node, ast.Ternary):
+            return (
+                expr_calls(node.cond)
+                or expr_calls(node.if_true)
+                or expr_calls(node.if_false)
+            )
+        if isinstance(node, ast.CellAccess):
+            return any(expr_calls(arg) for arg in node.args)
+        return False
+
+    return any(
+        expr_calls(stmt.value) or expr_calls(stmt.target)
+        for stmt in statements
+    )
+
+
+def _matrix_dims(mat: ast.MatrixDecl) -> Tuple[Affine, ...]:
+    dims: List[Affine] = []
+    if mat.version is not None:
+        lo, hi = (expr.to_affine() for expr in mat.version)
+        dims.append(hi - lo + 1)  # versions become a leading dimension
+    for dim in mat.dims:
+        try:
+            dims.append(dim.to_affine())
+        except ValueError as err:
+            raise CompileError(
+                f"matrix {mat.name!r}: non-affine dimension ({err})"
+            ) from err
+    return tuple(dims)
+
+
+def _build_rule(
+    transform_name: str,
+    index: int,
+    rule: ast.RuleDecl,
+    matrices: Mapping[str, MatrixIR],
+    size_vars: Tuple[str, ...],
+    tunable_names: set,
+) -> RuleIR:
+    reserved = set(size_vars) | tunable_names
+    rule_vars: List[str] = []
+
+    def coord_exprs(bind: ast.RegionBind) -> List[Affine]:
+        exprs = []
+        for arg in bind.args:
+            try:
+                exprs.append(arg.to_affine())
+            except ValueError as err:
+                raise CompileError(
+                    f"{transform_name} rule {index}: non-affine region "
+                    f"coordinate for {bind.matrix!r} ({err})"
+                ) from err
+        return exprs
+
+    def collect_vars(exprs: Sequence[Affine]) -> None:
+        for expr in exprs:
+            for var in expr.variables():
+                if var not in reserved and var not in rule_vars:
+                    rule_vars.append(var)
+
+    def region_ir(bind: ast.RegionBind) -> RegionIR:
+        if bind.matrix not in matrices:
+            raise CompileError(
+                f"{transform_name} rule {index}: unknown matrix "
+                f"{bind.matrix!r}"
+            )
+        mat = matrices[bind.matrix]
+        exprs = coord_exprs(bind)
+        collect_vars(exprs)
+        box = _binding_box(mat, bind.accessor, exprs, transform_name, index)
+        return RegionIR(
+            matrix=bind.matrix,
+            view_kind=bind.accessor,
+            box=box,
+            bind_name=bind.name,
+        )
+
+    to_regions = tuple(region_ir(b) for b in rule.to_bindings)
+    from_regions = tuple(region_ir(b) for b in rule.from_bindings)
+
+    target_matrices = {r.matrix for r in to_regions}
+    if len(target_matrices) > 1:
+        raise CompileError(
+            f"{transform_name} rule {index}: rules writing multiple "
+            f"matrices are not supported (targets {sorted(target_matrices)})"
+        )
+
+    seen_names = set()
+    for region in to_regions + from_regions:
+        if region.bind_name in seen_names:
+            raise CompileError(
+                f"{transform_name} rule {index}: duplicate binding name "
+                f"{region.bind_name!r}"
+            )
+        seen_names.add(region.bind_name)
+
+    for region in to_regions:
+        if matrices[region.matrix].role == ROLE_INPUT:
+            raise CompileError(
+                f"{transform_name} rule {index}: writes to input matrix "
+                f"{region.matrix!r}"
+            )
+
+    return RuleIR(
+        rule_id=index,
+        label=rule.label or f"rule{index}",
+        priority=rule.priority,
+        to_regions=to_regions,
+        from_regions=from_regions,
+        rule_vars=tuple(rule_vars),
+        body=rule.body,
+        where=tuple(w.condition for w in rule.where),
+    )
+
+
+def _binding_box(
+    mat: MatrixIR,
+    accessor: str,
+    exprs: Sequence[Affine],
+    transform_name: str,
+    rule_index: int,
+) -> Box:
+    """The matrix-coordinate box a binding covers."""
+    k = mat.ndim
+
+    def arity_error(expected: int) -> CompileError:
+        return CompileError(
+            f"{transform_name} rule {rule_index}: {mat.name}.{accessor} "
+            f"takes {expected} coordinates, got {len(exprs)}"
+        )
+
+    if accessor == "all":
+        if exprs:
+            raise arity_error(0)
+        return mat.whole_box()
+    if accessor == "cell":
+        if len(exprs) != k:
+            raise arity_error(k)
+        return Box.cell(exprs)
+    if accessor == "region":
+        if len(exprs) != 2 * k:
+            raise arity_error(2 * k)
+        los, his = exprs[:k], exprs[k:]
+        return Box([Interval(lo, hi) for lo, hi in zip(los, his)])
+    if accessor == "row":
+        if k != 2:
+            raise CompileError(
+                f"{transform_name} rule {rule_index}: .row() on "
+                f"{k}-D matrix {mat.name}"
+            )
+        if len(exprs) != 1:
+            raise arity_error(1)
+        (y,) = exprs
+        return Box([Interval(0, mat.dims[0]), Interval.point(y)])
+    if accessor == "column":
+        if k != 2:
+            raise CompileError(
+                f"{transform_name} rule {rule_index}: .column() on "
+                f"{k}-D matrix {mat.name}"
+            )
+        if len(exprs) != 1:
+            raise arity_error(1)
+        (x,) = exprs
+        return Box([Interval.point(x), Interval(0, mat.dims[1])])
+    raise CompileError(f"unknown accessor {accessor!r}")

@@ -1,0 +1,59 @@
+"""The PetaBricks language frontend.
+
+This package implements the textual DSL from the paper: ``transform``
+declarations with ``from``/``to``/``through`` matrix headers, multiple
+``to (...) from (...) { ... }`` rules per transform, ``where`` clauses,
+rule priorities, ``tunable`` and ``generator`` declarations, and matrix
+versions (``A<0..n>``).
+
+Rule bodies use a small C-like statement language (assignments, arithmetic,
+calls to builtins and to other transforms) in place of the original's raw
+C++ — see :mod:`repro.language.interp`.
+
+* :mod:`repro.language.lexer` — tokenizer.
+* :mod:`repro.language.parser` — recursive-descent parser producing the
+  AST in :mod:`repro.language.ast_nodes`.
+* :func:`parse_program` / :func:`parse_transform` — convenience entry
+  points.
+"""
+
+from repro.language.ast_nodes import (
+    Assign,
+    BinOp,
+    Call,
+    CellAccess,
+    ExprNode,
+    MatrixDecl,
+    Num,
+    Program,
+    RegionBind,
+    RuleDecl,
+    TransformDecl,
+    TunableDecl,
+    UnaryOp,
+    Var,
+)
+from repro.language.errors import LexError, ParseError, PetaBricksError
+from repro.language.parser import parse_program, parse_transform
+
+__all__ = [
+    "Assign",
+    "BinOp",
+    "Call",
+    "CellAccess",
+    "ExprNode",
+    "LexError",
+    "MatrixDecl",
+    "Num",
+    "ParseError",
+    "PetaBricksError",
+    "Program",
+    "RegionBind",
+    "RuleDecl",
+    "TransformDecl",
+    "TunableDecl",
+    "UnaryOp",
+    "Var",
+    "parse_program",
+    "parse_transform",
+]

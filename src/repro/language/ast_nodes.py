@@ -1,0 +1,282 @@
+"""Abstract syntax tree for the PetaBricks DSL.
+
+Two expression contexts share one node family (:class:`ExprNode`):
+
+* *region coordinates* (``A.region(0, c/2, w, c)``) must be affine in the
+  transform's free variables — :meth:`ExprNode.to_affine` converts them to
+  :class:`repro.symbolic.Affine`, rejecting anything non-affine, exactly
+  where the original compiler invoked Maxima;
+* *rule bodies* are evaluated by the interpreter in
+  :mod:`repro.language.interp` against bound region views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple
+
+from repro.symbolic import Affine
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class ExprNode:
+    """Base class for expression nodes."""
+
+    def to_affine(self) -> Affine:
+        """Convert to an affine symbolic expression; raises ValueError for
+        non-affine constructs (calls, comparisons, cell access...)."""
+        raise ValueError(f"{type(self).__name__} is not an affine expression")
+
+    def free_names(self) -> Tuple[str, ...]:
+        """All identifier names referenced, in first-seen order."""
+        seen: List[str] = []
+        self._collect_names(seen)
+        return tuple(seen)
+
+    def _collect_names(self, out: List[str]) -> None:
+        pass
+
+
+@dataclass(frozen=True)
+class Num(ExprNode):
+    """Integer or floating literal (ints stay exact)."""
+
+    value: object  # int or float
+
+    def to_affine(self) -> Affine:
+        if isinstance(self.value, int):
+            return Affine.const(self.value)
+        raise ValueError("floating literal in region coordinate")
+
+
+@dataclass(frozen=True)
+class Var(ExprNode):
+    """An identifier: a free variable, a bound region, or a tunable."""
+
+    name: str
+
+    def to_affine(self) -> Affine:
+        return Affine.var(self.name)
+
+    def _collect_names(self, out: List[str]) -> None:
+        if self.name not in out:
+            out.append(self.name)
+
+
+@dataclass(frozen=True)
+class BinOp(ExprNode):
+    """Binary operation; op is one of + - * / % == != < <= > >= && ||."""
+
+    op: str
+    left: ExprNode
+    right: ExprNode
+
+    def to_affine(self) -> Affine:
+        lhs = self.left.to_affine()
+        rhs = self.right.to_affine()
+        if self.op == "+":
+            return lhs + rhs
+        if self.op == "-":
+            return lhs - rhs
+        if self.op == "*":
+            return lhs * rhs
+        if self.op == "/":
+            return lhs / rhs
+        raise ValueError(f"operator {self.op!r} in region coordinate")
+
+    def _collect_names(self, out: List[str]) -> None:
+        self.left._collect_names(out)
+        self.right._collect_names(out)
+
+
+@dataclass(frozen=True)
+class UnaryOp(ExprNode):
+    """Unary minus or logical not."""
+
+    op: str
+    operand: ExprNode
+
+    def to_affine(self) -> Affine:
+        if self.op == "-":
+            return -self.operand.to_affine()
+        raise ValueError(f"unary {self.op!r} in region coordinate")
+
+    def _collect_names(self, out: List[str]) -> None:
+        self.operand._collect_names(out)
+
+
+@dataclass(frozen=True)
+class Call(ExprNode):
+    """Function or transform call ``name(arg, ...)``."""
+
+    name: str
+    args: Tuple[ExprNode, ...]
+
+    def _collect_names(self, out: List[str]) -> None:
+        for arg in self.args:
+            arg._collect_names(out)
+
+
+@dataclass(frozen=True)
+class CellAccess(ExprNode):
+    """Element access ``region.cell(i, j)`` inside a rule body."""
+
+    base: str
+    args: Tuple[ExprNode, ...]
+
+    def _collect_names(self, out: List[str]) -> None:
+        if self.base not in out:
+            out.append(self.base)
+        for arg in self.args:
+            arg._collect_names(out)
+
+
+@dataclass(frozen=True)
+class Ternary(ExprNode):
+    """C-style conditional ``cond ? a : b``."""
+
+    cond: ExprNode
+    if_true: ExprNode
+    if_false: ExprNode
+
+    def _collect_names(self, out: List[str]) -> None:
+        self.cond._collect_names(out)
+        self.if_true._collect_names(out)
+        self.if_false._collect_names(out)
+
+
+# ---------------------------------------------------------------------------
+# Statements (rule bodies)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Assign:
+    """Assignment ``lvalue op expr;`` where op is = += -= *= /= and the
+    lvalue is a bound region name or a ``name.cell(...)`` access."""
+
+    target: ExprNode  # Var or CellAccess
+    op: str
+    value: ExprNode
+
+
+Statement = Assign  # rule bodies are sequences of assignments
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MatrixDecl:
+    """A matrix in a transform header: ``A[c, h]`` or versioned
+    ``A<0..n>[m]`` (the version range becomes a leading dimension)."""
+
+    name: str
+    dims: Tuple[ExprNode, ...]
+    version: Optional[Tuple[ExprNode, ExprNode]] = None
+
+    @property
+    def ndim(self) -> int:
+        return len(self.dims) + (1 if self.version is not None else 0)
+
+
+@dataclass(frozen=True)
+class RegionBind:
+    """One binding in a rule header: ``A.region(0, 0, w, c/2) b1`` binds
+    the view to local name ``b1``.  ``accessor`` is one of ``cell``,
+    ``region``, ``row``, ``column``, or ``all`` (bare matrix name)."""
+
+    matrix: str
+    accessor: str
+    args: Tuple[ExprNode, ...]
+    name: str
+
+
+@dataclass(frozen=True)
+class WhereClause:
+    """A ``where`` restriction on a rule's applicable region."""
+
+    condition: ExprNode
+
+
+@dataclass(frozen=True)
+class RuleDecl:
+    """One rule: ``priority(p) to (...) from (...) where ... { body }``.
+
+    ``priority`` follows the paper: lower value = higher priority; in each
+    choice-grid region only rules of minimal priority survive.  The
+    default priority is 1; ``primary`` is 0 and ``secondary`` is 2.
+    """
+
+    to_bindings: Tuple[RegionBind, ...]
+    from_bindings: Tuple[RegionBind, ...]
+    body: Tuple[Statement, ...]
+    where: Tuple[WhereClause, ...] = ()
+    priority: int = 1
+    label: str = ""
+    escapes: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class TunableDecl:
+    """A user-exported tunable parameter: ``tunable name(lo, hi);``."""
+
+    name: str
+    lo: int = 1
+    hi: int = 2**20
+    default: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class TransformDecl:
+    """A full transform declaration."""
+
+    name: str
+    to_matrices: Tuple[MatrixDecl, ...]
+    from_matrices: Tuple[MatrixDecl, ...]
+    through_matrices: Tuple[MatrixDecl, ...]
+    rules: Tuple[RuleDecl, ...]
+    tunables: Tuple[TunableDecl, ...] = ()
+    generator: Optional[str] = None
+    template_params: Tuple[Tuple[str, int, int], ...] = ()
+
+    def matrix(self, name: str) -> MatrixDecl:
+        for decl in self.to_matrices + self.from_matrices + self.through_matrices:
+            if decl.name == name:
+                return decl
+        raise KeyError(f"transform {self.name} has no matrix {name!r}")
+
+    @property
+    def size_variables(self) -> Tuple[str, ...]:
+        """Free variables appearing in matrix dimension expressions."""
+        seen: List[str] = []
+        for decl in self.to_matrices + self.from_matrices + self.through_matrices:
+            for dim in decl.dims:
+                for name in dim.free_names():
+                    if name not in seen:
+                        seen.append(name)
+            if decl.version is not None:
+                for expr in decl.version:
+                    for name in expr.free_names():
+                        if name not in seen:
+                            seen.append(name)
+        return tuple(seen)
+
+
+@dataclass(frozen=True)
+class Program:
+    """A parsed source file: an ordered collection of transforms."""
+
+    transforms: Tuple[TransformDecl, ...]
+
+    def transform(self, name: str) -> TransformDecl:
+        for decl in self.transforms:
+            if decl.name == name:
+                return decl
+        raise KeyError(f"no transform named {name!r}")

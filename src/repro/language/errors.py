@@ -1,0 +1,27 @@
+"""Error hierarchy for the PetaBricks frontend and compiler."""
+
+from __future__ import annotations
+
+
+class PetaBricksError(Exception):
+    """Base class for all language/compiler diagnostics."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"line {line}:{column}: {message}"
+        super().__init__(message)
+
+
+class LexError(PetaBricksError):
+    """Invalid character or token in the source text."""
+
+
+class ParseError(PetaBricksError):
+    """Source text does not match the grammar."""
+
+
+class CompileError(PetaBricksError):
+    """Semantic error detected by a compiler pass (unknown matrix,
+    uncoverable region, dependency deadlock, ...)."""

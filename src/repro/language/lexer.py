@@ -1,0 +1,185 @@
+"""Tokenizer for the PetaBricks DSL.
+
+Handles identifiers, integer and floating literals, the operator set used
+by region headers and rule bodies, ``//`` and ``/* */`` comments, and the
+``%{ ... }%`` escape blocks (captured verbatim as single tokens, as the
+original language embeds raw foreign code there).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.language.errors import LexError
+
+KEYWORDS = frozenset(
+    {
+        "transform",
+        "from",
+        "to",
+        "through",
+        "where",
+        "priority",
+        "primary",
+        "secondary",
+        "tunable",
+        "generator",
+        "template",
+        "accuracy_metric",
+        "accuracy_bins",
+        "param",
+    }
+)
+
+# Multi-character operators first so maximal munch works.
+OPERATORS = (
+    "..",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ",",
+    ";",
+    ".",
+    "!",
+    "?",
+    ":",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    kind: str  # 'name' | 'keyword' | 'int' | 'float' | 'op' | 'escape' | 'eof'
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``; raises :class:`LexError` on bad input."""
+    return list(_scan(source))
+
+
+def _scan(source: str) -> Iterator[Token]:
+    pos = 0
+    line = 1
+    col = 1
+    length = len(source)
+
+    def advance(count: int) -> None:
+        nonlocal pos, line, col
+        for _ in range(count):
+            if pos < length and source[pos] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            pos += 1
+
+    while pos < length:
+        ch = source[pos]
+        # whitespace
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        # comments
+        if source.startswith("//", pos):
+            end = source.find("\n", pos)
+            advance((length if end == -1 else end) - pos)
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end == -1:
+                raise LexError("unterminated block comment", line, col)
+            advance(end + 2 - pos)
+            continue
+        # %{ ... }% escape block
+        if source.startswith("%{", pos):
+            end = source.find("}%", pos + 2)
+            if end == -1:
+                raise LexError("unterminated %{ ... }% escape", line, col)
+            text = source[pos + 2 : end]
+            tok_line, tok_col = line, col
+            advance(end + 2 - pos)
+            yield Token("escape", text, tok_line, tok_col)
+            continue
+        # numbers (int or float; float needs digit after the dot so that
+        # the '..' range operator is not swallowed)
+        if ch.isdigit():
+            start = pos
+            tok_line, tok_col = line, col
+            scan = pos
+            while scan < length and source[scan].isdigit():
+                scan += 1
+            is_float = False
+            if (
+                scan + 1 < length
+                and source[scan] == "."
+                and source[scan + 1].isdigit()
+            ):
+                is_float = True
+                scan += 1
+                while scan < length and source[scan].isdigit():
+                    scan += 1
+            if scan < length and source[scan] in "eE":
+                exp = scan + 1
+                if exp < length and source[exp] in "+-":
+                    exp += 1
+                if exp < length and source[exp].isdigit():
+                    is_float = True
+                    scan = exp
+                    while scan < length and source[scan].isdigit():
+                        scan += 1
+            text = source[start:scan]
+            advance(scan - pos)
+            yield Token("float" if is_float else "int", text, tok_line, tok_col)
+            continue
+        # identifiers / keywords
+        if ch.isalpha() or ch == "_":
+            start = pos
+            tok_line, tok_col = line, col
+            scan = pos
+            while scan < length and (source[scan].isalnum() or source[scan] == "_"):
+                scan += 1
+            text = source[start:scan]
+            advance(scan - pos)
+            kind = "keyword" if text in KEYWORDS else "name"
+            yield Token(kind, text, tok_line, tok_col)
+            continue
+        # operators (maximal munch)
+        for op in OPERATORS:
+            if source.startswith(op, pos):
+                tok_line, tok_col = line, col
+                advance(len(op))
+                yield Token("op", op, tok_line, tok_col)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line, col)
+
+    yield Token("eof", "", line, col)

@@ -1,0 +1,461 @@
+"""Recursive-descent parser for the PetaBricks DSL.
+
+Grammar (informally)::
+
+    program     := transform* EOF
+    transform   := "transform" NAME header* "{" rule* "}"
+    header      := ("from"|"to"|"through") matrixdecl ("," matrixdecl)*
+                 | "generator" NAME
+                 | "tunable" NAME ["(" INT "," INT ["," INT] ")"] [";"]
+                 | "template" "<" NAME "," INT "," INT ">"
+    matrixdecl  := NAME ["<" expr ".." expr ">"] ["[" expr ("," expr)* "]"]
+    rule        := prio? "to" "(" binds ")" "from" "(" binds? ")"
+                   ("where" expr ("," expr)*)? "{" body "}"
+    prio        := "primary" | "secondary" | "priority" "(" INT ")"
+    bind        := NAME ["." accessor "(" args ")"] NAME
+    body        := (assign | ESCAPE)*
+    assign      := lvalue ("="|"+="|"-="|"*="|"/=") expr ";"
+
+Expressions support the usual C precedence including ``?:``, comparisons,
+``&&``/``||``, and postfix ``.cell(...)`` access and calls.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.language.ast_nodes import (
+    Assign,
+    BinOp,
+    Call,
+    CellAccess,
+    ExprNode,
+    MatrixDecl,
+    Num,
+    Program,
+    RegionBind,
+    RuleDecl,
+    Ternary,
+    TransformDecl,
+    TunableDecl,
+    UnaryOp,
+    Var,
+    WhereClause,
+)
+from repro.language.errors import ParseError
+from repro.language.lexer import Token, tokenize
+
+ACCESSORS = ("cell", "region", "row", "column")
+
+
+class _Parser:
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def take(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def at(self, kind: str, text: Optional[str] = None) -> bool:
+        tok = self.peek()
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.at(kind, text):
+            return self.take()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self.peek()
+        if not self.at(kind, text):
+            want = text or kind
+            raise ParseError(
+                f"expected {want!r}, found {tok.text or tok.kind!r}",
+                tok.line,
+                tok.column,
+            )
+        return self.take()
+
+    # -- program / transform ---------------------------------------------------
+
+    def parse_program(self) -> Program:
+        transforms = []
+        while not self.at("eof"):
+            transforms.append(self.parse_transform())
+        return Program(tuple(transforms))
+
+    def parse_transform(self) -> TransformDecl:
+        self.expect("keyword", "transform")
+        name = self.expect("name").text
+        to_mats: List[MatrixDecl] = []
+        from_mats: List[MatrixDecl] = []
+        through_mats: List[MatrixDecl] = []
+        tunables: List[TunableDecl] = []
+        generator: Optional[str] = None
+        templates: List[Tuple[str, int, int]] = []
+
+        while not self.at("op", "{"):
+            tok = self.peek()
+            if self.accept("keyword", "from"):
+                from_mats.extend(self.parse_matrix_decls())
+            elif self.accept("keyword", "to"):
+                to_mats.extend(self.parse_matrix_decls())
+            elif self.accept("keyword", "through"):
+                through_mats.extend(self.parse_matrix_decls())
+            elif self.accept("keyword", "generator"):
+                generator = self.expect("name").text
+            elif self.accept("keyword", "tunable"):
+                tunables.append(self.parse_tunable())
+            elif self.accept("keyword", "template"):
+                templates.append(self.parse_template_param())
+            else:
+                raise ParseError(
+                    f"unexpected {tok.text!r} in transform header",
+                    tok.line,
+                    tok.column,
+                )
+        if not to_mats:
+            tok = self.peek()
+            raise ParseError(
+                f"transform {name} declares no outputs", tok.line, tok.column
+            )
+
+        self.expect("op", "{")
+        rules: List[RuleDecl] = []
+        while not self.accept("op", "}"):
+            rules.append(self.parse_rule(len(rules)))
+        if not rules:
+            raise ParseError(f"transform {name} has no rules")
+        return TransformDecl(
+            name=name,
+            to_matrices=tuple(to_mats),
+            from_matrices=tuple(from_mats),
+            through_matrices=tuple(through_mats),
+            rules=tuple(rules),
+            tunables=tuple(tunables),
+            generator=generator,
+            template_params=tuple(templates),
+        )
+
+    def parse_matrix_decls(self) -> List[MatrixDecl]:
+        decls = [self.parse_matrix_decl()]
+        while self.accept("op", ","):
+            decls.append(self.parse_matrix_decl())
+        return decls
+
+    def parse_matrix_decl(self) -> MatrixDecl:
+        name = self.expect("name").text
+        version = None
+        if self.accept("op", "<"):
+            # Version bounds use additive expressions only, so the closing
+            # '>' is not mistaken for a comparison operator.
+            lo = self.parse_additive()
+            self.expect("op", "..")
+            hi = self.parse_additive()
+            self.expect("op", ">")
+            version = (lo, hi)
+        dims: List[ExprNode] = []
+        if self.accept("op", "["):
+            dims.append(self.parse_expr())
+            while self.accept("op", ","):
+                dims.append(self.parse_expr())
+            self.expect("op", "]")
+        return MatrixDecl(name=name, dims=tuple(dims), version=version)
+
+    def parse_tunable(self) -> TunableDecl:
+        name = self.expect("name").text
+        lo, hi, default = 1, 2**20, None
+        if self.accept("op", "("):
+            lo = int(self.expect("int").text)
+            self.expect("op", ",")
+            hi = int(self.expect("int").text)
+            if self.accept("op", ","):
+                default = int(self.expect("int").text)
+            self.expect("op", ")")
+        self.accept("op", ";")
+        return TunableDecl(name=name, lo=lo, hi=hi, default=default)
+
+    def parse_template_param(self) -> Tuple[str, int, int]:
+        self.expect("op", "<")
+        name = self.expect("name").text
+        self.expect("op", ",")
+        lo = int(self.expect("int").text)
+        self.expect("op", ",")
+        hi = int(self.expect("int").text)
+        self.expect("op", ">")
+        return (name, lo, hi)
+
+    # -- rules ----------------------------------------------------------------
+
+    def parse_rule(self, index: int) -> RuleDecl:
+        priority = 1
+        if self.accept("keyword", "primary"):
+            priority = 0
+        elif self.accept("keyword", "secondary"):
+            priority = 2
+        elif self.accept("keyword", "priority"):
+            self.expect("op", "(")
+            priority = int(self.expect("int").text)
+            self.expect("op", ")")
+
+        to_binds: Tuple[RegionBind, ...] = ()
+        from_binds: Tuple[RegionBind, ...] = ()
+        saw_to = saw_from = False
+        for _ in range(2):
+            if self.accept("keyword", "to"):
+                self.expect("op", "(")
+                to_binds = self.parse_bind_list()
+                self.expect("op", ")")
+                saw_to = True
+            elif self.accept("keyword", "from"):
+                self.expect("op", "(")
+                if not self.at("op", ")"):
+                    from_binds = self.parse_bind_list()
+                self.expect("op", ")")
+                saw_from = True
+            if saw_to and saw_from:
+                break
+        if not saw_to:
+            tok = self.peek()
+            raise ParseError("rule missing to(...) clause", tok.line, tok.column)
+
+        wheres: List[WhereClause] = []
+        if self.accept("keyword", "where"):
+            wheres.append(WhereClause(self.parse_expr()))
+            while self.accept("op", ","):
+                wheres.append(WhereClause(self.parse_expr()))
+
+        self.expect("op", "{")
+        body: List[Assign] = []
+        escapes: List[str] = []
+        while not self.accept("op", "}"):
+            if self.at("escape"):
+                escapes.append(self.take().text)
+                continue
+            body.append(self.parse_assign())
+        return RuleDecl(
+            to_bindings=to_binds,
+            from_bindings=from_binds,
+            body=tuple(body),
+            where=tuple(wheres),
+            priority=priority,
+            label=f"rule{index}",
+            escapes=tuple(escapes),
+        )
+
+    def parse_bind_list(self) -> Tuple[RegionBind, ...]:
+        binds = [self.parse_bind()]
+        while self.accept("op", ","):
+            binds.append(self.parse_bind())
+        return tuple(binds)
+
+    def parse_bind(self) -> RegionBind:
+        matrix = self.expect("name").text
+        accessor = "all"
+        args: Tuple[ExprNode, ...] = ()
+        if self.accept("op", "."):
+            accessor_tok = self.expect("name")
+            if accessor_tok.text not in ACCESSORS:
+                raise ParseError(
+                    f"unknown region accessor {accessor_tok.text!r}",
+                    accessor_tok.line,
+                    accessor_tok.column,
+                )
+            accessor = accessor_tok.text
+            self.expect("op", "(")
+            arg_list: List[ExprNode] = []
+            if not self.at("op", ")"):
+                arg_list.append(self.parse_expr())
+                while self.accept("op", ","):
+                    arg_list.append(self.parse_expr())
+            self.expect("op", ")")
+            args = tuple(arg_list)
+        # Optional direction annotation like `out` (the binding name); a
+        # bare binding without a name reuses the matrix name.
+        if self.at("name"):
+            name = self.take().text
+        else:
+            name = matrix
+        return RegionBind(matrix=matrix, accessor=accessor, args=args, name=name)
+
+    # -- statements -------------------------------------------------------------
+
+    def parse_assign(self) -> Assign:
+        target = self.parse_postfix()
+        if not isinstance(target, (Var, CellAccess)):
+            tok = self.peek()
+            raise ParseError("invalid assignment target", tok.line, tok.column)
+        op_tok = self.peek()
+        if op_tok.kind == "op" and op_tok.text in ("=", "+=", "-=", "*=", "/="):
+            self.take()
+        else:
+            raise ParseError(
+                f"expected assignment operator, found {op_tok.text!r}",
+                op_tok.line,
+                op_tok.column,
+            )
+        value = self.parse_expr()
+        self.expect("op", ";")
+        return Assign(target=target, op=op_tok.text, value=value)
+
+    # -- expressions --------------------------------------------------------------
+
+    def parse_expr(self) -> ExprNode:
+        return self.parse_ternary()
+
+    def parse_ternary(self) -> ExprNode:
+        cond = self.parse_or()
+        if self.accept("op", "?"):
+            if_true = self.parse_expr()
+            self.expect("op", ":")
+            if_false = self.parse_expr()
+            return Ternary(cond, if_true, if_false)
+        return cond
+
+    def parse_or(self) -> ExprNode:
+        node = self.parse_and()
+        while self.accept("op", "||"):
+            node = BinOp("||", node, self.parse_and())
+        return node
+
+    def parse_and(self) -> ExprNode:
+        node = self.parse_equality()
+        while self.accept("op", "&&"):
+            node = BinOp("&&", node, self.parse_equality())
+        return node
+
+    def parse_equality(self) -> ExprNode:
+        node = self.parse_relational()
+        while self.peek().kind == "op" and self.peek().text in ("==", "!="):
+            op = self.take().text
+            node = BinOp(op, node, self.parse_relational())
+        return node
+
+    def parse_relational(self) -> ExprNode:
+        node = self.parse_additive()
+        while self.peek().kind == "op" and self.peek().text in ("<", "<=", ">", ">="):
+            op = self.take().text
+            node = BinOp(op, node, self.parse_additive())
+        return node
+
+    def parse_additive(self) -> ExprNode:
+        node = self.parse_multiplicative()
+        while self.peek().kind == "op" and self.peek().text in ("+", "-"):
+            op = self.take().text
+            node = BinOp(op, node, self.parse_multiplicative())
+        return node
+
+    def parse_multiplicative(self) -> ExprNode:
+        node = self.parse_unary()
+        while self.peek().kind == "op" and self.peek().text in ("*", "/", "%"):
+            op = self.take().text
+            node = BinOp(op, node, self.parse_unary())
+        return node
+
+    def parse_unary(self) -> ExprNode:
+        if self.accept("op", "-"):
+            return UnaryOp("-", self.parse_unary())
+        if self.accept("op", "!"):
+            return UnaryOp("!", self.parse_unary())
+        if self.accept("op", "+"):
+            return self.parse_unary()
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ExprNode:
+        node = self.parse_atom()
+        while self.at("op", "."):
+            # name.cell(args) — only cell access is allowed in expressions.
+            if not isinstance(node, Var):
+                tok = self.peek()
+                raise ParseError(
+                    "'.' access requires a simple name", tok.line, tok.column
+                )
+            self.take()
+            accessor = self.expect("name")
+            if accessor.text != "cell":
+                raise ParseError(
+                    f"only .cell() may appear in expressions, "
+                    f"found .{accessor.text}()",
+                    accessor.line,
+                    accessor.column,
+                )
+            self.expect("op", "(")
+            args: List[ExprNode] = []
+            if not self.at("op", ")"):
+                args.append(self.parse_expr())
+                while self.accept("op", ","):
+                    args.append(self.parse_expr())
+            self.expect("op", ")")
+            node = CellAccess(base=node.name, args=tuple(args))
+        return node
+
+    def parse_atom(self) -> ExprNode:
+        tok = self.peek()
+        if self.accept("op", "("):
+            node = self.parse_expr()
+            self.expect("op", ")")
+            return node
+        if tok.kind == "int":
+            self.take()
+            return Num(int(tok.text))
+        if tok.kind == "float":
+            self.take()
+            return Num(float(tok.text))
+        if tok.kind == "name":
+            self.take()
+            if self.accept("op", "("):
+                args: List[ExprNode] = []
+                if not self.at("op", ")"):
+                    args.append(self.parse_expr())
+                    while self.accept("op", ","):
+                        args.append(self.parse_expr())
+                self.expect("op", ")")
+                return Call(name=tok.text, args=tuple(args))
+            return Var(tok.text)
+        raise ParseError(
+            f"unexpected {tok.text or tok.kind!r} in expression",
+            tok.line,
+            tok.column,
+        )
+
+
+def parse_rule_body(source: str) -> Tuple[Assign, ...]:
+    """Parse a bare rule body (a sequence of assignment statements); used
+    by the builder API to attach DSL bodies without full transform text."""
+    parser = _Parser(source)
+    statements: List[Assign] = []
+    while not parser.at("eof"):
+        statements.append(parser.parse_assign())
+    return tuple(statements)
+
+
+def parse_expression(source: str) -> ExprNode:
+    """Parse a single expression (for builder where-clauses)."""
+    parser = _Parser(source)
+    expr = parser.parse_expr()
+    parser.expect("eof")
+    return expr
+
+
+def parse_program(source: str) -> Program:
+    """Parse a source file containing one or more transforms."""
+    return _Parser(source).parse_program()
+
+
+def parse_transform(source: str) -> TransformDecl:
+    """Parse a source file expected to contain exactly one transform."""
+    program = parse_program(source)
+    if len(program.transforms) != 1:
+        raise ParseError(
+            f"expected exactly one transform, found {len(program.transforms)}"
+        )
+    return program.transforms[0]

@@ -1,0 +1,33 @@
+"""PetaBricks runtime: matrices, tasks, scheduling, and machines.
+
+The runtime owns everything that happens after compilation:
+
+* :mod:`repro.runtime.matrix` — n-dimensional matrix storage and the
+  region views (``cell``/``region``/``row``/``column``) that rule bodies
+  receive.
+* :mod:`repro.runtime.task` — the task abstraction produced by generated
+  code: work units, dependency edges, and the spawn tree.
+* :mod:`repro.runtime.scheduler` — a Cilk-style work-stealing scheduler
+  (per-worker deques, THE protocol, random victim selection) run as a
+  deterministic discrete-event simulation over recorded task graphs.
+* :mod:`repro.runtime.machine` — architecture profiles (core count,
+  relative cycle cost, spawn/steal overheads) standing in for the paper's
+  Mobile / Xeon / Niagara testbeds.
+"""
+
+from repro.runtime.machine import MACHINES, Machine
+from repro.runtime.matrix import Matrix, MatrixView
+from repro.runtime.scheduler import ScheduleResult, WorkStealingScheduler
+from repro.runtime.task import Task, TaskGraph, TaskRecorder
+
+__all__ = [
+    "MACHINES",
+    "Machine",
+    "Matrix",
+    "MatrixView",
+    "ScheduleResult",
+    "Task",
+    "TaskGraph",
+    "TaskRecorder",
+    "WorkStealingScheduler",
+]

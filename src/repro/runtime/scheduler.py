@@ -1,0 +1,206 @@
+"""Work-stealing scheduler, run as a deterministic discrete-event simulation.
+
+Faithful to the runtime described in paper §3.2/§3.4:
+
+* one deque per worker; the owner treats the top as a stack (push/pop
+  newest — depth-first order, maximizing locality),
+* an idle worker selects a random victim and steals the *oldest* task
+  from the bottom of the victim's deque (stealing the outermost
+  continuation, Cilk-style THE protocol),
+* a task becomes schedulable only when its spawner has finished and all
+  of its dependency edges are satisfied; the worker that satisfies the
+  last dependency pushes the task onto its own deque (no barriers),
+* spawning costs ``machine.spawn_time`` per child (paid by the spawner)
+  and each successful steal costs ``machine.steal_time``; the purely
+  sequential code path pays neither.
+
+Because CPython cannot exhibit real multicore speedup, the scheduler runs
+over *recorded* task graphs (see :mod:`repro.runtime.task`) in simulated
+time.  The simulation is event-driven and fully deterministic given the
+RNG seed, so autotuning decisions are reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Set
+
+from repro.runtime.machine import Machine
+from repro.runtime.task import TaskGraph
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of simulating a task graph on a machine.
+
+    Attributes:
+        makespan: simulated parallel completion time.
+        sequential_time: time the pure sequential code path would take
+            (total work x cycle_time, zero scheduling overhead).
+        total_work: sum of task work units.
+        critical_path: span (T_inf) in simulated time units.
+        steals: number of successful steals.
+        tasks: number of scheduled tasks.
+        workers: worker count used.
+    """
+
+    makespan: float
+    sequential_time: float
+    total_work: float
+    critical_path: float
+    steals: int
+    tasks: int
+    workers: int
+
+    @property
+    def speedup(self) -> float:
+        """Sequential time over parallel makespan."""
+        if self.makespan == 0:
+            return 1.0
+        return self.sequential_time / self.makespan
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of worker-time spent on useful work."""
+        if self.makespan == 0:
+            return 1.0
+        return self.sequential_time / (self.makespan * self.workers)
+
+
+class WorkStealingScheduler:
+    """Simulates the PetaBricks dynamic scheduler on a :class:`Machine`."""
+
+    def __init__(self, machine: Machine, seed: int = 0x5eed) -> None:
+        self.machine = machine
+        self.seed = seed
+
+    def run(self, graph: TaskGraph, workers: Optional[int] = None) -> ScheduleResult:
+        """Simulate ``graph`` on ``workers`` cores (default: all cores)."""
+        machine = self.machine
+        worker_count = machine.cores if workers is None else workers
+        if worker_count < 1:
+            raise ValueError("need at least one worker")
+
+        tasks = graph.tasks
+        sequential_time = machine.compute_time(graph.total_work())
+        if not tasks:
+            return ScheduleResult(
+                makespan=0.0,
+                sequential_time=0.0,
+                total_work=0.0,
+                critical_path=0.0,
+                steals=0,
+                tasks=0,
+                workers=worker_count,
+            )
+
+        rng = random.Random(self.seed)
+        pending_deps: Dict[int, int] = {}
+        parent_pending: Set[int] = set()
+        dependents: Dict[int, List[int]] = {}
+        for task in tasks:
+            pending_deps[task.tid] = len(task.deps)
+            for dep in task.deps:
+                dependents.setdefault(dep, []).append(task.tid)
+            if task.parent is not None:
+                parent_pending.add(task.tid)
+
+        deques: List[Deque[int]] = [deque() for _ in range(worker_count)]
+        worker_free_at = [0.0] * worker_count
+        idle: Set[int] = set(range(worker_count))
+        done: Set[int] = set()
+        steals = 0
+        makespan = 0.0
+
+        # Event heap of (time, sequence, worker, task) completions.
+        events: List = []
+        seq = 0
+
+        def enabled(tid: int) -> bool:
+            return pending_deps[tid] == 0 and tid not in parent_pending
+
+        def push(worker: int, tid: int) -> None:
+            deques[worker].append(tid)
+
+        def start(worker: int, tid: int, now: float) -> None:
+            nonlocal seq
+            task = tasks[tid]
+            duration = machine.compute_time(task.work)
+            duration += task.spawns * machine.spawn_time
+            finish = now + duration
+            worker_free_at[worker] = finish
+            idle.discard(worker)
+            seq += 1
+            heapq.heappush(events, (finish, seq, worker, tid))
+
+        def try_dispatch(worker: int, now: float) -> bool:
+            """Give an idle worker something to run; True on success."""
+            nonlocal steals
+            if deques[worker]:
+                start(worker, deques[worker].pop(), now)  # LIFO: own top
+                return True
+            victims = [
+                w for w in range(worker_count) if w != worker and deques[w]
+            ]
+            if not victims:
+                return False
+            victim = rng.choice(victims)
+            stolen = deques[victim].popleft()  # FIFO end: oldest task
+            steals += 1
+            start(worker, stolen, now + machine.steal_time)
+            return True
+
+        # Seed: enabled roots start on worker 0's deque (the main thread
+        # creates the initial tasks).
+        for task in tasks:
+            if task.parent is None and pending_deps[task.tid] == 0:
+                push(0, task.tid)
+        for worker in sorted(idle):
+            try_dispatch(worker, 0.0)
+
+        while events:
+            now, _, worker, tid = heapq.heappop(events)
+            makespan = max(makespan, now)
+            done.add(tid)
+
+            # Children become spawnable once the parent finishes; newly
+            # enabled tasks go on this worker's deque.  Reverse order puts
+            # the first spawn on top so the owner executes depth-first in
+            # program order.
+            newly_ready: List[int] = []
+            for child in graph.children_of(tid):
+                parent_pending.discard(child)
+                if enabled(child):
+                    newly_ready.append(child)
+            for dependent in dependents.get(tid, ()):
+                pending_deps[dependent] -= 1
+                if enabled(dependent):
+                    newly_ready.append(dependent)
+            for ready in reversed(newly_ready):
+                push(worker, ready)
+
+            idle.add(worker)
+            # Wake idle workers (including this one): any that can take or
+            # steal a task does so at the current time.  sorted() snapshots
+            # the set; try_dispatch removes workers it occupies.
+            for candidate in sorted(idle):
+                if candidate in idle:
+                    try_dispatch(candidate, now)
+
+        if len(done) != len(tasks):
+            raise RuntimeError(
+                f"schedule deadlock: {len(tasks) - len(done)} tasks never ran"
+            )
+
+        return ScheduleResult(
+            makespan=makespan,
+            sequential_time=sequential_time,
+            total_work=graph.total_work(),
+            critical_path=machine.compute_time(graph.critical_path()),
+            steals=steals,
+            tasks=len(tasks),
+            workers=worker_count,
+        )

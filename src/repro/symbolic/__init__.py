@@ -1,0 +1,37 @@
+"""Symbolic algebra for region analysis.
+
+The PetaBricks compiler performs all of its region reasoning on *affine*
+expressions over free variables (matrix sizes like ``n`` and rule
+coordinates like ``i``, ``x``, ``y``).  The original system shelled out to
+the Maxima CAS for this; everything the compiler actually needs — exact
+rational affine arithmetic, inequality reasoning under variable bounds,
+half-open interval algebra, and solving affine constraints for a single
+variable — is provided natively by this package.
+
+Public surface:
+
+* :class:`~repro.symbolic.expr.Affine` — exact affine expression
+  ``c0 + c1*v1 + ...`` with :class:`fractions.Fraction` coefficients.
+* :class:`~repro.symbolic.assumptions.Assumptions` — per-variable integer
+  bounds used to decide symbolic inequalities.
+* :class:`~repro.symbolic.interval.Interval` /
+  :class:`~repro.symbolic.interval.Box` — half-open symbolic intervals and
+  their n-dimensional products.
+* :func:`~repro.symbolic.solve.solve_bounds_for` — turn a constraint
+  ``lo <= e(v) < hi`` into an interval for ``v``.
+"""
+
+from repro.symbolic.assumptions import Assumptions
+from repro.symbolic.expr import Affine, SymbolicCompareError, parse_affine
+from repro.symbolic.interval import Box, Interval
+from repro.symbolic.solve import solve_bounds_for
+
+__all__ = [
+    "Affine",
+    "Assumptions",
+    "Box",
+    "Interval",
+    "SymbolicCompareError",
+    "parse_affine",
+    "solve_bounds_for",
+]

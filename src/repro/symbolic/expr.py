@@ -1,0 +1,425 @@
+"""Exact affine symbolic expressions.
+
+An :class:`Affine` is an expression of the form ``c0 + c1*v1 + c2*v2 + ...``
+where the coefficients are exact :class:`fractions.Fraction` values and the
+variables are strings.  This is the only expression family the PetaBricks
+compiler needs: every region bound in the language (``n``, ``n/2``, ``i-1``,
+``c/2 + 1`` ...) is affine in the transform's free variables.
+
+Division keeps exact rational coefficients; integral semantics (C-style
+flooring) are applied only when an expression is *evaluated* against a
+concrete environment, which matches how the original compiler deferred
+integer rounding to the runtime.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from fractions import Fraction
+from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
+
+Number = Union[int, Fraction]
+AffineLike = Union["Affine", int, Fraction, str]
+
+
+class SymbolicCompareError(Exception):
+    """Raised when an inequality between affine expressions is undecidable
+    under the available assumptions."""
+
+
+def _as_fraction(value: Number) -> Fraction:
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    raise TypeError(f"expected int or Fraction, got {type(value).__name__}")
+
+
+class Affine:
+    """An immutable affine expression ``const + sum(coeff[v] * v)``.
+
+    Instances are hashable and support ``+ - * /`` with other affine
+    expressions and numbers (multiplication and division require at least
+    one constant operand, since the result must stay affine).
+    """
+
+    __slots__ = ("_coeffs", "_const", "_hash")
+
+    def __init__(
+        self,
+        const: Number = 0,
+        coeffs: Optional[Mapping[str, Number]] = None,
+    ) -> None:
+        self._const = _as_fraction(const)
+        items: Dict[str, Fraction] = {}
+        if coeffs:
+            for var, c in coeffs.items():
+                frac = _as_fraction(c)
+                if frac != 0:
+                    items[var] = frac
+        self._coeffs: Tuple[Tuple[str, Fraction], ...] = tuple(
+            sorted(items.items())
+        )
+        self._hash = hash((self._const, self._coeffs))
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def var(name: str) -> "Affine":
+        """The expression consisting of a single variable."""
+        return Affine(0, {name: 1})
+
+    @staticmethod
+    def const(value: Number) -> "Affine":
+        """A constant expression."""
+        return Affine(value)
+
+    @staticmethod
+    def coerce(value: AffineLike) -> "Affine":
+        """Convert ints, Fractions, variable names, or Affines to Affine."""
+        if isinstance(value, Affine):
+            return value
+        if isinstance(value, (int, Fraction)):
+            return Affine(value)
+        if isinstance(value, str):
+            return parse_affine(value)
+        raise TypeError(f"cannot coerce {type(value).__name__} to Affine")
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def constant(self) -> Fraction:
+        """The constant term."""
+        return self._const
+
+    @property
+    def coefficients(self) -> Dict[str, Fraction]:
+        """A fresh dict of variable coefficients (non-zero only)."""
+        return dict(self._coeffs)
+
+    def coefficient(self, var: str) -> Fraction:
+        """The coefficient of ``var`` (zero if absent)."""
+        for name, coeff in self._coeffs:
+            if name == var:
+                return coeff
+        return Fraction(0)
+
+    def variables(self) -> Tuple[str, ...]:
+        """The variables with non-zero coefficient, sorted."""
+        return tuple(name for name, _ in self._coeffs)
+
+    def is_constant(self) -> bool:
+        return not self._coeffs
+
+    def as_constant(self) -> Fraction:
+        """The value of a constant expression (raises if not constant)."""
+        if self._coeffs:
+            raise ValueError(f"{self} is not constant")
+        return self._const
+
+    # -- arithmetic --------------------------------------------------------
+
+    def __add__(self, other: AffineLike) -> "Affine":
+        other = Affine.coerce(other)
+        coeffs = dict(self._coeffs)
+        for var, coeff in other._coeffs:
+            coeffs[var] = coeffs.get(var, Fraction(0)) + coeff
+        return Affine(self._const + other._const, coeffs)
+
+    def __radd__(self, other: AffineLike) -> "Affine":
+        return self.__add__(other)
+
+    def __neg__(self) -> "Affine":
+        return Affine(-self._const, {v: -c for v, c in self._coeffs})
+
+    def __sub__(self, other: AffineLike) -> "Affine":
+        return self + (-Affine.coerce(other))
+
+    def __rsub__(self, other: AffineLike) -> "Affine":
+        return (-self) + Affine.coerce(other)
+
+    def __mul__(self, other: AffineLike) -> "Affine":
+        other = Affine.coerce(other)
+        if other.is_constant():
+            scale = other._const
+            return Affine(
+                self._const * scale, {v: c * scale for v, c in self._coeffs}
+            )
+        if self.is_constant():
+            return other.__mul__(self)
+        raise ValueError(
+            f"product of {self} and {other} is not affine"
+        )
+
+    def __rmul__(self, other: AffineLike) -> "Affine":
+        return self.__mul__(other)
+
+    def __truediv__(self, other: AffineLike) -> "Affine":
+        other = Affine.coerce(other)
+        if not other.is_constant():
+            raise ValueError(f"cannot divide by symbolic {other}")
+        if other._const == 0:
+            raise ZeroDivisionError("affine division by zero")
+        return Affine(
+            self._const / other._const,
+            {v: c / other._const for v, c in self._coeffs},
+        )
+
+    # -- substitution and evaluation ----------------------------------------
+
+    def subs(self, env: Mapping[str, AffineLike]) -> "Affine":
+        """Substitute variables with affine expressions or numbers."""
+        result = Affine(self._const)
+        for var, coeff in self._coeffs:
+            if var in env:
+                result = result + Affine.coerce(env[var]) * coeff
+            else:
+                result = result + Affine(0, {var: coeff})
+        return result
+
+    def evaluate(self, env: Mapping[str, Number]) -> Fraction:
+        """Exact rational value under a full variable assignment."""
+        total = self._const
+        for var, coeff in self._coeffs:
+            if var not in env:
+                raise KeyError(f"no value for variable {var!r} in {self}")
+            total += coeff * _as_fraction(env[var])
+        return total
+
+    def eval_floor(self, env: Mapping[str, Number]) -> int:
+        """Integer value with C-style flooring (``n/2`` -> ``n // 2``)."""
+        return math.floor(self.evaluate(env))
+
+    def eval_ceil(self, env: Mapping[str, Number]) -> int:
+        """Integer value rounded up; used for lower bounds of intervals."""
+        return math.ceil(self.evaluate(env))
+
+    # -- inequality reasoning ------------------------------------------------
+
+    def bounds(
+        self, assumptions: "AssumptionsLike" = None
+    ) -> Tuple[Optional[Fraction], Optional[Fraction]]:
+        """Smallest interval ``[lo, hi]`` guaranteed to contain this
+        expression's value, given per-variable bounds.  ``None`` means
+        unbounded on that side."""
+        from repro.symbolic.assumptions import Assumptions
+
+        asm = Assumptions.coerce(assumptions)
+        lo: Optional[Fraction] = self._const
+        hi: Optional[Fraction] = self._const
+        for var, coeff in self._coeffs:
+            var_lo, var_hi = asm.range_of(var)
+            if coeff > 0:
+                lo = None if (lo is None or var_lo is None) else lo + coeff * var_lo
+                hi = None if (hi is None or var_hi is None) else hi + coeff * var_hi
+            else:
+                lo = None if (lo is None or var_hi is None) else lo + coeff * var_hi
+                hi = None if (hi is None or var_lo is None) else hi + coeff * var_lo
+        return lo, hi
+
+    def compare(
+        self, other: AffineLike, assumptions: "AssumptionsLike" = None
+    ) -> Optional[int]:
+        """Return -1, 0, or +1 if ``self`` is always <, ==, or > ``other``
+        under the assumptions; ``None`` if undecidable."""
+        diff = self - Affine.coerce(other)
+        if diff.is_constant():
+            value = diff.as_constant()
+            return (value > 0) - (value < 0)
+        lo, hi = diff.bounds(assumptions)
+        if lo is not None and lo > 0:
+            return 1
+        if hi is not None and hi < 0:
+            return -1
+        if lo is not None and hi is not None and lo == hi == 0:
+            return 0
+        return None
+
+    def always_le(self, other: AffineLike, assumptions: "AssumptionsLike" = None) -> bool:
+        diff = self - Affine.coerce(other)
+        if diff.is_constant():
+            return diff.as_constant() <= 0
+        _, hi = diff.bounds(assumptions)
+        return hi is not None and hi <= 0
+
+    def always_ge(self, other: AffineLike, assumptions: "AssumptionsLike" = None) -> bool:
+        return Affine.coerce(other).always_le(self, assumptions)
+
+    def always_lt(self, other: AffineLike, assumptions: "AssumptionsLike" = None) -> bool:
+        diff = self - Affine.coerce(other)
+        if diff.is_constant():
+            return diff.as_constant() < 0
+        _, hi = diff.bounds(assumptions)
+        return hi is not None and hi < 0
+
+    def order_key(self, assumptions: "AssumptionsLike" = None):
+        """A callable-friendly helper for sorting bound expressions.
+
+        Sorting mixed symbolic bounds requires a total order; we use
+        :func:`sort_bounds` which performs pairwise comparisons and raises
+        :class:`SymbolicCompareError` on undecidable pairs.
+        """
+        raise NotImplementedError("use sort_bounds() to order expressions")
+
+    # -- dunder plumbing -----------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (int, Fraction)):
+            other = Affine(other)
+        if not isinstance(other, Affine):
+            return NotImplemented
+        return self._const == other._const and self._coeffs == other._coeffs
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Affine({self})"
+
+    def __str__(self) -> str:
+        parts = []
+        if self._const != 0 or not self._coeffs:
+            parts.append(_format_fraction(self._const))
+        for var, coeff in self._coeffs:
+            if coeff == 1:
+                term = var
+            elif coeff == -1:
+                term = f"-{var}"
+            elif coeff.denominator == 1:
+                term = f"{coeff.numerator}*{var}"
+            else:
+                term = f"{coeff.numerator}*{var}/{coeff.denominator}"
+            if parts and not term.startswith("-"):
+                parts.append(f"+{term}")
+            else:
+                parts.append(term)
+        return "".join(parts) if len(parts) == 1 else " ".join(parts)
+
+
+def _format_fraction(value: Fraction) -> str:
+    if value.denominator == 1:
+        return str(value.numerator)
+    return f"{value.numerator}/{value.denominator}"
+
+
+def sort_bounds(
+    exprs: Iterable[Affine], assumptions: "AssumptionsLike" = None
+) -> Tuple[Affine, ...]:
+    """Sort affine expressions into non-decreasing order under assumptions.
+
+    Duplicates (symbolically equal expressions) are collapsed.  Raises
+    :class:`SymbolicCompareError` when two bounds cannot be ordered; the
+    caller (the choice-grid pass) surfaces this as a compile error, exactly
+    as the original compiler did when its inference system failed.
+    """
+    unique: list[Affine] = []
+    for expr in exprs:
+        if not any(expr == seen for seen in unique):
+            unique.append(expr)
+    # Insertion sort with symbolic comparisons: n is tiny (region bounds).
+    # Non-strict comparisons suffice: after deduplication, a <= b places a
+    # first (ties cannot occur between distinct canonical expressions that
+    # are provably <= in both directions unless they are equal everywhere
+    # in the assumed range, in which case either order is valid).
+    ordered: list[Affine] = []
+    for expr in unique:
+        placed = False
+        for idx, existing in enumerate(ordered):
+            if expr.always_le(existing, assumptions):
+                ordered.insert(idx, expr)
+                placed = True
+                break
+            if not existing.always_le(expr, assumptions):
+                raise SymbolicCompareError(
+                    f"cannot order bounds {expr} and {existing}"
+                )
+        if not placed:
+            ordered.append(expr)
+    return tuple(ordered)
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<num>\d+)|(?P<name>[A-Za-z_]\w*)|(?P<op>[()+\-*/]))"
+)
+
+
+def parse_affine(text: str) -> Affine:
+    """Parse an arithmetic expression like ``"n/2 + 1"`` into an Affine.
+
+    Supports ``+ - * /``, parentheses, integer literals, and variable
+    names.  Division is exact-rational; products must have a constant
+    operand (otherwise the expression is not affine and a ValueError is
+    raised).
+    """
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            if text[pos:].strip() == "":
+                break
+            raise ValueError(f"bad character in affine expression: {text[pos:]!r}")
+        tokens.append(match.group().strip())
+        pos = match.end()
+    tokens = [tok for tok in tokens if tok]
+    index = 0
+
+    def peek() -> Optional[str]:
+        return tokens[index] if index < len(tokens) else None
+
+    def take() -> str:
+        nonlocal index
+        tok = tokens[index]
+        index += 1
+        return tok
+
+    def parse_expr() -> Affine:
+        node = parse_term()
+        while peek() in ("+", "-"):
+            op = take()
+            rhs = parse_term()
+            node = node + rhs if op == "+" else node - rhs
+        return node
+
+    def parse_term() -> Affine:
+        node = parse_unary()
+        while peek() in ("*", "/"):
+            op = take()
+            rhs = parse_unary()
+            node = node * rhs if op == "*" else node / rhs
+        return node
+
+    def parse_unary() -> Affine:
+        if peek() == "-":
+            take()
+            return -parse_unary()
+        if peek() == "+":
+            take()
+            return parse_unary()
+        return parse_atom()
+
+    def parse_atom() -> Affine:
+        tok = peek()
+        if tok is None:
+            raise ValueError(f"unexpected end of expression: {text!r}")
+        if tok == "(":
+            take()
+            node = parse_expr()
+            if peek() != ")":
+                raise ValueError(f"missing ')' in {text!r}")
+            take()
+            return node
+        take()
+        if tok.isdigit():
+            return Affine(int(tok))
+        return Affine.var(tok)
+
+    result = parse_expr()
+    if index != len(tokens):
+        raise ValueError(f"trailing tokens in affine expression {text!r}")
+    return result
+
+
+# Imported late to avoid a cycle; used only in type positions above.
+from repro.symbolic.assumptions import AssumptionsLike  # noqa: E402

@@ -1,0 +1,86 @@
+"""Solving affine constraints for a single variable.
+
+The applicable-region pass needs to answer: for which values of the rule
+variable ``i`` does an index expression ``e(i)`` fall inside ``[lo, hi)``?
+Because ``e`` is affine in ``i``, this is a one-variable linear
+inequality: with ``e = c*i + r`` (``r`` free of ``i``),
+
+* ``c > 0``:  ``i in [ (lo - r)/c, (hi - r)/c )``
+* ``c < 0``:  the inequalities flip; the interval endpoints come from the
+  opposite constraint sides, and because our intervals are half-open we
+  conservatively use exact rational endpoints (``i > q`` over integers is
+  ``i >= q + epsilon``; concrete evaluation rounds with ceil, which is
+  exact whenever q is integral — the only case the language produces).
+* ``c == 0``: the constraint does not restrict ``i``; it is either always
+  satisfiable (leave unbounded) or a compile-time error when provably
+  violated.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional
+
+from repro.symbolic.assumptions import AssumptionsLike
+from repro.symbolic.expr import Affine, AffineLike
+from repro.symbolic.interval import Interval
+
+
+class UnsatisfiableConstraint(Exception):
+    """A dependency index provably falls outside its matrix for every value
+    of the rule variables (a compile-time bug in the input program)."""
+
+
+def solve_bounds_for(
+    var: str,
+    expr: AffineLike,
+    lo: AffineLike,
+    hi: AffineLike,
+    assumptions: AssumptionsLike = None,
+) -> Optional[Interval]:
+    """Solve ``lo <= expr(var) < hi`` for ``var``.
+
+    Returns the half-open interval of satisfying values of ``var`` (whose
+    endpoints may mention other free variables), or ``None`` when the
+    constraint does not involve ``var`` and is not provably violated.
+    Raises :class:`UnsatisfiableConstraint` when the constraint is provably
+    violated regardless of ``var``.
+    """
+    expr = Affine.coerce(expr)
+    lo = Affine.coerce(lo)
+    hi = Affine.coerce(hi)
+    coeff = expr.coefficient(var)
+    rest = expr - Affine(0, {var: coeff})
+
+    if coeff == 0:
+        # The constraint is independent of var: check satisfiability.
+        if expr.always_lt(lo, assumptions) or hi.always_le(expr, assumptions):
+            raise UnsatisfiableConstraint(
+                f"index {expr} can never lie in [{lo}, {hi})"
+            )
+        return None
+
+    lower = (lo - rest) / coeff
+    upper = (hi - rest) / coeff
+    if coeff > 0:
+        return Interval(lower, upper)
+    # Negative coefficient: lo <= c*v + r < hi  <=>
+    #   (lo - r)/c >= v  and  v > (hi - r)/c.
+    # Over the integers, v > q is v >= floor(q) + 1; over exact rationals we
+    # return [upper', lower') with a one-cell shift when q is integral.
+    # expr decreasing in var: v ranges over ( (hi-r)/c , (lo-r)/c ].
+    strict_low = upper  # exclusive lower bound
+    incl_high = lower  # inclusive upper bound
+    return Interval(strict_low + Fraction(1), incl_high + Fraction(1))
+
+
+def solve_equal(var: str, lhs: AffineLike, rhs: AffineLike) -> Optional[Affine]:
+    """Solve ``lhs(var) == rhs(var)`` for ``var``; ``None`` when ``var``
+    cancels out (the equation is then either an identity or inconsistent,
+    which the caller must check)."""
+    diff = Affine.coerce(lhs) - Affine.coerce(rhs)
+    coeff = diff.coefficient(var)
+    if coeff == 0:
+        return None
+    rest = diff - Affine(0, {var: coeff})
+    return (-rest) / coeff

@@ -1,0 +1,121 @@
+"""Tests for the symmetric tridiagonal eigenproblem benchmark."""
+
+import numpy as np
+import pytest
+
+from repro.apps import eigen as eig_app
+from repro.autotuner import Evaluator
+from repro.compiler import ChoiceConfig, Selector
+from repro.runtime import MACHINES
+
+
+@pytest.fixture(scope="module")
+def program():
+    return eig_app.build_program()
+
+
+def static_config(option):
+    config = ChoiceConfig()
+    config.set_choice(eig_app.EIG_SITE, Selector.static(option))
+    return config
+
+
+def check(d, e, lam, Q, tol=1e-7):
+    n = d.shape[0]
+    T = np.diag(d)
+    if n > 1:
+        T += np.diag(e, -1) + np.diag(e, 1)
+    np.testing.assert_allclose(lam, np.linalg.eigvalsh(T), atol=tol)
+    residual = T @ Q - Q * lam[None, :]
+    assert np.max(np.abs(residual)) < 1e-6
+
+
+def random_input(n, seed=0):
+    rng = np.random.default_rng(seed)
+    d = rng.standard_normal(n)
+    e = rng.standard_normal(max(0, n - 1))
+    return d, e
+
+
+class TestPacking:
+    def test_roundtrip(self):
+        d, e = random_input(5)
+        T = eig_app.pack_input(d, e)
+        assert T.shape == (2, 5)
+        np.testing.assert_allclose(T[0], d)
+        np.testing.assert_allclose(T[1, :4], e)
+
+    def test_unpack(self):
+        vl = np.arange(12, dtype=float).reshape(4, 3)
+        lam, Q = eig_app.unpack_output(vl)
+        assert lam.shape == (3,) and Q.shape == (3, 3)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("option", [0, 1])
+    @pytest.mark.parametrize("n", [1, 2, 7, 24])
+    def test_flat_algorithms(self, program, option, n):
+        d, e = random_input(n, seed=n * 7 + option)
+        result = program.transform("Eig").run(
+            [eig_app.pack_input(d, e)], static_config(option)
+        )
+        lam, Q = eig_app.unpack_output(result.output("VL"))
+        check(d, e, lam, Q)
+
+    @pytest.mark.parametrize("n", [3, 16, 33])
+    def test_dc_recursive(self, program, n):
+        d, e = random_input(n, seed=n)
+        result = program.transform("Eig").run(
+            [eig_app.pack_input(d, e)], static_config(2)
+        )
+        lam, Q = eig_app.unpack_output(result.output("VL"))
+        check(d, e, lam, Q)
+
+    def test_cutoff25_config(self, program):
+        d, e = random_input(60, seed=42)
+        result = program.transform("Eig").run(
+            [eig_app.pack_input(d, e)], eig_app.cutoff_config(25)
+        )
+        lam, Q = eig_app.unpack_output(result.output("VL"))
+        check(d, e, lam, Q)
+
+    def test_all_options_agree(self, program):
+        d, e = random_input(20, seed=5)
+        results = []
+        for option in range(3):
+            result = program.transform("Eig").run(
+                [eig_app.pack_input(d, e)], static_config(option)
+            )
+            lam, _ = eig_app.unpack_output(result.output("VL"))
+            results.append(lam)
+        np.testing.assert_allclose(results[0], results[1], atol=1e-7)
+        np.testing.assert_allclose(results[0], results[2], atol=1e-7)
+
+
+class TestCostModel:
+    def time_of(self, program, config, n, machine="xeon8"):
+        ev = Evaluator(
+            program, "Eig", eig_app.input_generator, MACHINES[machine]
+        )
+        return ev.time(config, n)
+
+    def test_dc_with_cutoff_beats_pure_qr(self, program):
+        n = 128
+        assert self.time_of(program, eig_app.cutoff_config(25), n) < self.time_of(
+            program, static_config(0), n
+        )
+
+    def test_bisection_parallelism(self, program):
+        """Bisection is embarrassingly parallel: big 1->8 core speedup."""
+        ev1 = Evaluator(program, "Eig", eig_app.input_generator, MACHINES["xeon1"])
+        ev8 = Evaluator(program, "Eig", eig_app.input_generator, MACHINES["xeon8"])
+        config = static_config(1)
+        speedup = ev1.time(config, 256) / ev8.time(config, 256)
+        assert speedup > 4.0
+
+    def test_qr_sequential(self, program):
+        ev1 = Evaluator(program, "Eig", eig_app.input_generator, MACHINES["xeon1"])
+        ev8 = Evaluator(program, "Eig", eig_app.input_generator, MACHINES["xeon8"])
+        config = static_config(0)
+        ratio = ev1.time(config, 128) / ev8.time(config, 128)
+        assert ratio == pytest.approx(1.0, rel=0.05)

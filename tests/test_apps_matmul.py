@@ -1,0 +1,125 @@
+"""Tests for the MatrixMultiply benchmark application."""
+
+import numpy as np
+import pytest
+
+from repro.apps import matmul as mm_app
+from repro.autotuner import Evaluator, check_consistency
+from repro.compiler import ChoiceConfig, Selector
+from repro.runtime import MACHINES
+
+
+@pytest.fixture(scope="module")
+def program():
+    return mm_app.build_program()
+
+
+def reference(a, b):
+    return np.einsum("ky,xk->xy", a, b)
+
+
+def static_config(option):
+    config = ChoiceConfig()
+    config.set_choice(mm_app.MM_SITE, Selector.static(option))
+    return config
+
+
+def hybrid_config(option, base_n=8):
+    """Recursive option above base_n, transpose below."""
+    config = ChoiceConfig()
+    config.set_choice(
+        mm_app.MM_SITE,
+        Selector(((mm_app.size_metric(base_n) + 1, 2), (None, option))),
+    )
+    return config
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("option", [0, 1, 2])
+    def test_flat_variants(self, program, option):
+        rng = np.random.default_rng(option)
+        a = rng.standard_normal((12, 12))
+        b = rng.standard_normal((12, 12))
+        result = program.transform("MatrixMultiply").run([a, b], static_config(option))
+        np.testing.assert_allclose(result.output("AB"), reference(a, b), atol=1e-10)
+
+    @pytest.mark.parametrize("option", [3, 4, 5, 6])
+    def test_recursive_variants(self, program, option):
+        rng = np.random.default_rng(option)
+        a = rng.standard_normal((32, 32))
+        b = rng.standard_normal((32, 32))
+        result = program.transform("MatrixMultiply").run(
+            [a, b], hybrid_config(option)
+        )
+        np.testing.assert_allclose(result.output("AB"), reference(a, b), atol=1e-9)
+
+    def test_strassen_odd_size_falls_back(self, program):
+        rng = np.random.default_rng(9)
+        a = rng.standard_normal((15, 15))
+        b = rng.standard_normal((15, 15))
+        result = program.transform("MatrixMultiply").run([a, b], static_config(6))
+        np.testing.assert_allclose(result.output("AB"), reference(a, b), atol=1e-10)
+
+    def test_nonsquare(self, program):
+        rng = np.random.default_rng(10)
+        a = rng.standard_normal((6, 3))  # c=6, h=3
+        b = rng.standard_normal((9, 6))  # w=9, c=6
+        for option in (0, 1, 2):
+            result = program.transform("MatrixMultiply").run(
+                [a, b], static_config(option)
+            )
+            np.testing.assert_allclose(
+                result.output("AB"), reference(a, b), atol=1e-10
+            )
+
+    def test_consistency_harness(self, program):
+        compared = check_consistency(
+            program,
+            "MatrixMultiply",
+            mm_app.input_generator,
+            sizes=[4, 16],
+            threshold=1e-8,
+        )
+        assert all(count >= 3 for count in compared.values())
+
+    def test_one_by_one(self, program):
+        result = program.transform("MatrixMultiply").run(
+            [np.array([[3.0]]), np.array([[4.0]])], static_config(0)
+        )
+        np.testing.assert_allclose(result.output("AB"), [[12.0]])
+
+
+class TestCostModel:
+    def time_of(self, program, config, n, machine="xeon1"):
+        ev = Evaluator(
+            program, "MatrixMultiply", mm_app.input_generator, MACHINES[machine]
+        )
+        return ev.time(config, n)
+
+    def test_transpose_beats_basic(self, program):
+        assert self.time_of(program, static_config(2), 64) < self.time_of(
+            program, static_config(0), 64
+        )
+
+    def test_blocking_between_basic_and_transpose(self, program):
+        basic = self.time_of(program, static_config(0), 64)
+        blocked = self.time_of(program, static_config(1), 64)
+        transpose = self.time_of(program, static_config(2), 64)
+        assert transpose < blocked < basic
+
+    def test_strassen_asymptotics(self, program):
+        """Strassen's 7-multiply recursion must beat the O(n^3) variants
+        at large sizes (sequentially, where parallelism can't hide it)."""
+        strassen = hybrid_config(6, base_n=16)
+        transpose = static_config(2)
+        n = 256
+        assert self.time_of(program, strassen, n) < self.time_of(
+            program, transpose, n
+        )
+
+    def test_recursive_scales_on_8_cores(self, program):
+        config = hybrid_config(4, base_n=16)
+        ev1 = Evaluator(program, "MatrixMultiply", mm_app.input_generator, MACHINES["xeon1"])
+        ev8 = Evaluator(program, "MatrixMultiply", mm_app.input_generator, MACHINES["xeon8"])
+        speedup = ev1.time(config, 128) / ev8.time(config, 128)
+        assert speedup > 2.0

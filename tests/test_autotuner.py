@@ -1,0 +1,307 @@
+"""Tests for the autotuner: n-ary search, candidates, the genetic tuner,
+consistency checking, and accuracy utilities.
+
+The genetic-tuner tests use a toy recursive TreeSum transform built with
+the Python builder API (also exercising builder + native bodies end to
+end): a sequential direct rule versus a parallel recursive split.  The
+tuner must discover the paper's signature result — a hybrid composition
+with an architecture-dependent cutoff — from scratch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autotuner import (
+    Candidate,
+    ConsistencyError,
+    Evaluator,
+    GeneticTuner,
+    add_level,
+    check_consistency,
+    fastest_per_bin,
+    nary_search,
+    pareto_front,
+    seed_population,
+)
+from repro.autotuner.accuracy import Scored, accuracy_ratio
+from repro.autotuner.candidates import dedupe, set_tunable
+from repro.compiler import ChoiceConfig, Selector, TransformBuilder, compile_program
+from repro.compiler.config import site_key
+from repro.runtime import MACHINES
+
+
+def build_treesum():
+    """TreeSum: S = sum(A).  Rule 0 is a sequential direct sum (work n);
+    rule 1 splits in half and recurses in parallel (work ~1 per level)."""
+    b = TransformBuilder("TreeSum")
+    b.input("A", "n")
+    b.output("S")
+
+    def direct(ctx):
+        view = ctx["a"]
+        ctx["s"].set(float(np.sum(view.to_numpy())))
+        ctx.charge(max(1, view.shape[0]))
+
+    def split(ctx):
+        view = ctx["a"]
+        half = view.shape[0] // 2
+        n = view.shape[0]
+        left, right = ctx.parallel(
+            lambda: ctx.call("TreeSum", view.region(0, half)),
+            lambda: ctx.call("TreeSum", view.region(half, n)),
+        )
+        ctx["s"].set(left.value + right.value)
+        ctx.charge(2)
+
+    b.rule(to=[("S", "all", "s")], from_=[("A", "all", "a")], body=direct,
+           label="direct")
+    b.rule(to=[("S", "all", "s")], from_=[("A", "all", "a")], body=split,
+           label="split", recursive=True)
+    return compile_program([b.build()])
+
+
+def treesum_inputs(size, rng):
+    return [np.array([rng.uniform(-1, 1) for _ in range(size)])]
+
+
+SITE = site_key("TreeSum", "S", 0)
+
+
+@pytest.fixture(scope="module")
+def treesum():
+    return build_treesum()
+
+
+class TestNarySearch:
+    def test_convex(self):
+        best, cost = nary_search(lambda v: (v - 37) ** 2, 1, 1000)
+        assert best == 37 and cost == 0
+
+    def test_boundary_minimum(self):
+        best, _ = nary_search(lambda v: v, 1, 100)
+        assert best == 1
+
+    def test_decreasing(self):
+        best, _ = nary_search(lambda v: -v, 1, 100)
+        assert best == 100
+
+    def test_single_point(self):
+        assert nary_search(lambda v: v, 5, 5) == (5, 5)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            nary_search(lambda v: v, 10, 5)
+
+    def test_memoizes(self):
+        calls = []
+
+        def objective(v):
+            calls.append(v)
+            return abs(v - 50)
+
+        nary_search(objective, 1, 128, arity=4, rounds=4)
+        assert len(calls) == len(set(calls))
+
+
+class TestCandidates:
+    def test_seeds_cover_all_options(self, treesum):
+        seeds = seed_population([treesum.transform("TreeSum")])
+        assert len(seeds) == 2
+        picks = [c.config.choice_for(SITE).pick(10) for c in seeds]
+        assert picks == [0, 1]
+
+    def test_add_level(self):
+        base = Candidate(config=ChoiceConfig())
+        base.config.set_choice(SITE, Selector.static(0))
+        mutated = add_level(base, SITE, 1, 64)
+        selector = mutated.config.choice_for(SITE)
+        assert selector.pick(10) == 0
+        assert selector.pick(100) == 1
+
+    def test_add_level_noop_when_same_option(self):
+        base = Candidate(config=ChoiceConfig())
+        base.config.set_choice(SITE, Selector.static(1))
+        assert add_level(base, SITE, 1, 64) is None
+
+    def test_add_level_rejects_nonmonotone_threshold(self):
+        base = Candidate(config=ChoiceConfig())
+        base.config.set_choice(SITE, Selector(((64, 0), (None, 1))))
+        assert add_level(base, SITE, 0, 32) is None
+
+    def test_add_level_stacks(self):
+        base = Candidate(config=ChoiceConfig())
+        base.config.set_choice(SITE, Selector.static(0))
+        first = add_level(base, SITE, 1, 32)
+        second = add_level(first, SITE, 0, 128)
+        selector = second.config.choice_for(SITE)
+        assert selector.pick(10) == 0
+        assert selector.pick(64) == 1
+        assert selector.pick(1000) == 0
+
+    def test_clone_is_independent(self):
+        base = Candidate(config=ChoiceConfig())
+        base.config.set_tunable("x", 1)
+        clone = base.clone("child")
+        clone.config.set_tunable("x", 2)
+        assert base.config.tunable("x", 0) == 1
+
+    def test_dedupe(self):
+        a = Candidate(config=ChoiceConfig())
+        b = Candidate(config=ChoiceConfig())
+        c = set_tunable(a, "k", 3)
+        assert len(dedupe([a, b, c])) == 2
+
+
+class TestEvaluator:
+    def test_time_is_deterministic(self, treesum):
+        ev = Evaluator(treesum, "TreeSum", treesum_inputs, MACHINES["xeon8"])
+        config = ChoiceConfig()
+        assert ev.time(config, 64) == ev.time(config, 64)
+
+    def test_cache_counts_evaluations(self, treesum):
+        ev = Evaluator(treesum, "TreeSum", treesum_inputs, MACHINES["xeon8"])
+        config = ChoiceConfig()
+        ev.time(config, 32)
+        ev.time(config, 32)
+        assert ev.evaluations == 1
+
+    def test_parallel_split_beats_direct_on_8_cores(self, treesum):
+        ev = Evaluator(treesum, "TreeSum", treesum_inputs, MACHINES["xeon8"])
+        direct = ChoiceConfig()
+        direct.set_choice(SITE, Selector.static(0))
+        hybrid = ChoiceConfig()
+        # split down to 4096-element chunks, then direct.
+        hybrid.set_choice(SITE, Selector(((4097, 0), (None, 1))))
+        size = 65536
+        assert ev.time(hybrid, size) < ev.time(direct, size)
+
+    def test_direct_wins_on_1_core(self, treesum):
+        ev = Evaluator(treesum, "TreeSum", treesum_inputs, MACHINES["xeon1"])
+        direct = ChoiceConfig()
+        direct.set_choice(SITE, Selector.static(0))
+        hybrid = ChoiceConfig()
+        hybrid.set_choice(SITE, Selector(((4097, 0), (None, 1))))
+        size = 65536
+        assert ev.time(direct, size) <= ev.time(hybrid, size)
+
+    def test_pure_recursion_fails(self, treesum):
+        ev = Evaluator(treesum, "TreeSum", treesum_inputs, MACHINES["xeon8"])
+        config = ChoiceConfig()
+        config.set_choice(SITE, Selector.static(1))
+        with pytest.raises(Exception, match="recursion"):
+            ev.time(config, 64)
+
+
+class TestGeneticTuner:
+    @pytest.fixture(scope="class")
+    def tuned_xeon8(self, treesum):
+        ev = Evaluator(treesum, "TreeSum", treesum_inputs, MACHINES["xeon8"])
+        tuner = GeneticTuner(
+            ev, min_size=64, max_size=16384, population_size=6,
+            tunable_rounds=0, refine_passes=0,
+        )
+        return ev, tuner.tune()
+
+    def test_tuned_beats_both_seeds(self, treesum, tuned_xeon8):
+        ev, result = tuned_xeon8
+        size = 16384
+        direct = ChoiceConfig()
+        direct.set_choice(SITE, Selector.static(0))
+        assert ev.time(result.config, size) <= ev.time(direct, size)
+
+    def test_tuned_uses_hybrid_on_8_cores(self, tuned_xeon8):
+        _, result = tuned_xeon8
+        selector = result.config.choice_for(SITE)
+        # Top level must be the parallel split, with the direct rule at
+        # the bottom (a multi-level composition).
+        assert selector.levels[-1][1] == 1
+        assert selector.pick(1) == 0
+
+    def test_history_recorded(self, tuned_xeon8):
+        _, result = tuned_xeon8
+        assert [log.size for log in result.history] == [
+            64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384,
+        ]
+
+    def test_single_core_prefers_direct(self, treesum):
+        ev = Evaluator(treesum, "TreeSum", treesum_inputs, MACHINES["xeon1"])
+        tuner = GeneticTuner(
+            ev, min_size=64, max_size=4096, population_size=6,
+            tunable_rounds=0, refine_passes=0,
+        )
+        result = tuner.tune()
+        selector = result.config.choice_for(SITE)
+        assert selector.pick(4096) == 0
+
+
+class TestConsistency:
+    ROLLING = """
+    transform RollingSum from A[n] to B[n]
+    {
+      to (B.cell(i) b) from (A.region(0, i+1) in) { b = sum(in); }
+      to (B.cell(i) b) from (A.cell(i) a, B.cell(i-1) leftSum) {
+        b = a + leftSum;
+      }
+    }
+    """
+
+    BROKEN = """
+    transform Broken from A[n] to B[n]
+    {
+      to (B.cell(i) b) from (A.cell(i) a) { b = a; }
+      to (B.cell(i) b) from (A.cell(i) a) { b = a + 1; }
+    }
+    """
+
+    @staticmethod
+    def gen(size, rng):
+        return [np.array([rng.uniform(0, 1) for _ in range(size)])]
+
+    def test_consistent_program_passes(self):
+        program = compile_program(self.ROLLING)
+        compared = check_consistency(
+            program, "RollingSum", self.gen, sizes=[1, 7, 32], threshold=1e-9
+        )
+        assert all(count >= 2 for count in compared.values())
+
+    def test_inconsistent_program_detected(self):
+        program = compile_program(self.BROKEN)
+        with pytest.raises(ConsistencyError):
+            check_consistency(program, "Broken", self.gen, sizes=[8])
+
+    def test_threshold_tolerates_small_differences(self):
+        program = compile_program(self.BROKEN)
+        check_consistency(program, "Broken", self.gen, sizes=[8], threshold=2.0)
+
+
+class TestAccuracyUtilities:
+    def test_accuracy_ratio(self):
+        assert accuracy_ratio(100.0, 1.0) == 100.0
+        assert accuracy_ratio(1.0, 0.0) == float("inf")
+
+    def test_pareto_front(self):
+        points = [
+            Scored("slow-accurate", time=10.0, accuracy=1e9),
+            Scored("fast-sloppy", time=1.0, accuracy=1e2),
+            Scored("dominated", time=12.0, accuracy=1e8),
+            Scored("mid", time=5.0, accuracy=1e5),
+        ]
+        front = {s.candidate for s in pareto_front(points)}
+        assert front == {"slow-accurate", "fast-sloppy", "mid"}
+
+    def test_fastest_per_bin(self):
+        points = [
+            Scored("a", time=1.0, accuracy=50.0),
+            Scored("b", time=3.0, accuracy=2e3),
+            Scored("c", time=9.0, accuracy=2e9),
+        ]
+        best = fastest_per_bin(points, bins=(1e1, 1e3, 1e9))
+        assert best[1e1].candidate == "a"
+        assert best[1e3].candidate == "b"
+        assert best[1e9].candidate == "c"
+
+    def test_unreachable_bin_is_none(self):
+        best = fastest_per_bin(
+            [Scored("a", time=1.0, accuracy=10.0)], bins=(1e5,)
+        )
+        assert best[1e5] is None

@@ -1,0 +1,103 @@
+"""Tests for the command-line interface (the Figure 2 workflow)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.compiler import ChoiceConfig, Selector
+
+ROLLING = """
+transform RollingSum
+from A[n]
+to B[n]
+{
+  to (B.cell(i) b) from (A.region(0, i+1) in) { b = sum(in); }
+  to (B.cell(i) b) from (A.cell(i) a, B.cell(i-1) s) { b = a + s; }
+}
+"""
+
+
+@pytest.fixture()
+def source(tmp_path):
+    path = tmp_path / "rolling.pbcc"
+    path.write_text(ROLLING)
+    return str(path)
+
+
+class TestCompile:
+    def test_shows_sites_and_choices(self, source, capsys):
+        assert main(["compile", source]) == 0
+        out = capsys.readouterr().out
+        assert "transform RollingSum" in out
+        assert "RollingSum.B.1" in out
+        assert "rule0" in out and "rule1" in out
+
+
+class TestRun:
+    def test_run_with_input_file(self, source, tmp_path, capsys):
+        data = tmp_path / "in.npy"
+        np.save(data, np.arange(5.0))
+        assert main(["run", source, "-t", "RollingSum", "--input", str(data)]) == 0
+        out = capsys.readouterr().out
+        assert "B (shape (5,))" in out
+        assert "10." in out  # cumulative sum tail
+
+    def test_run_with_text_input(self, source, tmp_path, capsys):
+        data = tmp_path / "in.txt"
+        data.write_text("1.0 2.0 3.0")
+        assert main(["run", source, "-t", "RollingSum", "--input", str(data)]) == 0
+        assert "6." in capsys.readouterr().out
+
+    def test_run_random_input(self, source, capsys):
+        assert main(["run", source, "-t", "RollingSum", "--random-input", "8"]) == 0
+        assert "8 rule applications" in capsys.readouterr().out or "tasks" in ""
+
+    def test_run_saves_output(self, source, tmp_path, capsys):
+        data = tmp_path / "in.npy"
+        np.save(data, np.ones(4))
+        out_path = tmp_path / "out.npy"
+        assert main([
+            "run", source, "-t", "RollingSum",
+            "--input", str(data), "--output", str(out_path),
+        ]) == 0
+        np.testing.assert_allclose(np.load(out_path), [1, 2, 3, 4])
+
+    def test_run_with_config(self, source, tmp_path, capsys):
+        config = ChoiceConfig()
+        config.set_choice("RollingSum.B.1", Selector.static(1))
+        cfg_path = tmp_path / "cfg.json"
+        config.save(str(cfg_path))
+        data = tmp_path / "in.npy"
+        np.save(data, np.ones(4))
+        assert main([
+            "run", source, "-t", "RollingSum",
+            "--input", str(data), "--config", str(cfg_path),
+        ]) == 0
+
+    def test_run_missing_inputs_errors(self, source, capsys):
+        assert main(["run", source, "-t", "RollingSum"]) == 2
+
+
+class TestTuneAndReport:
+    def test_tune_writes_config(self, source, tmp_path, capsys):
+        cfg = tmp_path / "tuned.json"
+        assert main([
+            "tune", source, "-t", "RollingSum",
+            "--machine", "xeon1", "--min-size", "16", "--max-size", "64",
+            "-o", str(cfg),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "best simulated time" in out
+        assert cfg.exists()
+        restored = ChoiceConfig.load(str(cfg))
+        assert restored.choice_for("RollingSum.B.1") is not None
+
+    def test_report(self, tmp_path, capsys):
+        config = ChoiceConfig()
+        config.set_choice("T.Y.0", Selector(((64, 0), (None, 1))))
+        config.set_tunable("T.k", 9)
+        path = tmp_path / "cfg.json"
+        config.save(str(path))
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "T.Y.0" in out and "T.k = 9" in out

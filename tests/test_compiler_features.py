@@ -1,0 +1,167 @@
+"""Tests for the remaining language/compiler features: template
+transforms, generator declarations, configuration files (including
+size-leveled tunables), and static specialization."""
+
+import numpy as np
+import pytest
+
+from repro.autotuner import Evaluator
+from repro.autotuner.evaluation import generator_inputs
+from repro.compiler import ChoiceConfig, Selector, compile_program
+from repro.compiler.codegen import dead_choice_report, specialize
+from repro.language.errors import CompileError
+from repro.runtime import MACHINES
+
+TEMPLATED = """
+transform Scale template <FACTOR, 1, 100>
+from A[n]
+to B[n]
+{
+  to (B.cell(i) b) from (A.cell(i) a) { b = a * FACTOR; }
+}
+"""
+
+WITH_GENERATOR = """
+transform RandomInput
+to R[n]
+{
+  to (R.cell(i) r) from () { r = rand(); }
+}
+
+transform Sum
+from A[n]
+to S
+generator RandomInput
+{
+  to (S s) from (A a) { s = sum(a); }
+}
+"""
+
+
+class TestTemplates:
+    def test_instantiation_creates_named_instances(self):
+        program = compile_program(TEMPLATED, template_values={"Scale": [2, 10]})
+        assert set(program.transforms) == {"Scale_2", "Scale_10"}
+
+    def test_instances_compute_with_their_value(self):
+        program = compile_program(TEMPLATED, template_values={"Scale": [3]})
+        result = program.transform("Scale_3").run([np.array([1.0, 2.0])])
+        np.testing.assert_allclose(result.output("B"), [3.0, 6.0])
+
+    def test_instances_have_independent_choice_sites(self):
+        program = compile_program(TEMPLATED, template_values={"Scale": [2, 4]})
+        sites_2 = [k for k, _ in program.transform("Scale_2").choice_sites()]
+        sites_4 = [k for k, _ in program.transform("Scale_4").choice_sites()]
+        assert sites_2 != sites_4
+
+    def test_uninstantiated_template_not_compiled(self):
+        program = compile_program(TEMPLATED)
+        assert not program.transforms
+
+    def test_out_of_range_value_rejected(self):
+        with pytest.raises(CompileError):
+            compile_program(TEMPLATED, template_values={"Scale": [500]})
+
+
+class TestGenerator:
+    def test_generator_produces_inputs(self):
+        program = compile_program(WITH_GENERATOR)
+        gen = generator_inputs(program, "Sum")
+        import random
+
+        inputs = gen(16, random.Random(1))
+        assert len(inputs) == 1 and inputs[0].shape == (16,)
+        assert np.all((inputs[0] >= 0) & (inputs[0] < 1))
+
+    def test_generator_varies_with_rng(self):
+        program = compile_program(WITH_GENERATOR)
+        gen = generator_inputs(program, "Sum")
+        import random
+
+        a = gen(8, random.Random(1))[0]
+        b = gen(8, random.Random(2))[0]
+        assert not np.allclose(a, b)
+
+    def test_generator_feeds_evaluator(self):
+        program = compile_program(WITH_GENERATOR)
+        evaluator = Evaluator(
+            program, "Sum", generator_inputs(program, "Sum"), MACHINES["xeon1"]
+        )
+        assert evaluator.time(ChoiceConfig(), 32) > 0
+
+    def test_missing_generator_rejected(self):
+        program = compile_program(WITH_GENERATOR)
+        with pytest.raises(ValueError):
+            generator_inputs(program, "RandomInput")
+
+
+SORTISH = """
+transform Reverse
+from A[n]
+to B[n]
+{
+  to (B.cell(i) b) from (A.cell(n - 1 - i) a) { b = a; }
+  to (B.cell(i) b) from (A.cell(n - 1 - i) a) { b = a + 0; }
+}
+"""
+
+
+class TestSpecialization:
+    def test_static_program_ignores_runtime_config(self):
+        program = compile_program(SORTISH)
+        frozen = ChoiceConfig()
+        frozen.set_choice("Reverse.B.0", Selector.static(1))
+        static = specialize(program, frozen)
+        # Passing a different config at run time must have no effect.
+        override = ChoiceConfig()
+        override.set_choice("Reverse.B.0", Selector.static(0))
+        result = static.transform("Reverse").run([np.arange(4.0)], override)
+        np.testing.assert_allclose(result.output("B"), [3, 2, 1, 0])
+
+    def test_dead_choice_report(self):
+        program = compile_program(SORTISH)
+        config = ChoiceConfig()
+        config.set_choice("Reverse.B.0", Selector.static(0))
+        report = dead_choice_report(program, config)
+        assert report == {"Reverse.B.0": ["rule1"]}
+
+    def test_multilevel_selector_keeps_both(self):
+        program = compile_program(SORTISH)
+        config = ChoiceConfig()
+        config.set_choice("Reverse.B.0", Selector(((64, 0), (None, 1))))
+        assert dead_choice_report(program, config) == {}
+
+
+class TestLeveledTunables:
+    def test_leveled_shadows_flat(self):
+        config = ChoiceConfig()
+        config.set_tunable("T.iters", 5)
+        config.set_leveled_tunable(
+            "T.iters", Selector(((100, 10), (None, 20)))
+        )
+        assert config.tunable_at("T.iters", 50, 1) == 10
+        assert config.tunable_at("T.iters", 500, 1) == 20
+
+    def test_flat_fallback(self):
+        config = ChoiceConfig()
+        config.set_tunable("T.iters", 5)
+        assert config.tunable_at("T.iters", 50, 1) == 5
+        assert config.tunable_at("T.other", 50, 7) == 7
+
+    def test_json_roundtrip_with_levels(self):
+        config = ChoiceConfig()
+        config.set_choice("T.Y.0", Selector(((10, 0), (None, 2))))
+        config.set_tunable("T.k", 3)
+        config.set_leveled_tunable("T.iters", Selector(((8, 4), (None, 9))))
+        restored = ChoiceConfig.from_json(config.to_json())
+        assert restored.choice_for("T.Y.0").pick(50) == 2
+        assert restored.tunable("T.k", 0) == 3
+        assert restored.tunable_at("T.iters", 4, 0) == 4
+        assert restored.tunable_at("T.iters", 800, 0) == 9
+
+    def test_merged_with_keeps_levels(self):
+        base = ChoiceConfig()
+        base.set_leveled_tunable("T.iters", Selector.static(4))
+        other = ChoiceConfig()
+        merged = base.merged_with(other)
+        assert merged.tunable_at("T.iters", 10, 0) == 4

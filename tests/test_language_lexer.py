@@ -1,0 +1,94 @@
+"""Tests for the DSL tokenizer."""
+
+import pytest
+
+from repro.language.errors import LexError
+from repro.language.lexer import Token, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)[:-1]]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty_source(self):
+        toks = tokenize("")
+        assert len(toks) == 1 and toks[0].kind == "eof"
+
+    def test_keywords_vs_names(self):
+        assert kinds("transform Foo") == ["keyword", "name"]
+
+    def test_integers(self):
+        toks = tokenize("42")
+        assert toks[0].kind == "int" and toks[0].text == "42"
+
+    def test_floats(self):
+        assert kinds("1.5") == ["float"]
+        assert kinds("2e10") == ["float"]
+        assert kinds("1.5e-3") == ["float"]
+
+    def test_range_operator_not_float(self):
+        # `0..n` must lex as int, '..', name — not a float.
+        assert [(t.kind, t.text) for t in tokenize("0..n")[:-1]] == [
+            ("int", "0"),
+            ("op", ".."),
+            ("name", "n"),
+        ]
+
+    def test_maximal_munch_operators(self):
+        assert texts("<= == += &&") == ["<=", "==", "+=", "&&"]
+
+    def test_member_access(self):
+        assert texts("A.cell(x,y)") == ["A", ".", "cell", "(", "x", ",", "y", ")"]
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("a // comment here\nb") == ["name", "name"]
+
+    def test_block_comment(self):
+        assert kinds("a /* x */ b") == ["name", "name"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* never ends")
+
+
+class TestEscapes:
+    def test_escape_block(self):
+        toks = tokenize("%{ raw C++ here }%")
+        assert toks[0].kind == "escape"
+        assert "raw C++" in toks[0].text
+
+    def test_unterminated_escape(self):
+        with pytest.raises(LexError):
+            tokenize("%{ no close")
+
+
+class TestPositions:
+    def test_line_tracking(self):
+        toks = tokenize("a\nb\n  c")
+        assert toks[0].line == 1
+        assert toks[1].line == 2
+        assert toks[2].line == 3 and toks[2].column == 3
+
+    def test_bad_character(self):
+        with pytest.raises(LexError) as err:
+            tokenize("a\n  @")
+        assert err.value.line == 2
+
+
+class TestPaperSources:
+    def test_rollingsum_header_tokens(self):
+        source = "transform RollingSum\nfrom A[n]\nto B[n]"
+        assert texts(source) == [
+            "transform", "RollingSum", "from", "A", "[", "n", "]",
+            "to", "B", "[", "n", "]",
+        ]
+
+    def test_matrix_version_tokens(self):
+        assert texts("A<0..n>[m]") == ["A", "<", "0", "..", "n", ">", "[", "m", "]"]

@@ -1,0 +1,236 @@
+"""Unit and property tests for repro.symbolic.expr."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.symbolic import Affine, Assumptions, SymbolicCompareError, parse_affine
+from repro.symbolic.expr import sort_bounds
+
+n = Affine.var("n")
+i = Affine.var("i")
+
+
+class TestConstruction:
+    def test_constant(self):
+        expr = Affine.const(5)
+        assert expr.is_constant()
+        assert expr.as_constant() == 5
+
+    def test_variable(self):
+        expr = Affine.var("n")
+        assert not expr.is_constant()
+        assert expr.coefficient("n") == 1
+        assert expr.variables() == ("n",)
+
+    def test_zero_coefficients_dropped(self):
+        expr = Affine(3, {"n": 0})
+        assert expr.is_constant()
+
+    def test_coerce_string(self):
+        assert Affine.coerce("n+1") == n + 1
+
+    def test_coerce_fraction(self):
+        assert Affine.coerce(Fraction(1, 2)).as_constant() == Fraction(1, 2)
+
+    def test_coerce_rejects_float(self):
+        with pytest.raises(TypeError):
+            Affine.coerce(1.5)
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert (n + 1) + (n + 2) == Affine(3, {"n": 2})
+
+    def test_sub_cancels(self):
+        assert (n + 1) - (n + 1) == Affine(0)
+
+    def test_scalar_mul(self):
+        assert n * 3 == Affine(0, {"n": 3})
+        assert 3 * n == Affine(0, {"n": 3})
+
+    def test_nonaffine_product_rejected(self):
+        with pytest.raises(ValueError):
+            _ = n * n
+
+    def test_division_exact(self):
+        half = n / 2
+        assert half.coefficient("n") == Fraction(1, 2)
+
+    def test_division_by_symbol_rejected(self):
+        with pytest.raises(ValueError):
+            _ = Affine.const(1) / n
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            _ = n / 0
+
+    def test_neg(self):
+        assert -(n - 1) == Affine(1, {"n": -1})
+
+
+class TestEvaluation:
+    def test_evaluate_exact(self):
+        assert (n / 2 + 1).evaluate({"n": 5}) == Fraction(7, 2)
+
+    def test_eval_floor_matches_c_division(self):
+        for size in range(1, 20):
+            assert (n / 2).eval_floor({"n": size}) == size // 2
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(KeyError):
+            (n + i).evaluate({"n": 3})
+
+    def test_subs_expression(self):
+        expr = (n + 1).subs({"n": i * 2})
+        assert expr == Affine(1, {"i": 2})
+
+    def test_subs_partial(self):
+        expr = (n + i).subs({"n": 4})
+        assert expr == Affine(4, {"i": 1})
+
+
+class TestComparison:
+    def test_constant_compare(self):
+        assert Affine.const(1).compare(Affine.const(2)) == -1
+        assert Affine.const(2).compare(Affine.const(2)) == 0
+
+    def test_nonneg_default_assumption(self):
+        # all variables >= 0 by default, so n + 1 > 0 always.
+        assert (n + 1).compare(Affine.const(0)) == 1
+
+    def test_needs_assumption(self):
+        asm = Assumptions({"n": (1, None)})
+        assert Affine.const(1).always_le(n, asm)
+        assert not Affine.const(1).always_le(n)  # n could be 0
+
+    def test_undecidable_returns_none(self):
+        assert n.compare(i) is None
+
+    def test_always_lt_strict(self):
+        asm = Assumptions({"n": (2, None)})
+        assert Affine.const(1).always_lt(n, asm)
+        assert not Affine.const(2).always_lt(n, asm)
+
+    def test_bounds_with_ranges(self):
+        asm = Assumptions({"n": (1, 10)})
+        lo, hi = (2 * n + 1).bounds(asm)
+        assert lo == 3 and hi == 21
+
+    def test_bounds_negative_coefficient(self):
+        asm = Assumptions({"n": (1, 10)})
+        lo, hi = (-n).bounds(asm)
+        assert lo == -10 and hi == -1
+
+    def test_bounds_unbounded(self):
+        lo, hi = n.bounds()
+        assert lo == 0 and hi is None
+
+
+class TestSortBounds:
+    def test_orders_constants_and_symbols(self):
+        asm = Assumptions({"n": (1, None)})
+        ordered = sort_bounds([n, Affine.const(0), Affine.const(1)], asm)
+        assert ordered == (Affine.const(0), Affine.const(1), n)
+
+    def test_collapses_duplicates(self):
+        ordered = sort_bounds([n + 1, Affine(1, {"n": 1})])
+        assert len(ordered) == 1
+
+    def test_undecidable_raises(self):
+        with pytest.raises(SymbolicCompareError):
+            sort_bounds([n, i])
+
+    def test_equal_constant_and_symbolic_zero(self):
+        ordered = sort_bounds([Affine.const(0), n - n])
+        assert len(ordered) == 1
+
+
+class TestParser:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("0", Affine.const(0)),
+            ("n", n),
+            ("n+1", n + 1),
+            ("n - 1", n - 1),
+            ("2*n", n * 2),
+            ("n/2", n / 2),
+            ("(n+1)/2", (n + 1) / 2),
+            ("-n", -n),
+            ("n/2 + 1", n / 2 + 1),
+            ("3*(n - 2)", (n - 2) * 3),
+        ],
+    )
+    def test_roundtrip(self, text, expected):
+        assert parse_affine(text) == expected
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_affine("n + @")
+
+    def test_rejects_unbalanced(self):
+        with pytest.raises(ValueError):
+            parse_affine("(n + 1")
+
+    def test_rejects_product_of_variables(self):
+        with pytest.raises(ValueError):
+            parse_affine("n*i")
+
+    def test_str_parse_roundtrip(self):
+        expr = (n * 2 - i) / 3 + 1
+        assert parse_affine(str(expr)) == expr
+
+
+@st.composite
+def affine_exprs(draw):
+    const = draw(st.integers(-20, 20))
+    coeffs = {}
+    for name in draw(st.sets(st.sampled_from(["n", "i", "j"]), max_size=3)):
+        coeffs[name] = draw(st.integers(-5, 5))
+    return Affine(const, coeffs)
+
+
+ENVS = st.fixed_dictionaries(
+    {"n": st.integers(0, 50), "i": st.integers(0, 50), "j": st.integers(0, 50)}
+)
+
+
+class TestProperties:
+    @given(affine_exprs(), affine_exprs(), ENVS)
+    def test_addition_homomorphic(self, a, b, env):
+        assert (a + b).evaluate(env) == a.evaluate(env) + b.evaluate(env)
+
+    @given(affine_exprs(), st.integers(-5, 5), ENVS)
+    def test_scaling_homomorphic(self, a, k, env):
+        assert (a * k).evaluate(env) == a.evaluate(env) * k
+
+    @given(affine_exprs(), ENVS)
+    def test_bounds_contain_value(self, a, env):
+        asm = Assumptions({v: (0, 50) for v in ("n", "i", "j")})
+        lo, hi = a.bounds(asm)
+        value = a.evaluate(env)
+        assert lo is not None and hi is not None
+        assert lo <= value <= hi
+
+    @given(affine_exprs(), affine_exprs(), ENVS)
+    def test_compare_sound(self, a, b, env):
+        asm = Assumptions({v: (0, 50) for v in ("n", "i", "j")})
+        cmp = a.compare(b, asm)
+        if cmp == -1:
+            assert a.evaluate(env) < b.evaluate(env)
+        elif cmp == 1:
+            assert a.evaluate(env) > b.evaluate(env)
+        elif cmp == 0:
+            assert a.evaluate(env) == b.evaluate(env)
+
+    @given(affine_exprs())
+    def test_str_parse_roundtrip(self, a):
+        assert parse_affine(str(a)) == a
+
+    @given(affine_exprs(), affine_exprs())
+    def test_hash_consistent_with_eq(self, a, b):
+        if a == b:
+            assert hash(a) == hash(b)
