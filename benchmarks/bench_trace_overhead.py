@@ -1,0 +1,105 @@
+"""Trace-layer overhead check.
+
+Tracing must be pay-for-what-you-use: with no sink attached the
+scheduler's hot loop pays one ``is None`` test per event site, so wall
+time must stay within noise of the pre-observability baseline (the
+acceptance bar for this subsystem is < 5% on bench_fig16_scalability).
+This benchmark quantifies both modes on a large synthetic task graph and
+asserts that tracing — enabled or not — never changes the schedule.
+"""
+
+import time
+
+from harness import fmt_row, write_report
+
+from repro.observe import TraceSink
+from repro.runtime import MACHINES, TaskRecorder, WorkStealingScheduler
+
+MACHINE = MACHINES["xeon8"]
+TASKS = 4000
+REPEATS = 5
+
+
+def big_graph():
+    rec = TaskRecorder()
+    with rec.task(label="root"):
+        prev = None
+        for k in range(TASKS):
+            deps = [prev] if prev is not None and k % 7 == 0 else []
+            with rec.task(deps=deps, label=f"t{k}") as tid:
+                rec.charge(20.0 + (k % 13))
+            if k % 7 == 0:
+                prev = tid
+    return rec.graph()
+
+
+def timed_run(graph, sink):
+    scheduler = WorkStealingScheduler(MACHINE, seed=42, sink=sink)
+    best = float("inf")
+    result = None
+    for _ in range(REPEATS):
+        if sink is not None:
+            sink.clear()
+        begin = time.perf_counter()
+        result = scheduler.run(graph, workers=8)
+        best = min(best, time.perf_counter() - begin)
+    return result, best
+
+
+def build_rows():
+    graph = big_graph()
+    bare_result, bare_time = timed_run(graph, None)
+    sink = TraceSink()
+    traced_result, traced_time = timed_run(graph, sink)
+    metrics_sink = TraceSink(capture_events=False)
+    metrics_result, metrics_time = timed_run(graph, metrics_sink)
+    return {
+        "graph": graph,
+        "bare": (bare_result, bare_time),
+        "traced": (traced_result, traced_time),
+        "metrics": (metrics_result, metrics_time),
+        "events": len(sink.events),
+    }
+
+
+def test_trace_overhead(benchmark):
+    data = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    bare_result, bare_time = data["bare"]
+    traced_result, traced_time = data["traced"]
+    metrics_result, metrics_time = data["metrics"]
+
+    widths = [24, 12, 12, 14]
+    lines = [
+        f"Trace overhead: {len(data['graph'])} tasks on xeon8, "
+        f"best of {REPEATS} runs",
+        fmt_row(["mode", "wall (ms)", "vs bare", "events"], widths),
+        fmt_row(
+            ["disabled (sink=None)", f"{bare_time * 1e3:.1f}", "1.00x", "0"],
+            widths,
+        ),
+        fmt_row(
+            [
+                "metrics only",
+                f"{metrics_time * 1e3:.1f}",
+                f"{metrics_time / bare_time:.2f}x",
+                "0",
+            ],
+            widths,
+        ),
+        fmt_row(
+            [
+                "full event capture",
+                f"{traced_time * 1e3:.1f}",
+                f"{traced_time / bare_time:.2f}x",
+                str(data["events"]),
+            ],
+            widths,
+        ),
+    ]
+    write_report("trace_overhead", lines)
+
+    # Tracing observes the schedule; it must never change it.
+    assert traced_result == bare_result
+    assert metrics_result == bare_result
+    # Full capture produced a real event stream for the whole graph.
+    assert data["events"] >= 2 * len(data["graph"])

@@ -28,7 +28,9 @@ machine models), :mod:`repro.language` (the DSL), :mod:`repro.compiler`
 (analysis passes + execution engine + builder API),
 :mod:`repro.autotuner` (genetic bottom-up tuning, n-ary search,
 consistency checking, accuracy bins), :mod:`repro.linalg` (the LAPACK
-stand-in), and :mod:`repro.apps` (the paper's benchmark suite).
+stand-in), :mod:`repro.apps` (the paper's benchmark suite), and
+:mod:`repro.observe` (structured tracing/metrics plus the scheduler
+stress harness).
 """
 
 from repro.autotuner import Evaluator, GeneticTuner, check_consistency
@@ -42,6 +44,7 @@ from repro.compiler import (
     compile_program,
 )
 from repro.language import parse_program, parse_transform
+from repro.observe import TraceSink
 from repro.runtime import MACHINES, Machine, Matrix, WorkStealingScheduler
 
 __version__ = "1.0.0"
@@ -57,6 +60,7 @@ __all__ = [
     "Matrix",
     "NativeContext",
     "Selector",
+    "TraceSink",
     "TransformBuilder",
     "WorkStealingScheduler",
     "check_consistency",

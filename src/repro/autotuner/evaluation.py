@@ -14,12 +14,15 @@ Measurements are cached by (configuration signature, size, trial).
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Sequence, Tuple, Union
 
 from repro.compiler.codegen import CompiledProgram, CompiledTransform, RunResult
 from repro.compiler.config import ChoiceConfig
 from repro.runtime.machine import Machine
 from repro.runtime.scheduler import ScheduleResult, WorkStealingScheduler
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.observe.trace import TraceSink
 
 #: Builds inputs for one training size: (size, rng) -> inputs for run().
 InputGenerator = Callable[[int, random.Random], object]
@@ -77,6 +80,7 @@ class Evaluator:
         workers: Optional[int] = None,
         trials: int = 1,
         seed: int = 20090615,  # PLDI'09 started June 15 2009
+        sink: Optional["TraceSink"] = None,
     ) -> None:
         self.program = program
         self.transform: CompiledTransform = program.transform(transform)
@@ -88,6 +92,10 @@ class Evaluator:
         self.scheduler = WorkStealingScheduler(machine, seed=seed)
         self._cache: Dict[Tuple[str, int], float] = {}
         self.evaluations = 0
+        #: optional observability sink: every fresh measurement emits a
+        #: ``candidate`` record (config, size, fitness) — the candidate
+        #: timeline of a tuning run.
+        self.sink = sink
 
     def run_once(
         self, config: ChoiceConfig, size: int, trial: int = 0
@@ -102,14 +110,28 @@ class Evaluator:
     def time(self, config: ChoiceConfig, size: int) -> float:
         """Simulated parallel time of ``config`` at input ``size`` (cached,
         averaged over ``trials`` generated inputs)."""
-        key = (config_signature(config), size)
+        signature = config_signature(config)
+        key = (signature, size)
         if key not in self._cache:
             total = 0.0
+            schedule: Optional[ScheduleResult] = None
             for trial in range(self.trials):
                 _, schedule = self.run_once(config, size, trial)
                 total += schedule.makespan
             self._cache[key] = total / self.trials
             self.evaluations += 1
+            if self.sink is not None:
+                self.sink.count("tuner.evaluations")
+                self.sink.emit(
+                    "candidate",
+                    size=size,
+                    time=self._cache[key],
+                    tasks=schedule.tasks,
+                    steals=schedule.steals,
+                    config=signature,
+                )
+        elif self.sink is not None:
+            self.sink.count("tuner.cache_hits")
         return self._cache[key]
 
     def sequential_time(self, config: ChoiceConfig, size: int) -> float:
@@ -129,4 +151,5 @@ class Evaluator:
             workers=workers,
             trials=self.trials,
             seed=self.seed,
+            sink=self.sink,
         )

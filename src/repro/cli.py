@@ -11,6 +11,18 @@ The CLI mirrors those steps::
         --config sort.cfg
     python -m repro report sort.cfg
 
+plus one observability step beyond the paper's workflow::
+
+    python -m repro trace program.pbcc -t Sort --random-input 1000 \\
+        --machine xeon8 -o sort.trace.jsonl
+
+``trace`` executes the transform, simulates the recorded task graph on
+the chosen machine with a :class:`~repro.observe.trace.TraceSink`
+attached, prints the metrics summary, and exports the event stream
+(task start/finish, spawn, steal, idle transitions) as JSONL — to the
+``-o`` file, or to stdout when ``-o`` is omitted.  ``tune --trace``
+captures the autotuner's candidate timeline the same way.
+
 Inputs for ``run`` come from ``--input file.npy`` / ``.txt`` (repeat per
 input matrix, in declaration order) or ``--random-input N`` (uniform
 random data for every declared input).  ``tune`` uses the transform's
@@ -29,7 +41,8 @@ import numpy as np
 from repro.autotuner import Evaluator, GeneticTuner
 from repro.autotuner.evaluation import generator_inputs
 from repro.compiler import ChoiceConfig, CompiledProgram, compile_program
-from repro.runtime import MACHINES
+from repro.observe import TraceSink
+from repro.runtime import MACHINES, WorkStealingScheduler
 
 
 def _load_program(path: str) -> CompiledProgram:
@@ -80,27 +93,43 @@ def cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_run(args: argparse.Namespace) -> int:
-    program = _load_program(args.source)
+class _MissingInputs(Exception):
+    """Raised when a transform needs inputs but none were provided."""
+
+
+def _resolve_inputs(
+    program: CompiledProgram, args: argparse.Namespace
+) -> Optional[List[np.ndarray]]:
+    """Inputs from --input files / --random-input N (shared by run/trace)."""
     transform = program.transform(args.transform)
-    config = ChoiceConfig.load(args.config) if args.config else None
-    sizes = dict(
+    if args.input:
+        return [_load_input(path) for path in args.input]
+    if args.random_input is not None:
+        rng = random.Random(args.seed)
+        return _random_inputs(program, args.transform, args.random_input)(
+            args.random_input, rng
+        )
+    if not transform.ir.inputs:
+        return None
+    raise _MissingInputs
+
+
+def _parse_sizes(args: argparse.Namespace) -> dict:
+    return dict(
         (key, int(value))
         for key, _, value in (item.partition("=") for item in args.size or [])
     )
 
-    if args.input:
-        inputs: Optional[List[np.ndarray]] = [
-            _load_input(path) for path in args.input
-        ]
-    elif args.random_input is not None:
-        rng = random.Random(args.seed)
-        inputs = _random_inputs(program, args.transform, args.random_input)(
-            args.random_input, rng
-        )
-    elif not transform.ir.inputs:
-        inputs = None
-    else:
+
+def cmd_run(args: argparse.Namespace) -> int:
+    program = _load_program(args.source)
+    transform = program.transform(args.transform)
+    config = ChoiceConfig.load(args.config) if args.config else None
+    sizes = _parse_sizes(args)
+
+    try:
+        inputs = _resolve_inputs(program, args)
+    except _MissingInputs:
         print("error: provide --input files or --random-input N", file=sys.stderr)
         return 2
 
@@ -122,6 +151,52 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    program = _load_program(args.source)
+    transform = program.transform(args.transform)
+    config = ChoiceConfig.load(args.config) if args.config else None
+    machine = MACHINES[args.machine]
+    workers = args.workers if args.workers else machine.cores
+    sizes = _parse_sizes(args)
+
+    try:
+        inputs = _resolve_inputs(program, args)
+    except _MissingInputs:
+        print("error: provide --input files or --random-input N", file=sys.stderr)
+        return 2
+
+    sink = TraceSink()
+    result = transform.run(inputs, config, sizes=sizes or None, sink=sink)
+    schedule = WorkStealingScheduler(machine, seed=args.seed, sink=sink).run(
+        result.graph, workers=workers
+    )
+
+    if args.output:
+        lines = sink.write_jsonl(args.output)
+        print(f"trace: {lines} events written to {args.output}")
+    else:
+        sys.stdout.write(sink.to_jsonl())
+
+    report = sys.stdout if args.output else sys.stderr
+    print(
+        f"-- {args.transform} on {machine.name} x{workers}: "
+        f"{schedule.tasks} tasks, {schedule.steals} steals, "
+        f"makespan {schedule.makespan:.0f}, "
+        f"speedup {schedule.speedup:.2f}, "
+        f"utilization {schedule.utilization:.2f}",
+        file=report,
+    )
+    for name, value in sorted(sink.counters.items()):
+        print(f"   {name} = {value}", file=report)
+    for name, hist in sorted(sink.histograms.items()):
+        print(
+            f"   {name}: count {hist.count}, mean {hist.mean:.1f}, "
+            f"max {hist.max:.0f}",
+            file=report,
+        )
+    return 0
+
+
 def cmd_tune(args: argparse.Namespace) -> int:
     program = _load_program(args.source)
     transform = program.transform(args.transform)
@@ -130,7 +205,8 @@ def cmd_tune(args: argparse.Namespace) -> int:
         inputs = generator_inputs(program, args.transform)
     else:
         inputs = _random_inputs(program, args.transform, args.max_size)
-    evaluator = Evaluator(program, args.transform, inputs, machine)
+    sink = TraceSink() if args.trace else None
+    evaluator = Evaluator(program, args.transform, inputs, machine, sink=sink)
     tuner = GeneticTuner(
         evaluator,
         min_size=args.min_size,
@@ -148,6 +224,14 @@ def cmd_tune(args: argparse.Namespace) -> int:
     if args.output:
         result.config.save(args.output)
         print(f"configuration written to {args.output}")
+    if sink is not None:
+        lines = sink.write_jsonl(args.trace)
+        print(
+            f"candidate timeline: {lines} events "
+            f"({sink.counter('tuner.evaluations')} evaluations, "
+            f"{sink.counter('tuner.cache_hits')} cache hits) "
+            f"written to {args.trace}"
+        )
     return 0
 
 
@@ -194,6 +278,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--seed", type=int, default=0)
     p_run.set_defaults(func=cmd_run)
 
+    p_trace = sub.add_parser(
+        "trace", help="run a transform and export a scheduler trace"
+    )
+    p_trace.add_argument("source")
+    p_trace.add_argument("-t", "--transform", required=True)
+    p_trace.add_argument("--config", help="choice configuration JSON")
+    p_trace.add_argument(
+        "--input", action="append", help=".npy/.txt file per input matrix"
+    )
+    p_trace.add_argument("--random-input", type=int, metavar="N")
+    p_trace.add_argument(
+        "--size", action="append", metavar="VAR=VALUE",
+        help="bind a free size variable",
+    )
+    p_trace.add_argument(
+        "--machine", choices=sorted(MACHINES), default="xeon8"
+    )
+    p_trace.add_argument(
+        "--workers", type=int, help="worker count (default: all cores)"
+    )
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument(
+        "-o", "--output",
+        help="JSONL trace file (omit to stream JSONL to stdout)",
+    )
+    p_trace.set_defaults(func=cmd_trace)
+
     p_tune = sub.add_parser("tune", help="autotune a transform")
     p_tune.add_argument("source")
     p_tune.add_argument("-t", "--transform", required=True)
@@ -204,6 +315,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune.add_argument("--max-size", type=int, default=4096)
     p_tune.add_argument("--population", type=int, default=6)
     p_tune.add_argument("-o", "--output", help="write configuration JSON")
+    p_tune.add_argument(
+        "--trace", metavar="PATH",
+        help="write the candidate-timeline JSONL trace to PATH",
+    )
     p_tune.set_defaults(func=cmd_tune)
 
     p_report = sub.add_parser("report", help="pretty-print a configuration")

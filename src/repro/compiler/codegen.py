@@ -185,10 +185,15 @@ class CompiledTransform:
         inputs: Union[Mapping[str, ArrayLike], Sequence[ArrayLike], None] = None,
         config: Optional[ChoiceConfig] = None,
         sizes: Optional[Mapping[str, int]] = None,
+        sink=None,
     ) -> RunResult:
-        """Execute the transform and record its task graph."""
+        """Execute the transform and record its task graph.
+
+        ``sink`` (a :class:`repro.observe.trace.TraceSink`) receives the
+        recorder's ``task_recorded`` events and counters when given.
+        """
         config = config or ChoiceConfig()
-        recorder = TaskRecorder()
+        recorder = TaskRecorder(sink=sink)
         state = _EngineState(config, recorder)
         input_views = self._coerce_inputs(inputs)
         outputs, env = self._execute(state, input_views, sizes)

@@ -16,7 +16,12 @@ implements those algorithms here, on top of numpy array primitives:
   Cuppen's divide-and-conquer.
 """
 
-from repro.linalg.banded import BandedCholesky, band_from_dense, dense_from_band
+from repro.linalg.banded import (
+    BandedCholesky,
+    band_from_dense,
+    dense_from_band,
+    random_spd_band,
+)
 from repro.linalg.householder import tridiagonalize
 from repro.linalg.tridiag_eig import (
     eig_bisection,
@@ -34,6 +39,7 @@ __all__ = [
     "eig_divide_conquer",
     "eig_qr",
     "eigenvalues_ql",
+    "random_spd_band",
     "sturm_count",
     "tridiagonalize",
 ]

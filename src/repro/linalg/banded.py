@@ -24,6 +24,33 @@ from typing import Optional, Tuple
 import numpy as np
 
 
+def random_spd_band(order: int, bandwidth: int, rng) -> np.ndarray:
+    """A random symmetric positive-definite banded matrix (dense form).
+
+    Off-diagonals are standard normal; each diagonal entry is then set
+    strictly above the absolute row sum of its off-diagonal entries.  A
+    symmetric strictly diagonally dominant matrix with positive diagonal
+    is positive definite for *every* draw — unlike a fixed diagonal
+    shift, which an unlucky sample (e.g. a single N(0,1) entry below
+    ``-shift``) can defeat, breaking Cholesky at pivot 0.
+
+    ``rng`` is a :class:`numpy.random.Generator`.
+    """
+    if order < 1:
+        raise ValueError("order must be >= 1")
+    if not 0 <= bandwidth < order:
+        raise ValueError(f"bandwidth {bandwidth} invalid for order {order}")
+    dense = np.zeros((order, order))
+    for d in range(1, bandwidth + 1):
+        values = rng.standard_normal(order - d)
+        idx = np.arange(order - d)
+        dense[idx + d, idx] = values
+        dense[idx, idx + d] = values
+    off_diagonal = np.abs(dense).sum(axis=1)
+    np.fill_diagonal(dense, off_diagonal + 1.0 + rng.random(order))
+    return dense
+
+
 def band_from_dense(dense: np.ndarray, bandwidth: int) -> np.ndarray:
     """Extract lower diagonal-ordered band storage from a dense matrix."""
     order = dense.shape[0]

@@ -1,0 +1,32 @@
+"""Observability: structured tracing, metrics, and the stress harness.
+
+Every other subsystem stays silent by default; attach a
+:class:`TraceSink` to a :class:`~repro.runtime.task.TaskRecorder`, a
+:class:`~repro.runtime.scheduler.WorkStealingScheduler`, an
+:class:`~repro.autotuner.evaluation.Evaluator`, or a
+:class:`~repro.autotuner.tuner.GeneticTuner` and it captures structured
+events, counters, and histograms with JSONL export (``repro trace`` on
+the command line).  :mod:`repro.observe.stress` generates seeded random
+task graphs and asserts the scheduler's theoretical invariants on them —
+the ground truth every performance PR diffs against.
+"""
+
+from repro.observe.stress import (
+    SHAPES,
+    InvariantReport,
+    augmented_span,
+    check_invariants,
+    random_task_graph,
+)
+from repro.observe.trace import Histogram, TraceSink, load_jsonl
+
+__all__ = [
+    "SHAPES",
+    "Histogram",
+    "InvariantReport",
+    "TraceSink",
+    "augmented_span",
+    "check_invariants",
+    "load_jsonl",
+    "random_task_graph",
+]

@@ -1,0 +1,161 @@
+"""Structured tracing and metrics for the runtime and autotuner.
+
+The scheduler simulation, the task recorder, and the genetic autotuner
+all accept an optional :class:`TraceSink`.  When no sink is attached
+(the default) the instrumented code pays a single ``is None`` branch per
+site — nothing is allocated, formatted, or stored — so production runs
+and benchmarks are unaffected.  When a sink is attached, every
+interesting transition is captured three ways:
+
+* **events** — an ordered list of dicts (``{"kind": ..., "t": ..., ...}``)
+  suitable for JSONL export and trace diffing.  Event kinds emitted by
+  the scheduler: ``run_begin``, ``spawn`` (a task pushed on a deque),
+  ``task_start``, ``task_finish``, ``steal``, ``idle``, ``busy``,
+  ``run_end``.  The task recorder emits ``task_recorded``; the autotuner
+  emits ``candidate`` and ``generation``.
+* **counters** — monotonically increasing named integers
+  (``scheduler.steals``, ``tuner.evaluations``, ...).
+* **histograms** — power-of-two bucketed distributions
+  (``scheduler.deque_depth``, ``scheduler.task_duration``, ...).
+
+Because everything recorded is a pure function of (graph, machine,
+workers, seed), two runs with identical inputs produce byte-identical
+JSONL — the determinism invariant the stress harness checks.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class Histogram:
+    """Power-of-two bucketed distribution of non-negative values.
+
+    ``buckets[k]`` counts observations ``v`` with ``2**(k-1) < v <= 2**k``
+    (bucket 0 holds ``v <= 1``, including zero).  Tracks count / sum /
+    min / max exactly so means are not bucket-quantized.
+    """
+
+    __slots__ = ("buckets", "count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.buckets: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            raise ValueError("histograms record non-negative values")
+        bucket = 0 if value <= 1 else math.ceil(math.log2(value))
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+        }
+
+
+class TraceSink:
+    """Collects events, counters, and histograms from instrumented code.
+
+    One sink may be shared by several producers (recorder, scheduler,
+    tuner); events interleave in emission order.  ``capture_events=False``
+    keeps only counters/histograms — useful when tracing a tuning run
+    whose per-task event stream would be enormous.
+    """
+
+    def __init__(self, capture_events: bool = True) -> None:
+        self.capture_events = capture_events
+        self.events: List[Dict[str, Any]] = []
+        self.counters: Dict[str, int] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        """Record one structured event (skipped when capture_events=False)."""
+        if not self.capture_events:
+            return
+        event: Dict[str, Any] = {"kind": kind}
+        event.update(fields)
+        self.events.append(event)
+
+    def count(self, name: str, delta: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + delta
+
+    def observe(self, name: str, value: float) -> None:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe(value)
+
+    # -- inspection --------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def events_of(self, kind: str) -> List[Dict[str, Any]]:
+        return [e for e in self.events if e["kind"] == kind]
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "events": len(self.events),
+            "counters": dict(sorted(self.counters.items())),
+            "histograms": {
+                name: hist.summary()
+                for name, hist in sorted(self.histograms.items())
+            },
+        }
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.counters.clear()
+        self.histograms.clear()
+
+    # -- export ------------------------------------------------------------
+
+    def jsonl_lines(self) -> Iterator[str]:
+        """Every event as one canonical JSON line (sorted keys, so equal
+        traces serialize to identical bytes)."""
+        for event in self.events:
+            yield json.dumps(event, sort_keys=True, default=str)
+
+    def to_jsonl(self) -> str:
+        return "".join(line + "\n" for line in self.jsonl_lines())
+
+    def write_jsonl(self, path: str) -> int:
+        """Dump all events to ``path``; returns the number of lines."""
+        lines = 0
+        with open(path, "w", encoding="utf-8") as handle:
+            for line in self.jsonl_lines():
+                handle.write(line + "\n")
+                lines += 1
+        return lines
+
+
+def load_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Read a trace back (inverse of :meth:`TraceSink.write_jsonl`)."""
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

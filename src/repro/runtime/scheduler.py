@@ -26,10 +26,13 @@ import heapq
 import random
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Set
 
 from repro.runtime.machine import Machine
 from repro.runtime.task import TaskGraph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (observe -> runtime)
+    from repro.observe.trace import TraceSink
 
 
 @dataclass(frozen=True)
@@ -73,13 +76,34 @@ class ScheduleResult:
 class WorkStealingScheduler:
     """Simulates the PetaBricks dynamic scheduler on a :class:`Machine`."""
 
-    def __init__(self, machine: Machine, seed: int = 0x5eed) -> None:
+    def __init__(
+        self,
+        machine: Machine,
+        seed: int = 0x5eed,
+        sink: Optional["TraceSink"] = None,
+    ) -> None:
         self.machine = machine
         self.seed = seed
+        #: optional observability sink (see :mod:`repro.observe.trace`);
+        #: when None the simulation pays only an ``is None`` test per event
+        #: site, so tracing is zero-cost unless requested.
+        self.sink = sink
 
-    def run(self, graph: TaskGraph, workers: Optional[int] = None) -> ScheduleResult:
-        """Simulate ``graph`` on ``workers`` cores (default: all cores)."""
+    def run(
+        self,
+        graph: TaskGraph,
+        workers: Optional[int] = None,
+        sink: Optional["TraceSink"] = None,
+    ) -> ScheduleResult:
+        """Simulate ``graph`` on ``workers`` cores (default: all cores).
+
+        ``sink`` overrides the scheduler's own sink for this run.
+        Tracing never perturbs the schedule: the event stream is derived
+        from the same deterministic simulation, so results with and
+        without a sink are identical.
+        """
         machine = self.machine
+        trace = sink if sink is not None else self.sink
         worker_count = machine.cores if workers is None else workers
         if worker_count < 1:
             raise ValueError("need at least one worker")
@@ -114,6 +138,19 @@ class WorkStealingScheduler:
         done: Set[int] = set()
         steals = 0
         makespan = 0.0
+        # Per-worker idle/busy state mirrored for transition events only.
+        was_idle = [True] * worker_count if trace is not None else None
+
+        if trace is not None:
+            trace.count("scheduler.runs")
+            trace.emit(
+                "run_begin",
+                t=0.0,
+                machine=machine.name,
+                workers=worker_count,
+                tasks=len(tasks),
+                total_work=graph.total_work(),
+            )
 
         # Event heap of (time, sequence, worker, task) completions.
         events: List = []
@@ -122,8 +159,18 @@ class WorkStealingScheduler:
         def enabled(tid: int) -> bool:
             return pending_deps[tid] == 0 and tid not in parent_pending
 
-        def push(worker: int, tid: int) -> None:
+        def push(worker: int, tid: int, now: float = 0.0) -> None:
             deques[worker].append(tid)
+            if trace is not None:
+                trace.count("scheduler.pushes")
+                trace.observe("scheduler.deque_depth", len(deques[worker]))
+                trace.emit(
+                    "spawn",
+                    t=now,
+                    worker=worker,
+                    task=tid,
+                    depth=len(deques[worker]),
+                )
 
         def start(worker: int, tid: int, now: float) -> None:
             nonlocal seq
@@ -135,6 +182,19 @@ class WorkStealingScheduler:
             idle.discard(worker)
             seq += 1
             heapq.heappush(events, (finish, seq, worker, tid))
+            if trace is not None:
+                if was_idle[worker]:
+                    was_idle[worker] = False
+                    trace.emit("busy", t=now, worker=worker)
+                trace.count("scheduler.tasks_started")
+                trace.observe("scheduler.task_duration", duration)
+                trace.emit(
+                    "task_start",
+                    t=now,
+                    worker=worker,
+                    task=tid,
+                    label=task.label,
+                )
 
         def try_dispatch(worker: int, now: float) -> bool:
             """Give an idle worker something to run; True on success."""
@@ -150,8 +210,20 @@ class WorkStealingScheduler:
             victim = rng.choice(victims)
             stolen = deques[victim].popleft()  # FIFO end: oldest task
             steals += 1
+            if trace is not None:
+                trace.count("scheduler.steals")
+                trace.emit(
+                    "steal", t=now, thief=worker, victim=victim, task=stolen
+                )
             start(worker, stolen, now + machine.steal_time)
             return True
+
+        def mark_idle_transitions(now: float) -> None:
+            """Emit idle events for workers that failed to find work."""
+            for worker in idle:
+                if not was_idle[worker]:
+                    was_idle[worker] = True
+                    trace.emit("idle", t=now, worker=worker)
 
         # Seed: enabled roots start on worker 0's deque (the main thread
         # creates the initial tasks).
@@ -165,6 +237,9 @@ class WorkStealingScheduler:
             now, _, worker, tid = heapq.heappop(events)
             makespan = max(makespan, now)
             done.add(tid)
+            if trace is not None:
+                trace.count("scheduler.tasks_finished")
+                trace.emit("task_finish", t=now, worker=worker, task=tid)
 
             # Children become spawnable once the parent finishes; newly
             # enabled tasks go on this worker's deque.  Reverse order puts
@@ -180,7 +255,7 @@ class WorkStealingScheduler:
                 if enabled(dependent):
                     newly_ready.append(dependent)
             for ready in reversed(newly_ready):
-                push(worker, ready)
+                push(worker, ready, now)
 
             idle.add(worker)
             # Wake idle workers (including this one): any that can take or
@@ -189,10 +264,18 @@ class WorkStealingScheduler:
             for candidate in sorted(idle):
                 if candidate in idle:
                     try_dispatch(candidate, now)
+            if trace is not None:
+                mark_idle_transitions(now)
 
         if len(done) != len(tasks):
             raise RuntimeError(
                 f"schedule deadlock: {len(tasks) - len(done)} tasks never ran"
+            )
+
+        if trace is not None:
+            trace.emit(
+                "run_end", t=makespan, makespan=makespan, steals=steals,
+                tasks=len(done),
             )
 
         return ScheduleResult(

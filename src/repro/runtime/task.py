@@ -18,7 +18,10 @@ This models the paper's dual sequential/dynamic code versions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (observe -> runtime)
+    from repro.observe.trace import TraceSink
 
 
 @dataclass
@@ -119,10 +122,13 @@ class TaskRecorder:
     sequential code path.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, sink: Optional["TraceSink"] = None) -> None:
         self._tasks: List[Task] = []
         self._stack: List[int] = []
         self._inline_depth = 0
+        #: optional observability sink; None (the default) costs one
+        #: ``is None`` test per recorded task and nothing else.
+        self.sink = sink
 
     # -- recording ---------------------------------------------------------
 
@@ -133,6 +139,8 @@ class TaskRecorder:
         if not self._stack:
             raise RuntimeError("charge() outside any open task")
         self._tasks[self._stack[-1]].work += work
+        if self.sink is not None:
+            self.sink.count("recorder.work_charged", int(work))
 
     def task(
         self,
@@ -159,6 +167,15 @@ class TaskRecorder:
         if parent is not None:
             self._tasks[parent].spawns += 1
         self._stack.append(tid)
+        if self.sink is not None:
+            self.sink.count("recorder.tasks")
+            self.sink.emit(
+                "task_recorded",
+                task=tid,
+                parent=parent,
+                deps=len(deps),
+                label=label,
+            )
         return tid
 
     def _close(self, tid: int) -> None:
@@ -202,6 +219,8 @@ class _TaskContext:
         recorder = self._recorder
         if self._inline and recorder._stack:
             recorder._inline_depth += 1
+            if recorder.sink is not None:
+                recorder.sink.count("recorder.inlined")
             return recorder._stack[-1]
         if self._inline and not recorder._stack:
             # Nothing to inline into: promote to a real root task.

@@ -233,6 +233,54 @@ class TestGeneticTuner:
         selector = result.config.choice_for(SITE)
         assert selector.pick(4096) == 0
 
+    def test_determinism_regression(self, treesum):
+        """Fixed seed => byte-identical tuned config and identical history
+        across two fresh tuner/evaluator instances."""
+        outcomes = []
+        for _ in range(2):
+            ev = Evaluator(
+                treesum, "TreeSum", treesum_inputs, MACHINES["xeon8"]
+            )
+            tuner = GeneticTuner(
+                ev, min_size=64, max_size=1024, population_size=4,
+                tunable_rounds=1, refine_passes=0, seed=0xA11,
+            )
+            result = tuner.tune()
+            outcomes.append(result)
+        assert outcomes[0].config.to_json() == outcomes[1].config.to_json()
+        assert outcomes[0].best_time == outcomes[1].best_time
+        assert [
+            (log.size, log.best_time, log.best_lineage, log.evaluated)
+            for log in outcomes[0].history
+        ] == [
+            (log.size, log.best_time, log.best_lineage, log.evaluated)
+            for log in outcomes[1].history
+        ]
+
+    def test_candidate_timeline_emitted(self, treesum):
+        from repro.observe import TraceSink
+
+        sink = TraceSink()
+        ev = Evaluator(
+            treesum, "TreeSum", treesum_inputs, MACHINES["xeon8"], sink=sink
+        )
+        tuner = GeneticTuner(
+            ev, min_size=64, max_size=256, population_size=4,
+            tunable_rounds=0, refine_passes=0,
+        )
+        tuner.tune()
+        candidates = sink.events_of("candidate")
+        generations = sink.events_of("generation")
+        assert len(candidates) == ev.evaluations
+        assert sink.counter("tuner.evaluations") == ev.evaluations
+        assert [g["size"] for g in generations] == [64, 128, 256]
+        # generation bests must be reachable from the candidate records
+        times_by_size = {}
+        for event in candidates:
+            times_by_size.setdefault(event["size"], []).append(event["time"])
+        for generation in generations:
+            assert generation["best_time"] in times_by_size[generation["size"]]
+
 
 class TestConsistency:
     ROLLING = """

@@ -1,10 +1,13 @@
 """Tests for the command-line interface (the Figure 2 workflow)."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.cli import main
 from repro.compiler import ChoiceConfig, Selector
+from repro.observe import load_jsonl
 
 ROLLING = """
 transform RollingSum
@@ -78,6 +81,54 @@ class TestRun:
         assert main(["run", source, "-t", "RollingSum"]) == 2
 
 
+class TestTrace:
+    def test_trace_writes_jsonl(self, source, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        assert main([
+            "trace", source, "-t", "RollingSum",
+            "--random-input", "32", "-o", str(out),
+        ]) == 0
+        events = load_jsonl(str(out))
+        kinds = {e["kind"] for e in events}
+        assert {"run_begin", "task_start", "task_finish", "run_end"} <= kinds
+        starts = [e for e in events if e["kind"] == "task_start"]
+        finishes = [e for e in events if e["kind"] == "task_finish"]
+        assert len(starts) == len(finishes) > 0
+        stdout = capsys.readouterr().out
+        assert "events written to" in stdout
+        assert "scheduler.tasks_started" in stdout
+
+    def test_trace_streams_jsonl_without_output(self, source, capsys):
+        assert main([
+            "trace", source, "-t", "RollingSum", "--random-input", "16",
+        ]) == 0
+        stdout = capsys.readouterr().out
+        lines = [line for line in stdout.splitlines() if line.strip()]
+        assert all(json.loads(line)["kind"] for line in lines)
+
+    def test_trace_deterministic_for_seed(self, source, tmp_path, capsys):
+        paths = [tmp_path / "a.jsonl", tmp_path / "b.jsonl"]
+        for path in paths:
+            assert main([
+                "trace", source, "-t", "RollingSum",
+                "--random-input", "32", "--seed", "7", "-o", str(path),
+            ]) == 0
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_trace_workers_one_no_steals(self, source, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        assert main([
+            "trace", source, "-t", "RollingSum", "--random-input", "32",
+            "--workers", "1", "-o", str(out),
+        ]) == 0
+        assert not [
+            e for e in load_jsonl(str(out)) if e["kind"] == "steal"
+        ]
+
+    def test_trace_missing_inputs_errors(self, source, capsys):
+        assert main(["trace", source, "-t", "RollingSum"]) == 2
+
+
 class TestTuneAndReport:
     def test_tune_writes_config(self, source, tmp_path, capsys):
         cfg = tmp_path / "tuned.json"
@@ -91,6 +142,22 @@ class TestTuneAndReport:
         assert cfg.exists()
         restored = ChoiceConfig.load(str(cfg))
         assert restored.choice_for("RollingSum.B.1") is not None
+
+    def test_tune_candidate_timeline(self, source, tmp_path, capsys):
+        trace = tmp_path / "tune.jsonl"
+        assert main([
+            "tune", source, "-t", "RollingSum",
+            "--machine", "xeon1", "--min-size", "16", "--max-size", "32",
+            "--trace", str(trace),
+        ]) == 0
+        assert "candidate timeline" in capsys.readouterr().out
+        events = load_jsonl(str(trace))
+        candidates = [e for e in events if e["kind"] == "candidate"]
+        generations = [e for e in events if e["kind"] == "generation"]
+        assert candidates and generations
+        for event in candidates:
+            assert {"size", "time", "config", "tasks", "steals"} <= set(event)
+        assert [g["size"] for g in generations] == [16, 32]
 
     def test_report(self, tmp_path, capsys):
         config = ChoiceConfig()

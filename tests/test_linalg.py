@@ -15,20 +15,14 @@ from repro.linalg import (
     eig_divide_conquer,
     eig_qr,
     eigenvalues_ql,
+    random_spd_band,
     sturm_count,
     tridiagonalize,
 )
 
-
-def random_spd_banded(order, bandwidth, rng):
-    dense = np.zeros((order, order))
-    for d in range(bandwidth + 1):
-        values = rng.standard_normal(order - d)
-        idx = np.arange(order - d)
-        dense[idx + d, idx] = values
-        dense[idx, idx + d] = values
-    dense += order * np.eye(order) * (bandwidth + 2)  # diagonally dominant
-    return dense
+# The strictly diagonally dominant generator from repro.linalg: PD for
+# every (order, bandwidth, seed), unlike the old fixed-shift generator.
+random_spd_banded = random_spd_band
 
 
 def random_tridiag(n, rng):
@@ -106,6 +100,31 @@ class TestBandedCholesky:
         rhs = rng.standard_normal(order)
         x = BandedCholesky(band_from_dense(dense, bandwidth)).solve(rhs)
         np.testing.assert_allclose(dense @ x, rhs, atol=1e-7)
+
+    def test_regression_order1_bandwidth0_seed856(self):
+        """Regression: the old shift-based generator produced a matrix
+        that was not positive definite at pivot 0 for this triple (a
+        single N(0,1) diagonal draw below the fixed -2 shift)."""
+        rng = np.random.default_rng(856)
+        dense = random_spd_banded(1, 0, rng)
+        assert dense[0, 0] > 0
+        chol = BandedCholesky(band_from_dense(dense, 0))  # must not raise
+        rhs = rng.standard_normal(1)
+        np.testing.assert_allclose(dense @ chol.solve(rhs), rhs, atol=1e-9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(1, 12), st.integers(0, 5), st.integers(0, 5000))
+    def test_generator_always_positive_definite(self, order, bandwidth, seed):
+        bandwidth = min(bandwidth, order - 1)
+        dense = random_spd_band(order, bandwidth, np.random.default_rng(seed))
+        assert np.linalg.eigvalsh(dense).min() > 0
+
+    def test_generator_rejects_bad_bandwidth(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            random_spd_band(3, 3, rng)
+        with pytest.raises(ValueError):
+            random_spd_band(0, 0, rng)
 
 
 class TestHouseholder:

@@ -161,6 +161,94 @@ class TestBulk:
         assert coords == [(0, 0), (0, 1), (1, 0), (1, 1)]
 
 
+class TestRegionProperties:
+    """Property tests for region slicing: 0-d/1-d edges, degenerate and
+    negative regions, and aliasing of overlapping sub-regions."""
+
+    @given(st.integers(1, 10), st.data())
+    def test_region_shape_matches_bounds(self, extent, data):
+        view = Matrix.zeros((extent, extent)).whole()
+        lo_x = data.draw(st.integers(0, extent))
+        hi_x = data.draw(st.integers(lo_x, extent))
+        lo_y = data.draw(st.integers(0, extent))
+        hi_y = data.draw(st.integers(lo_y, extent))
+        sub = view.region(lo_x, lo_y, hi_x, hi_y)
+        assert sub.shape == (hi_x - lo_x, hi_y - lo_y)
+        assert sub.size == (hi_x - lo_x) * (hi_y - lo_y)
+
+    @given(st.integers(1, 10), st.integers(0, 9))
+    def test_degenerate_region_is_empty_and_harmless(self, extent, at):
+        at = min(at, extent)
+        view = Matrix.zeros((extent,)).whole()
+        empty = view.region(at, at)
+        assert empty.size == 0 and empty.shape == (0,)
+        empty.assign(np.zeros(0))  # bulk ops on empty views are no-ops
+        assert list(empty.iter_cells()) == []
+        with pytest.raises(IndexError):
+            empty.cell(0)  # no element exists inside a degenerate region
+
+    @given(st.integers(1, 8))
+    def test_negative_bounds_rejected(self, extent):
+        view = Matrix.zeros((extent,)).whole()
+        with pytest.raises(IndexError):
+            view.region(-1, extent)
+        with pytest.raises(IndexError):
+            view.cell(-1)
+
+    @given(st.integers(2, 8), st.data())
+    def test_inverted_region_rejected(self, extent, data):
+        lo = data.draw(st.integers(1, extent))
+        hi = data.draw(st.integers(0, lo - 1))
+        view = Matrix.zeros((extent,)).whole()
+        with pytest.raises(IndexError):
+            view.region(lo, hi)
+
+    @given(st.integers(1, 8), st.data())
+    def test_zero_d_cell_roundtrip(self, extent, data):
+        index = data.draw(st.integers(0, extent - 1))
+        value = data.draw(st.floats(-1e6, 1e6))
+        m = Matrix.zeros((extent,))
+        cell = m.whole().cell(index)
+        assert cell.ndim == 0 and cell.shape == () and cell.size == 1
+        cell.set(value)
+        assert cell.value == value
+        assert m.data[index] == value
+        # region() on a 0-d view takes zero bounds and is the identity
+        assert cell.region().value == value
+
+    @given(st.integers(2, 10), st.data())
+    def test_overlapping_subregions_alias(self, extent, data):
+        """Writes through one sub-region are visible through every other
+        overlapping sub-region — views share storage, never copy."""
+        a_lo = data.draw(st.integers(0, extent - 2))
+        a_hi = data.draw(st.integers(a_lo + 2, extent))
+        b_lo = data.draw(st.integers(0, extent - 2))
+        b_hi = data.draw(st.integers(b_lo + 2, extent))
+        m = Matrix.zeros((extent,))
+        a, b = m.region(a_lo, a_hi), m.region(b_lo, b_hi)
+        overlap_lo, overlap_hi = max(a_lo, b_lo), min(a_hi, b_hi)
+        a.assign(np.arange(a_lo, a_hi, dtype=np.float64))
+        for k in range(max(0, overlap_hi - overlap_lo)):
+            absolute = overlap_lo + k
+            assert b[absolute - b_lo] == float(absolute)
+
+    @given(st.integers(2, 8), st.data())
+    def test_row_column_alias_matrix_storage(self, extent, data):
+        x = data.draw(st.integers(0, extent - 1))
+        y = data.draw(st.integers(0, extent - 1))
+        m = Matrix.zeros((extent, extent))
+        m.row(y).cell(x).set(3.5)
+        assert m.column(x)[y] == 3.5
+        assert m.data[x, y] == 3.5
+
+    @given(st.integers(1, 10), st.data())
+    def test_one_d_full_region_equals_whole(self, extent, data):
+        m = Matrix.from_array(
+            [data.draw(st.floats(-10, 10)) for _ in range(extent)]
+        )
+        assert m.region(0, extent).to_numpy().tolist() == m.data.tolist()
+
+
 @given(
     st.integers(1, 12),
     st.data(),

@@ -1,0 +1,144 @@
+"""Invariant-checking stress tests for the work-stealing scheduler.
+
+The harness (:mod:`repro.observe.stress`) generates seeded random task
+graphs and asserts, for every run: no deadlock, exactly-once execution,
+trace determinism, zero steals on one worker, work conservation, and
+the greedy bound ``makespan <= T1'/P + c*Tinf'``.  The big sweep below
+covers >= 200 seeded graphs across all shapes, machines, and worker
+counts — the regression baseline every scheduler change must keep green.
+"""
+
+import pytest
+
+from repro.observe import (
+    SHAPES,
+    TraceSink,
+    augmented_span,
+    check_invariants,
+    random_task_graph,
+)
+from repro.runtime import MACHINES, Machine, TaskRecorder, WorkStealingScheduler
+
+FAST = Machine(
+    name="fast", cores=8, cycle_time=1.0, spawn_time=0.0, steal_time=0.0
+)
+MACHINE_POOL = (
+    FAST,
+    MACHINES["xeon8"],
+    MACHINES["mobile"],
+    MACHINES["niagara"],
+)
+WORKER_POOL = (1, 2, 4, 8)
+
+
+class TestGraphGenerator:
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_shapes_produce_valid_graphs(self, shape):
+        for seed in range(5):
+            graph = random_task_graph(seed, shape)
+            graph.validate()  # raises on malformed graphs
+            assert len(graph) >= 1
+            assert graph.total_work() >= 0.0
+
+    def test_same_seed_same_graph(self):
+        a = random_task_graph(42, "random")
+        b = random_task_graph(42, "random")
+        assert len(a) == len(b)
+        assert [
+            (t.tid, t.work, t.deps, t.parent, t.spawns) for t in a.tasks
+        ] == [(t.tid, t.work, t.deps, t.parent, t.spawns) for t in b.tasks]
+
+    def test_seed_picks_shape_when_unspecified(self):
+        graph = random_task_graph(3)
+        graph.validate()
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(ValueError):
+            random_task_graph(0, "moebius")
+
+    def test_respects_task_budget(self):
+        for seed in range(10):
+            assert len(random_task_graph(seed, "random", max_tasks=20)) <= 20
+
+
+class TestInvariantsPerShape:
+    """Small per-shape sweeps so a failure names the offending shape."""
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    @pytest.mark.parametrize("workers", (1, 4))
+    def test_shape_invariants(self, shape, workers):
+        for seed in range(6):
+            graph = random_task_graph(seed, shape)
+            check_invariants(graph, MACHINES["xeon8"], workers, seed=seed)
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_zero_overhead_machine(self, shape):
+        for seed in range(4):
+            graph = random_task_graph(seed + 100, shape)
+            report = check_invariants(graph, FAST, workers=4, seed=seed)
+            # with zero overheads busy time is exactly the total work
+            assert report.busy_time == pytest.approx(graph.total_work())
+            assert report.steal_time == 0.0
+
+
+def test_stress_sweep_200_seeded_graphs():
+    """The CI acceptance gate: >= 200 random graphs, all six invariants."""
+    checked = 0
+    for seed in range(200):
+        shape = SHAPES[seed % len(SHAPES)]
+        machine = MACHINE_POOL[seed % len(MACHINE_POOL)]
+        workers = WORKER_POOL[(seed // 3) % len(WORKER_POOL)]
+        graph = random_task_graph(seed, shape)
+        check_invariants(graph, machine, workers, seed=seed)
+        checked += 1
+    assert checked >= 200
+
+
+class TestAugmentedSpan:
+    def test_chain_span_is_total_duration(self):
+        rec = TaskRecorder()
+        prev = None
+        with rec.task():
+            for _ in range(4):
+                deps = [prev] if prev is not None else []
+                with rec.task(deps=deps) as tid:
+                    rec.charge(10)
+                prev = tid
+        graph = rec.graph()
+        # chain of 4 x 10 work after a spawning root; zero overhead and
+        # no steal charge -> span equals the full serialized duration
+        assert augmented_span(graph, FAST, include_steal=False) == 40.0
+
+    def test_steal_charge_added_per_node(self):
+        rec = TaskRecorder()
+        with rec.task():
+            with rec.task():
+                rec.charge(10)
+        graph = rec.graph()
+        machine = Machine(
+            name="m", cores=2, cycle_time=1.0, spawn_time=0.0, steal_time=5.0
+        )
+        without = augmented_span(graph, machine, include_steal=False)
+        with_steal = augmented_span(graph, machine, include_steal=True)
+        assert with_steal == without + 2 * 5.0  # root + child, one steal each
+
+
+class TestDeterminismRegression:
+    """Same seed => byte-identical traces across fresh scheduler objects."""
+
+    def test_trace_byte_identical_across_invocations(self):
+        graph = random_task_graph(17, "random")
+        traces = []
+        results = []
+        for _ in range(2):
+            sink = TraceSink()
+            scheduler = WorkStealingScheduler(MACHINES["xeon8"], seed=99)
+            results.append(scheduler.run(graph, workers=8, sink=sink))
+            traces.append(sink.to_jsonl())
+        assert results[0] == results[1]
+        assert traces[0] == traces[1]
+
+    def test_different_victim_seed_still_satisfies_invariants(self):
+        graph = random_task_graph(23, "fanout")
+        for seed in (1, 2, 3):
+            check_invariants(graph, MACHINES["mobile"], workers=2, seed=seed)
