@@ -1,0 +1,98 @@
+"""Parallel candidate evaluation: wall-clock speedup and determinism.
+
+Tuning runs are embarrassingly parallel across candidates; the
+``ParallelEvaluator`` fans each generation's population and each n-ary
+probe set over a process pool.  This benchmark tunes Sort with ``jobs``
+in {1, 2, 4}, records the wall-clock speedup, and asserts the parallel
+runs reproduce the serial result byte-for-byte (the determinism contract
+of ISSUE 2).  The acceptance bar — speedup > 1.5x at ``--jobs 4`` —
+applies on a host with >= 4 physical cores; on smaller hosts the report
+still records the measured ratio alongside the visible core count.
+"""
+
+import os
+import time
+
+from harness import fmt_row, write_report
+
+from repro.apps import sort as sort_app
+from repro.autotuner import GeneticTuner
+from repro.autotuner.parallel import EvaluatorSpec, ParallelEvaluator
+
+SPEC = EvaluatorSpec.make("repro.apps.sort:make_evaluator", "xeon8")
+JOBS = (1, 2, 4)
+MIN_SIZE = 64
+MAX_SIZE = 2048
+
+
+def tune_with_jobs(jobs: int):
+    evaluator = ParallelEvaluator.from_spec(SPEC, jobs=jobs)
+    tuner = GeneticTuner(
+        evaluator,
+        min_size=MIN_SIZE,
+        max_size=MAX_SIZE,
+        population_size=6,
+        tunable_rounds=1,
+        refine_passes=0,
+        threshold_metric=sort_app.size_metric,
+    )
+    begin = time.perf_counter()
+    try:
+        result = tuner.tune()
+    finally:
+        evaluator.close()
+    return result, time.perf_counter() - begin, evaluator.evaluations
+
+
+def build_rows():
+    return {jobs: tune_with_jobs(jobs) for jobs in JOBS}
+
+
+def test_parallel_tune_speedup(benchmark):
+    data = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    serial_result, serial_time, serial_evals = data[1]
+    cores = os.cpu_count() or 1
+
+    widths = [8, 12, 10, 13]
+    lines = [
+        f"Parallel tuning: Sort on xeon8, sizes {MIN_SIZE}..{MAX_SIZE}, "
+        f"host cores: {cores}",
+        fmt_row(["jobs", "wall (s)", "speedup", "evaluations"], widths),
+    ]
+    for jobs in JOBS:
+        result, elapsed, evals = data[jobs]
+        lines.append(
+            fmt_row(
+                [
+                    jobs,
+                    f"{elapsed:.2f}",
+                    f"{serial_time / elapsed:.2f}x",
+                    evals,
+                ],
+                widths,
+            )
+        )
+    four_way = serial_time / data[4][1]
+    lines.append(
+        f"acceptance (>= 4-core host): jobs=4 speedup {four_way:.2f}x "
+        f"(bar: > 1.5x)"
+    )
+    write_report("parallel_tune", lines)
+
+    # Determinism: identical tuned config, best time, history, and
+    # fresh-evaluation counts for every worker count.
+    for jobs in JOBS[1:]:
+        result, _, evals = data[jobs]
+        assert result.config.to_json() == serial_result.config.to_json()
+        assert result.best_time == serial_result.best_time
+        assert [
+            (log.size, log.best_time, log.best_lineage, log.evaluated)
+            for log in result.history
+        ] == [
+            (log.size, log.best_time, log.best_lineage, log.evaluated)
+            for log in serial_result.history
+        ]
+        assert evals == serial_evals
+    # The speedup bar is only meaningful with the cores to back it.
+    if cores >= 4:
+        assert four_way > 1.5

@@ -241,3 +241,26 @@ def input_generator(size: int, rng: random.Random) -> List[np.ndarray]:
         np_rng.standard_normal((size, size)),
         np_rng.standard_normal((size, size)),
     ]
+
+
+def make_evaluator(
+    machine_name: str = "xeon8",
+    workers=None,
+    trials: int = 1,
+    seed: int = 20090615,
+):
+    """Build the MatrixMultiply objective — also the picklable spec
+    factory (``"repro.apps.matmul:make_evaluator"``) for parallel-tuning
+    worker processes."""
+    from repro.autotuner.evaluation import Evaluator
+    from repro.runtime.machine import MACHINES
+
+    return Evaluator(
+        build_program(),
+        "MatrixMultiply",
+        input_generator,
+        MACHINES[machine_name],
+        workers=workers,
+        trials=trials,
+        seed=seed,
+    )

@@ -204,6 +204,29 @@ def size_metric(n: int) -> int:
     return 2 * n
 
 
+def make_evaluator(
+    machine_name: str = "xeon8",
+    workers=None,
+    trials: int = 1,
+    seed: int = 20090615,
+):
+    """Build the Sort objective — also the picklable spec factory
+    (``"repro.apps.sort:make_evaluator"``) that parallel-tuning worker
+    processes call to rebuild the evaluator on their side."""
+    from repro.autotuner.evaluation import Evaluator
+    from repro.runtime.machine import MACHINES
+
+    return Evaluator(
+        build_program(),
+        "Sort",
+        input_generator,
+        MACHINES[machine_name],
+        workers=workers,
+        trials=trials,
+        seed=seed,
+    )
+
+
 def describe_config(config) -> str:
     """Render a tuned sort config in the paper's Table 2 notation, e.g.
     ``IS(150) QS(1420) 2MS(inf)``.  Selector thresholds are stored in

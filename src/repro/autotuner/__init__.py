@@ -11,7 +11,11 @@ Components:
   :class:`~repro.runtime.machine.Machine`, return the makespan.
 * :mod:`repro.autotuner.candidates` — candidate algorithms (configs) and
   the level-adding mutation that grows multi-level compositions.
-* :mod:`repro.autotuner.nary` — n-ary search for scalar parameters.
+* :mod:`repro.autotuner.nary` — n-ary search for scalar parameters, with
+  a batch-objective hook for parallel probing.
+* :mod:`repro.autotuner.parallel` — parallel candidate evaluation: a
+  process-pool batch evaluator with deterministic per-task seeding and a
+  persistent (JSONL) measurement cache shared across tuning runs.
 * :mod:`repro.autotuner.tuner` — the bottom-up genetic tuner: seeded with
   every single-algorithm implementation, doubling the training input each
   generation, extending the fastest candidates with new levels.
@@ -25,16 +29,27 @@ Components:
 from repro.autotuner.accuracy import fastest_per_bin, pareto_front
 from repro.autotuner.candidates import Candidate, add_level, seed_population
 from repro.autotuner.consistency import ConsistencyError, check_consistency
-from repro.autotuner.evaluation import Evaluator
+from repro.autotuner.evaluation import Evaluator, measurement_seed
 from repro.autotuner.nary import nary_search
+from repro.autotuner.parallel import (
+    CandidateFailure,
+    EvaluatorSpec,
+    MeasurementCache,
+    ParallelEvaluator,
+)
 from repro.autotuner.tuner import GeneticTuner, TuneResult
 
 __all__ = [
     "Candidate",
+    "CandidateFailure",
     "ConsistencyError",
     "Evaluator",
+    "EvaluatorSpec",
     "GeneticTuner",
+    "MeasurementCache",
+    "ParallelEvaluator",
     "TuneResult",
+    "measurement_seed",
     "add_level",
     "check_consistency",
     "fastest_per_bin",

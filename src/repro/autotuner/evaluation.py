@@ -8,12 +8,21 @@ the paper — here the target system is a simulated architecture profile,
 which keeps the objective deterministic and lets the benchmark suite
 retune for Mobile/Xeon/Niagara without the hardware.
 
-Measurements are cached by (configuration signature, size, trial).
+Measurements are cached by (configuration signature, size) and averaged
+over ``trials`` generated inputs.  Each individual measurement is a pure
+function of ``(seed, configuration signature, size, trial)``: both the
+input data and the scheduler's victim-selection RNG are derived from
+that tuple alone, never from evaluator state, so measurements are
+order-independent — evaluating candidates interleaved, repeated,
+reordered, or fanned out across worker processes (see
+:mod:`repro.autotuner.parallel`) yields identical values.
 """
 
 from __future__ import annotations
 
+import hashlib
 import random
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, Optional, Sequence, Tuple, Union
 
 from repro.compiler.codegen import CompiledProgram, CompiledTransform, RunResult
@@ -31,6 +40,34 @@ InputGenerator = Callable[[int, random.Random], object]
 def config_signature(config: ChoiceConfig) -> str:
     """A canonical string identifying a configuration's behaviour."""
     return config.to_json()
+
+
+def measurement_seed(seed: int, signature: str, size: int, trial: int) -> int:
+    """The scheduler seed for one measurement.
+
+    A stable hash of ``(seed, signature, size, trial)`` — deliberately
+    *not* Python's salted ``hash()`` — so every measurement draws its
+    scheduler RNG from its identity alone.  This is what makes
+    measurements order-independent and safe to fan out across processes.
+    """
+    digest = hashlib.blake2b(
+        f"{seed}|{size}|{trial}|{signature}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One fresh (uncached) timing of a configuration at a size.
+
+    ``time`` averages the makespan over the evaluator's ``trials``;
+    ``tasks``/``steals`` describe the last trial's schedule (the fields
+    the ``candidate`` trace event reports).
+    """
+
+    time: float
+    tasks: int
+    steals: int
 
 
 def generator_inputs(
@@ -89,7 +126,6 @@ class Evaluator:
         self.workers = workers if workers is not None else machine.cores
         self.trials = trials
         self.seed = seed
-        self.scheduler = WorkStealingScheduler(machine, seed=seed)
         self._cache: Dict[Tuple[str, int], float] = {}
         self.evaluations = 0
         #: optional observability sink: every fresh measurement emits a
@@ -98,44 +134,88 @@ class Evaluator:
         self.sink = sink
 
     def run_once(
-        self, config: ChoiceConfig, size: int, trial: int = 0
+        self,
+        config: ChoiceConfig,
+        size: int,
+        trial: int = 0,
+        signature: Optional[str] = None,
     ) -> Tuple[RunResult, ScheduleResult]:
-        """One full execute + schedule simulation (uncached)."""
+        """One full execute + schedule simulation (uncached).
+
+        Both the generated input and the scheduler RNG are seeded from
+        the measurement's identity — never from shared evaluator state —
+        so the result does not depend on what was measured before it.
+        Input data depends only on ``(seed, size, trial)`` so every
+        configuration is timed against the same inputs.
+        """
+        if signature is None:
+            signature = config_signature(config)
         rng = random.Random(self.seed * 1000003 + size * 1009 + trial)
         inputs = self.input_generator(size, rng)
         result = self.transform.run(inputs, config)
-        schedule = self.scheduler.run(result.graph, workers=self.workers)
+        scheduler = WorkStealingScheduler(
+            self.machine,
+            seed=measurement_seed(self.seed, signature, size, trial),
+        )
+        schedule = scheduler.run(result.graph, workers=self.workers)
         return result, schedule
 
+    def measure(
+        self, config: ChoiceConfig, size: int, signature: Optional[str] = None
+    ) -> Measurement:
+        """One fresh averaged-over-trials timing, bypassing the cache.
+
+        This is the pure objective shared by :meth:`time` and the
+        process-pool workers of :mod:`repro.autotuner.parallel`: a pure
+        function of ``(seed, signature, size, trial range)``.
+        """
+        if signature is None:
+            signature = config_signature(config)
+        total = 0.0
+        schedule: Optional[ScheduleResult] = None
+        for trial in range(self.trials):
+            _, schedule = self.run_once(config, size, trial, signature)
+            total += schedule.makespan
+        return Measurement(
+            time=total / self.trials,
+            tasks=schedule.tasks,
+            steals=schedule.steals,
+        )
+
+    def _record_fresh(
+        self, signature: str, size: int, measurement: Measurement
+    ) -> None:
+        """Install a fresh measurement: cache, count, emit ``candidate``."""
+        self._cache[(signature, size)] = measurement.time
+        self.evaluations += 1
+        if self.sink is not None:
+            self.sink.count("tuner.evaluations")
+            self.sink.emit(
+                "candidate",
+                size=size,
+                time=measurement.time,
+                tasks=measurement.tasks,
+                steals=measurement.steals,
+                config=signature,
+            )
+
     def time(self, config: ChoiceConfig, size: int) -> float:
-        """Simulated parallel time of ``config`` at input ``size`` (cached,
-        averaged over ``trials`` generated inputs)."""
+        """Simulated parallel time of ``config`` at input ``size`` (cached
+        by ``(configuration signature, size)``, averaged over ``trials``
+        generated inputs)."""
         signature = config_signature(config)
         key = (signature, size)
         if key not in self._cache:
-            total = 0.0
-            schedule: Optional[ScheduleResult] = None
-            for trial in range(self.trials):
-                _, schedule = self.run_once(config, size, trial)
-                total += schedule.makespan
-            self._cache[key] = total / self.trials
-            self.evaluations += 1
-            if self.sink is not None:
-                self.sink.count("tuner.evaluations")
-                self.sink.emit(
-                    "candidate",
-                    size=size,
-                    time=self._cache[key],
-                    tasks=schedule.tasks,
-                    steals=schedule.steals,
-                    config=signature,
-                )
+            self._record_fresh(signature, size, self.measure(config, size, signature))
         elif self.sink is not None:
             self.sink.count("tuner.cache_hits")
         return self._cache[key]
 
     def sequential_time(self, config: ChoiceConfig, size: int) -> float:
-        """Simulated single-core time (no scheduling overhead)."""
+        """Simulated single-core time (no scheduling overhead) of trial 0
+        only — sequential work is trial-invariant up to input data, and
+        one generated input suffices for the cutoff analyses that use
+        this."""
         _, schedule = self.run_once(config, size)
         return schedule.sequential_time
 

@@ -5,20 +5,33 @@ search: probe ``n`` geometrically spaced values across the range, narrow
 the range around the best probe, repeat until converged.  Cutoff-style
 parameters have smooth unimodal-ish cost curves, so this converges in a
 handful of rounds with far fewer evaluations than a full sweep.
+
+Each round's probe set is known before any probe is evaluated, so the
+search optionally takes a ``batch_objective`` that scores a whole list
+of values at once — the hook the parallel candidate-evaluation engine
+(:mod:`repro.autotuner.parallel`) uses to fan probes out over a process
+pool.  The probe sequence, narrowing decisions, and result are identical
+with and without the hook.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Callable, List, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 
 def _probe_points(lo: int, hi: int, arity: int) -> List[int]:
-    """``arity`` distinct integers spanning [lo, hi] geometrically."""
+    """At most ``arity`` distinct integers spanning [lo, hi] geometrically.
+
+    Degenerate cases: an empty or single-point range yields ``[lo]``;
+    ``arity < 2`` cannot space interior probes, so it degrades to
+    endpoint probing ``[lo, hi]``.
+    """
     if lo < 1:
         raise ValueError("n-ary search operates on positive ranges")
     if hi <= lo:
         return [lo]
+    if arity < 2:
+        return [lo, hi]
     points = set()
     ratio = (hi / lo) ** (1.0 / (arity - 1))
     value = float(lo)
@@ -36,27 +49,46 @@ def nary_search(
     hi: int,
     arity: int = 4,
     rounds: int = 4,
+    batch_objective: Optional[
+        Callable[[Sequence[int]], Sequence[float]]
+    ] = None,
 ) -> Tuple[int, float]:
     """Minimize ``objective`` over integers in [lo, hi].
 
     Returns ``(best_value, best_cost)``.  ``objective`` is called at most
     ``arity * rounds`` times (plus boundary probes); repeated values are
-    memoized.
+    memoized.  When ``batch_objective`` is given it is called once per
+    round with the not-yet-memoized probe values (in ascending order) and
+    must return one cost per value; ``objective`` is then never called.
     """
     if hi < lo:
         raise ValueError(f"empty range [{lo}, {hi}]")
     cache = {}
 
+    def evaluate_many(values: Sequence[int]) -> List[float]:
+        missing = [v for v in values if v not in cache]
+        if missing:
+            if batch_objective is not None:
+                costs = batch_objective(missing)
+                if len(costs) != len(missing):
+                    raise ValueError(
+                        f"batch objective returned {len(costs)} costs "
+                        f"for {len(missing)} values"
+                    )
+                cache.update(zip(missing, costs))
+            else:
+                for value in missing:
+                    cache[value] = objective(value)
+        return [cache[v] for v in values]
+
     def evaluate(value: int) -> float:
-        if value not in cache:
-            cache[value] = objective(value)
-        return cache[value]
+        return evaluate_many([value])[0]
 
     cur_lo, cur_hi = lo, hi
     best_value, best_cost = lo, evaluate(lo)
     for _ in range(rounds):
         points = _probe_points(cur_lo, cur_hi, arity)
-        scored = sorted((evaluate(p), p) for p in points)
+        scored = sorted(zip(evaluate_many(points), points))
         cost, value = scored[0]
         if cost < best_cost:
             best_cost, best_value = cost, value
@@ -71,8 +103,8 @@ def nary_search(
     # Final local polish, only when the remaining range is small enough
     # to sweep exhaustively.
     if cur_hi - cur_lo <= 16:
-        for value in range(cur_lo, cur_hi + 1):
-            cost = evaluate(value)
+        sweep = list(range(cur_lo, cur_hi + 1))
+        for cost, value in zip(evaluate_many(sweep), sweep):
             if cost < best_cost:
                 best_cost, best_value = cost, value
     return best_value, best_cost

@@ -1,0 +1,490 @@
+"""Parallel candidate evaluation with a persistent measurement cache.
+
+Tuning runs are embarrassingly parallel across candidates: §3.3's
+genetic loop scores a whole population at one training size, and the
+n-ary tunable search probes a known set of values per round.  Because
+every measurement is a pure function of ``(seed, configuration
+signature, size, trial)`` (see :mod:`repro.autotuner.evaluation`), those
+batches can fan out over a process pool and merge back in any order
+without changing a single bit of the tuning result.
+
+Three pieces:
+
+* :class:`MeasurementCache` — measurements keyed by ``(machine profile,
+  workers, trials, seed, signature, size)``, persisted as JSONL so
+  repeated ``repro tune`` invocations (and cross-machine sweeps sharing
+  one cache file) never repeat a simulation.  Nonviable candidates are
+  cached as failures for the same reason.
+* :class:`EvaluatorSpec` — a picklable recipe (``"module:callable"`` +
+  args) from which each worker process rebuilds its own
+  :class:`~repro.autotuner.evaluation.Evaluator`; compiled programs
+  hold closures and never cross process boundaries.
+* :class:`ParallelEvaluator` — an :class:`Evaluator` with an
+  ``evaluate_batch`` entry point: collect a batch's cache misses,
+  dispatch them over a ``concurrent.futures`` process pool (or evaluate
+  serially when ``jobs == 1`` / no spec is available), and merge results
+  in batch order.  ``time()`` still works measurement-at-a-time, so the
+  class is a drop-in :class:`~repro.autotuner.tuner.GeneticTuner`
+  evaluator.
+
+Determinism: results are merged in submission order (never completion
+order), per-task seeds derive from the measurement identity, and the
+``candidate`` trace events are emitted exactly as the serial evaluator
+emits them — so a tuning run is byte-identical for any ``jobs`` value.
+
+Observability (all optional, via the shared ``TraceSink``): counters
+``tuner.pool.dispatches``, ``tuner.pool.batches``,
+``tuner.cache.disk_hits``, ``tuner.cache.misses``; histograms
+``tuner.pool.batch_size`` and ``tuner.pool.batch_latency_ms``.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import os
+import time as _time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.compiler.config import ChoiceConfig
+
+from repro.autotuner.evaluation import (
+    Evaluator,
+    Measurement,
+    config_signature,
+)
+
+#: cache key: (machine name, workers, trials, seed, signature, size)
+CacheKey = Tuple[str, int, int, int, str, int]
+
+
+class CandidateFailure(RuntimeError):
+    """A candidate configuration failed evaluation (e.g. a recursive
+    rule with no base case).  Raised on cached failures so nonviable
+    candidates are culled without re-running the failing simulation."""
+
+
+@dataclass(frozen=True)
+class EvaluatorSpec:
+    """A picklable recipe for building an :class:`Evaluator` in a worker.
+
+    ``factory`` is a ``"package.module:callable"`` reference resolved by
+    import, so only strings and plain data cross the process boundary;
+    ``args``/``kwargs`` must themselves be picklable.  The callable must
+    return an :class:`Evaluator` (workers force ``sink=None`` — tracing
+    belongs to the parent).
+    """
+
+    factory: str
+    args: Tuple[Any, ...] = ()
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+
+    @staticmethod
+    def make(factory: str, *args: Any, **kwargs: Any) -> "EvaluatorSpec":
+        return EvaluatorSpec(
+            factory=factory, args=tuple(args), kwargs=tuple(sorted(kwargs.items()))
+        )
+
+    def build(self) -> Evaluator:
+        module_name, _, attr = self.factory.partition(":")
+        if not attr:
+            raise ValueError(
+                f"spec factory {self.factory!r} must be 'module:callable'"
+            )
+        module = importlib.import_module(module_name)
+        factory = getattr(module, attr)
+        evaluator = factory(*self.args, **dict(self.kwargs))
+        if not isinstance(evaluator, Evaluator):
+            raise TypeError(
+                f"spec factory {self.factory!r} returned "
+                f"{type(evaluator).__name__}, not an Evaluator"
+            )
+        evaluator.sink = None
+        return evaluator
+
+
+class MeasurementCache:
+    """Measurements keyed by the full measurement identity, with JSONL
+    persistence.
+
+    One record per line::
+
+        {"machine": "xeon8", "workers": 8, "trials": 1, "seed": 20090615,
+         "signature": "{...config json...}", "size": 256,
+         "time": 1234.5, "tasks": 17, "steals": 3}
+
+    Failed candidates carry ``"error"`` instead of the result fields.
+    ``load()`` tolerates duplicate keys (last record wins) so several
+    invocations may append to one file; ``flush()`` appends only the
+    records added since the last flush.
+    """
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = path
+        self._records: Dict[CacheKey, Dict[str, Any]] = {}
+        self._dirty: List[CacheKey] = []
+        if path is not None and os.path.exists(path):
+            self.load(path)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @staticmethod
+    def _key_fields(key: CacheKey) -> Dict[str, Any]:
+        machine, workers, trials, seed, signature, size = key
+        return {
+            "machine": machine,
+            "workers": workers,
+            "trials": trials,
+            "seed": seed,
+            "signature": signature,
+            "size": size,
+        }
+
+    def lookup(self, key: CacheKey) -> Optional[Dict[str, Any]]:
+        return self._records.get(key)
+
+    def store(self, key: CacheKey, record: Dict[str, Any]) -> None:
+        if key not in self._records:
+            self._dirty.append(key)
+        self._records[key] = record
+
+    def store_measurement(self, key: CacheKey, m: Measurement) -> None:
+        self.store(key, {"time": m.time, "tasks": m.tasks, "steals": m.steals})
+
+    def store_failure(self, key: CacheKey, error: str) -> None:
+        self.store(key, {"error": error})
+
+    def load(self, path: str) -> int:
+        """Merge records from ``path``; returns how many lines were read."""
+        lines = 0
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                row = json.loads(line)
+                key: CacheKey = (
+                    row["machine"],
+                    int(row["workers"]),
+                    int(row["trials"]),
+                    int(row["seed"]),
+                    row["signature"],
+                    int(row["size"]),
+                )
+                self._records[key] = {
+                    name: row[name]
+                    for name in ("time", "tasks", "steals", "error")
+                    if name in row
+                }
+                lines += 1
+        return lines
+
+    def flush(self, path: Optional[str] = None) -> int:
+        """Append records added since the last flush; returns the count."""
+        path = path if path is not None else self.path
+        if path is None or not self._dirty:
+            count = len(self._dirty)
+            self._dirty.clear()
+            return count
+        with open(path, "a", encoding="utf-8") as handle:
+            for key in self._dirty:
+                row = self._key_fields(key)
+                row.update(self._records[key])
+                handle.write(json.dumps(row, sort_keys=True) + "\n")
+        count = len(self._dirty)
+        self._dirty.clear()
+        return count
+
+
+# -- worker side -------------------------------------------------------------
+
+_WORKER_EVALUATOR: Optional[Evaluator] = None
+
+
+def _init_worker(spec: EvaluatorSpec) -> None:
+    global _WORKER_EVALUATOR
+    _WORKER_EVALUATOR = spec.build()
+
+
+def _pool_measure(signature: str, size: int) -> Dict[str, Any]:
+    """Measure one (signature, size) in a worker; never raises — errors
+    come back as records so the parent can cache the failure."""
+    evaluator = _WORKER_EVALUATOR
+    if evaluator is None:  # pragma: no cover - initializer always ran
+        return {"error": "worker evaluator was never initialized"}
+    try:
+        config = ChoiceConfig.from_json(signature)
+        m = evaluator.measure(config, size, signature)
+        return {"time": m.time, "tasks": m.tasks, "steals": m.steals}
+    except Exception as exc:
+        return {"error": f"{type(exc).__name__}: {exc}"}
+
+
+def evaluator_from_source(
+    source: str,
+    transform: str,
+    machine_name: str,
+    max_size: int = 4096,
+    workers: Optional[int] = None,
+    trials: int = 1,
+    seed: int = 20090615,
+) -> Evaluator:
+    """Build an evaluator by compiling PetaBricks source text — the spec
+    factory behind ``repro tune --jobs N`` (source text is picklable
+    where a compiled program is not).  Mirrors the CLI's input policy:
+    the transform's ``generator`` declaration when present, uniform
+    random inputs otherwise."""
+    from repro.autotuner.evaluation import generator_inputs
+    from repro.cli import _random_inputs
+    from repro.compiler import compile_program
+    from repro.runtime.machine import MACHINES
+
+    program = compile_program(source)
+    compiled = program.transform(transform)
+    if compiled.ir.generator:
+        inputs = generator_inputs(program, transform)
+    else:
+        inputs = _random_inputs(program, transform, max_size)
+    return Evaluator(
+        program,
+        transform,
+        inputs,
+        MACHINES[machine_name],
+        workers=workers,
+        trials=trials,
+        seed=seed,
+    )
+
+
+# -- parent side -------------------------------------------------------------
+
+
+class ParallelEvaluator(Evaluator):
+    """An :class:`Evaluator` that batches measurements over a process
+    pool and remembers them in a (optionally persistent) shared cache.
+
+    Drop-in for :class:`~repro.autotuner.tuner.GeneticTuner`: ``time()``
+    behaves exactly like the serial evaluator (same values, same
+    ``candidate`` events), while ``evaluate_batch()`` lets the tuner
+    hand over a whole population / probe set at once.  With ``jobs ==
+    1`` (or when no :class:`EvaluatorSpec` is available to rebuild the
+    evaluator in workers) batches are evaluated serially in the parent —
+    in the identical order, producing identical results.
+    """
+
+    def __init__(
+        self,
+        *args: Any,
+        jobs: int = 1,
+        cache: Union[MeasurementCache, str, None] = None,
+        spec: Optional[EvaluatorSpec] = None,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.spec = spec
+        if isinstance(cache, str):
+            cache = MeasurementCache(cache)
+        self.cache = cache
+        self._failures: Dict[Tuple[str, int], str] = {}
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: EvaluatorSpec,
+        jobs: int = 1,
+        cache: Union[MeasurementCache, str, None] = None,
+        sink=None,
+    ) -> "ParallelEvaluator":
+        """Build the parent evaluator from the same recipe the workers
+        use, guaranteeing parent and workers measure identically."""
+        base = spec.build()
+        return cls(
+            base.program,
+            base.transform.name,
+            base.input_generator,
+            base.machine,
+            workers=base.workers,
+            trials=base.trials,
+            seed=base.seed,
+            sink=sink,
+            jobs=jobs,
+            cache=cache,
+            spec=spec,
+        )
+
+    # -- cache plumbing ----------------------------------------------------
+
+    def _cache_key(self, signature: str, size: int) -> CacheKey:
+        return (
+            self.machine.name,
+            self.workers,
+            self.trials,
+            self.seed,
+            signature,
+            size,
+        )
+
+    def _install_record(
+        self, signature: str, size: int, record: Dict[str, Any], fresh: bool
+    ) -> None:
+        """Merge one measurement record (from a worker, the serial batch
+        path, or the disk cache) into the in-memory state.  ``fresh``
+        records count as evaluations and emit ``candidate`` events; disk
+        hits do neither — a warm rerun performs zero fresh evaluations."""
+        if "error" in record:
+            self._failures[(signature, size)] = record["error"]
+        elif fresh:
+            self._record_fresh(
+                signature,
+                size,
+                Measurement(
+                    time=record["time"],
+                    tasks=record["tasks"],
+                    steals=record["steals"],
+                ),
+            )
+        else:
+            self._cache[(signature, size)] = record["time"]
+        if fresh and self.cache is not None:
+            self.cache.store(self._cache_key(signature, size), dict(record))
+
+    def _consult_disk(self, signature: str, size: int) -> bool:
+        """Pull one measurement from the persistent cache if present."""
+        if self.cache is None:
+            return False
+        record = self.cache.lookup(self._cache_key(signature, size))
+        if record is None:
+            return False
+        self._install_record(signature, size, record, fresh=False)
+        if self.sink is not None:
+            self.sink.count("tuner.cache.disk_hits")
+        return True
+
+    # -- measurement entry points -------------------------------------------
+
+    def time(self, config: ChoiceConfig, size: int) -> float:
+        signature = config_signature(config)
+        key = (signature, size)
+        if key not in self._cache and key not in self._failures:
+            self._consult_disk(signature, size)
+        if key in self._failures:
+            raise CandidateFailure(self._failures[key])
+        if key not in self._cache:
+            # A single miss is measured in-process: pool dispatch isn't
+            # worth one task, and the value is identical by construction.
+            try:
+                measurement = self.measure(config, size, signature)
+            except Exception as exc:
+                message = f"{type(exc).__name__}: {exc}"
+                self._install_record(
+                    signature, size, {"error": message}, fresh=True
+                )
+                raise CandidateFailure(message) from exc
+            self._install_record(
+                signature,
+                size,
+                {
+                    "time": measurement.time,
+                    "tasks": measurement.tasks,
+                    "steals": measurement.steals,
+                },
+                fresh=True,
+            )
+        elif self.sink is not None:
+            self.sink.count("tuner.cache_hits")
+        return self._cache[key]
+
+    def evaluate_batch(
+        self, batch: Sequence[Tuple[ChoiceConfig, int]]
+    ) -> None:
+        """Measure every ``(config, size)`` pair not already known.
+
+        Misses are dispatched together — over the pool when ``jobs > 1``
+        and a spec is available, serially otherwise — and merged in batch
+        order, so later ``time()`` calls are pure cache hits regardless
+        of worker count or completion order.
+        """
+        pending: List[Tuple[str, int]] = []
+        seen = set()
+        for config, size in batch:
+            signature = config_signature(config)
+            key = (signature, size)
+            if key in seen or key in self._cache or key in self._failures:
+                continue
+            if self._consult_disk(signature, size):
+                continue
+            seen.add(key)
+            pending.append(key)
+
+        if self.sink is not None:
+            self.sink.count("tuner.pool.batches")
+            self.sink.observe("tuner.pool.batch_size", len(pending))
+            self.sink.count("tuner.cache.misses", len(pending))
+        if not pending:
+            return
+
+        started = _time.perf_counter()
+        if self.jobs > 1 and self.spec is not None:
+            pool = self._ensure_pool()
+            futures = [
+                pool.submit(_pool_measure, signature, size)
+                for signature, size in pending
+            ]
+            if self.sink is not None:
+                self.sink.count("tuner.pool.dispatches", len(futures))
+            # Merge strictly in submission order.
+            records = [future.result() for future in futures]
+        else:
+            records = []
+            for signature, size in pending:
+                try:
+                    m = self.measure(
+                        ChoiceConfig.from_json(signature), size, signature
+                    )
+                    records.append(
+                        {"time": m.time, "tasks": m.tasks, "steals": m.steals}
+                    )
+                except Exception as exc:
+                    records.append({"error": f"{type(exc).__name__}: {exc}"})
+        for (signature, size), record in zip(pending, records):
+            self._install_record(signature, size, record, fresh=True)
+        if self.sink is not None:
+            elapsed_ms = (_time.perf_counter() - started) * 1000.0
+            self.sink.observe("tuner.pool.batch_latency_ms", elapsed_ms)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_init_worker,
+                initargs=(self.spec,),
+            )
+        return self._pool
+
+    def flush_cache(self) -> int:
+        """Persist newly added cache records; returns how many."""
+        if self.cache is None:
+            return 0
+        return self.cache.flush()
+
+    def close(self) -> None:
+        """Shut the pool down and persist the cache."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self.flush_cache()
+
+    def __enter__(self) -> "ParallelEvaluator":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

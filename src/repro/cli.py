@@ -27,6 +27,14 @@ Inputs for ``run`` come from ``--input file.npy`` / ``.txt`` (repeat per
 input matrix, in declaration order) or ``--random-input N`` (uniform
 random data for every declared input).  ``tune`` uses the transform's
 ``generator`` declaration when present, random data otherwise.
+
+``tune --jobs N`` evaluates candidate batches on ``N`` worker processes;
+because every measurement is a pure function of ``(seed, configuration
+signature, size, trial)`` the tuned configuration and history are
+byte-identical for any ``N``.  ``tune --cache PATH`` persists every
+measurement to a JSONL cache (keyed by machine profile, workers, trials,
+seed, configuration signature, and size) so repeat invocations skip
+already-simulated candidates entirely.
 """
 
 from __future__ import annotations
@@ -38,8 +46,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.autotuner import Evaluator, GeneticTuner
-from repro.autotuner.evaluation import generator_inputs
+from repro.autotuner import GeneticTuner
+from repro.autotuner.parallel import EvaluatorSpec, ParallelEvaluator
 from repro.compiler import ChoiceConfig, CompiledProgram, compile_program
 from repro.observe import TraceSink
 from repro.runtime import MACHINES, WorkStealingScheduler
@@ -198,15 +206,22 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_tune(args: argparse.Namespace) -> int:
-    program = _load_program(args.source)
-    transform = program.transform(args.transform)
-    machine = MACHINES[args.machine]
-    if transform.ir.generator:
-        inputs = generator_inputs(program, args.transform)
-    else:
-        inputs = _random_inputs(program, args.transform, args.max_size)
+    with open(args.source, "r", encoding="utf-8") as handle:
+        source_text = handle.read()
     sink = TraceSink() if args.trace else None
-    evaluator = Evaluator(program, args.transform, inputs, machine, sink=sink)
+    # Parent and pool workers build their evaluators from the same
+    # picklable spec, so every process measures identically; the result
+    # is byte-for-byte the same for any --jobs value.
+    spec = EvaluatorSpec.make(
+        "repro.autotuner.parallel:evaluator_from_source",
+        source_text,
+        args.transform,
+        args.machine,
+        max_size=args.max_size,
+    )
+    evaluator = ParallelEvaluator.from_spec(
+        spec, jobs=args.jobs, cache=args.cache, sink=sink
+    )
     tuner = GeneticTuner(
         evaluator,
         min_size=args.min_size,
@@ -214,7 +229,10 @@ def cmd_tune(args: argparse.Namespace) -> int:
         population_size=args.population,
         refine_passes=0,
     )
-    result = tuner.tune()
+    try:
+        result = tuner.tune()
+    finally:
+        evaluator.close()
     print(result.describe())
     for log in result.history:
         print(
@@ -224,6 +242,12 @@ def cmd_tune(args: argparse.Namespace) -> int:
     if args.output:
         result.config.save(args.output)
         print(f"configuration written to {args.output}")
+    if args.cache:
+        print(
+            f"measurement cache: {len(evaluator.cache)} entries in "
+            f"{args.cache} ({evaluator.evaluations} fresh evaluations "
+            f"this run)"
+        )
     if sink is not None:
         lines = sink.write_jsonl(args.trace)
         print(
@@ -314,6 +338,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune.add_argument("--min-size", type=int, default=16)
     p_tune.add_argument("--max-size", type=int, default=4096)
     p_tune.add_argument("--population", type=int, default=6)
+    p_tune.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="evaluate candidate batches on N worker processes "
+             "(results are byte-identical for any N)",
+    )
+    p_tune.add_argument(
+        "--cache", metavar="PATH",
+        help="persistent JSONL measurement cache, shared across "
+             "invocations and keyed by machine profile",
+    )
     p_tune.add_argument("-o", "--output", help="write configuration JSON")
     p_tune.add_argument(
         "--trace", metavar="PATH",

@@ -14,9 +14,18 @@ interesting transition is captured three ways:
   ``run_end``.  The task recorder emits ``task_recorded``; the autotuner
   emits ``candidate`` and ``generation``.
 * **counters** — monotonically increasing named integers
-  (``scheduler.steals``, ``tuner.evaluations``, ...).
+  (``scheduler.steals``, ``tuner.evaluations``, ``tuner.cache_hits``;
+  parallel tuning adds ``tuner.pool.dispatches``, ``tuner.pool.batches``,
+  ``tuner.cache.misses``, and ``tuner.cache.disk_hits``).
 * **histograms** — power-of-two bucketed distributions
-  (``scheduler.deque_depth``, ``scheduler.task_duration``, ...).
+  (``scheduler.deque_depth``, ``scheduler.task_duration``,
+  ``tuner.pool.batch_size``, ``tuner.pool.batch_latency_ms``).
+
+The per-batch latency histogram is the one deliberately wall-clock
+(hence nondeterministic) metric; it never enters the event stream, so
+exported JSONL traces stay byte-identical across runs and worker counts
+— ``candidate`` events are emitted in deterministic batch order whether
+tuning runs serially or on a process pool.
 
 Because everything recorded is a pure function of (graph, machine,
 workers, seed), two runs with identical inputs produce byte-identical

@@ -77,6 +77,67 @@ class TestNarySearch:
         best, cost = nary_search(lambda v: (v - 37) ** 2, 1, 1000)
         assert best == 37 and cost == 0
 
+    def test_arity_one_degrades_to_endpoints(self):
+        # Regression: arity == 1 with hi > lo used to divide by zero.
+        from repro.autotuner.nary import _probe_points
+
+        assert _probe_points(2, 100, 1) == [2, 100]
+        best, cost = nary_search(lambda v: (v - 90) ** 2, 2, 100, arity=1)
+        assert (best, cost) == (100, 100)
+
+    def test_probe_points_equal_bounds(self):
+        from repro.autotuner.nary import _probe_points
+
+        assert _probe_points(7, 7, 4) == [7]
+        assert _probe_points(7, 7, 1) == [7]
+
+    def test_probe_points_inverted_bounds(self):
+        from repro.autotuner.nary import _probe_points
+
+        assert _probe_points(9, 3, 4) == [9]
+
+    def test_probe_points_tiny_range(self):
+        from repro.autotuner.nary import _probe_points
+
+        assert _probe_points(1, 2, 4) == [1, 2]
+        assert _probe_points(3, 4, 2) == [3, 4]
+
+    def test_probe_points_rejects_nonpositive(self):
+        from repro.autotuner.nary import _probe_points
+
+        with pytest.raises(ValueError):
+            _probe_points(0, 10, 4)
+
+    def test_batch_objective_matches_serial(self):
+        def objective(v):
+            return (v - 37) ** 2
+
+        batches = []
+
+        def batch_objective(values):
+            batches.append(list(values))
+            return [objective(v) for v in values]
+
+        serial = nary_search(objective, 1, 1000, arity=4, rounds=4)
+        batched = nary_search(
+            objective, 1, 1000, arity=4, rounds=4,
+            batch_objective=batch_objective,
+        )
+        assert serial == batched
+        assert batches  # the hook actually ran
+        # every batch holds distinct, not-yet-memoized values
+        seen = set()
+        for batch in batches:
+            assert not (set(batch) & seen)
+            seen.update(batch)
+
+    def test_batch_objective_size_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="batch objective"):
+            nary_search(
+                lambda v: v, 1, 100,
+                batch_objective=lambda values: [0.0],
+            )
+
     def test_boundary_minimum(self):
         best, _ = nary_search(lambda v: v, 1, 100)
         assert best == 1
@@ -183,6 +244,54 @@ class TestEvaluator:
         hybrid.set_choice(SITE, Selector(((4097, 0), (None, 1))))
         size = 65536
         assert ev.time(direct, size) <= ev.time(hybrid, size)
+
+    def test_time_order_independent(self, treesum):
+        """Regression (ISSUE 2): a measurement is a pure function of
+        (seed, signature, size, trial) — interleaving, repeating, or
+        reordering evaluations must not change any value."""
+        direct = ChoiceConfig()
+        direct.set_choice(SITE, Selector.static(0))
+        hybrid = ChoiceConfig()
+        hybrid.set_choice(SITE, Selector(((257, 0), (None, 1))))
+        plan_a = [(direct, 256), (direct, 512), (hybrid, 256), (hybrid, 512)]
+        plan_b = [(hybrid, 512), (direct, 256), (hybrid, 512), (hybrid, 256),
+                  (direct, 512), (direct, 256)]
+
+        def run_plan(plan):
+            ev = Evaluator(
+                treesum, "TreeSum", treesum_inputs, MACHINES["xeon8"]
+            )
+            times = {}
+            for config, size in plan:
+                times[(config.to_json(), size)] = ev.time(config, size)
+            return times
+
+        times_a, times_b = run_plan(plan_a), run_plan(plan_b)
+        for key, value in times_a.items():
+            assert times_b[key] == value
+
+    def test_run_once_independent_of_history(self, treesum):
+        """The same trial yields the same schedule no matter what ran
+        before it on the same evaluator instance."""
+        ev = Evaluator(treesum, "TreeSum", treesum_inputs, MACHINES["xeon8"])
+        hybrid = ChoiceConfig()
+        hybrid.set_choice(SITE, Selector(((257, 0), (None, 1))))
+        _, first = ev.run_once(hybrid, 2048, trial=0)
+        for size in (64, 128, 4096):
+            ev.time(ChoiceConfig(), size)
+        _, again = ev.run_once(hybrid, 2048, trial=0)
+        assert again.makespan == first.makespan
+        assert again.steals == first.steals
+
+    def test_measurement_seed_distinguishes_identity(self):
+        from repro.autotuner.evaluation import measurement_seed
+
+        base = measurement_seed(1, "sig", 64, 0)
+        assert measurement_seed(1, "sig", 64, 0) == base
+        assert measurement_seed(2, "sig", 64, 0) != base
+        assert measurement_seed(1, "gis", 64, 0) != base
+        assert measurement_seed(1, "sig", 65, 0) != base
+        assert measurement_seed(1, "sig", 64, 1) != base
 
     def test_pure_recursion_fails(self, treesum):
         ev = Evaluator(treesum, "TreeSum", treesum_inputs, MACHINES["xeon8"])

@@ -159,6 +159,39 @@ class TestTuneAndReport:
             assert {"size", "time", "config", "tasks", "steals"} <= set(event)
         assert [g["size"] for g in generations] == [16, 32]
 
+    def test_tune_jobs_byte_identical(self, source, tmp_path, capsys):
+        """--jobs 2 fans evaluation over a process pool yet writes the
+        exact bytes --jobs 1 writes."""
+        configs = {}
+        for jobs in (1, 2):
+            cfg = tmp_path / f"tuned-j{jobs}.json"
+            assert main([
+                "tune", source, "-t", "RollingSum",
+                "--machine", "xeon8", "--min-size", "16", "--max-size", "32",
+                "--jobs", str(jobs), "-o", str(cfg),
+            ]) == 0
+            configs[jobs] = cfg.read_bytes()
+        assert configs[1] == configs[2]
+
+    def test_tune_cache_warm_rerun(self, source, tmp_path, capsys):
+        cache = tmp_path / "cache.jsonl"
+        cfg = tmp_path / "tuned.json"
+        argv = [
+            "tune", source, "-t", "RollingSum",
+            "--machine", "xeon1", "--min-size", "16", "--max-size", "32",
+            "--cache", str(cache), "-o", str(cfg),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "measurement cache" in cold
+        assert cache.exists()
+        first = cfg.read_bytes()
+
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "(0 fresh evaluations this run)" in warm
+        assert cfg.read_bytes() == first
+
     def test_report(self, tmp_path, capsys):
         config = ChoiceConfig()
         config.set_choice("T.Y.0", Selector(((64, 0), (None, 1))))
