@@ -1,0 +1,103 @@
+"""Fault recovery: the price of surviving crashes, hangs, and flakes.
+
+The fault-tolerance layer promises that a tuning run under injected
+faults finishes with the byte-identical configuration of a fault-free
+run — recovery costs wall-clock time, never answers.  This benchmark
+tunes Sort with ``jobs=2`` under fault plans of increasing severity,
+records the wall-clock overhead and the recovery work performed
+(retries, pool rebuilds, deadline timeouts), and asserts the parity
+contract for every plan.
+"""
+
+import time
+
+from harness import fmt_row, write_report
+
+from repro.apps import sort as sort_app
+from repro.autotuner import GeneticTuner
+from repro.autotuner.parallel import EvaluatorSpec, ParallelEvaluator
+from repro.faults import FaultInjector
+from repro.observe import TraceSink
+
+SPEC = EvaluatorSpec.make("repro.apps.sort:make_evaluator", "xeon8")
+MIN_SIZE = 32
+MAX_SIZE = 512
+
+#: (label, injection spec or None for the clean baseline)
+PLANS = (
+    ("clean", None),
+    ("crash 10%", "worker-crash:0.1"),
+    ("crash 20% + hang 5%", "worker-crash:0.2,worker-hang:0.05,hang=2"),
+    ("crash + hang + flaky", "worker-crash:0.2,worker-hang:0.05,"
+                             "transient:0.1,corrupt-record:0.1,hang=2"),
+)
+
+
+def tune_under(spec_text):
+    sink = TraceSink(capture_events=False)
+    injector = FaultInjector.parse(spec_text) if spec_text else None
+    evaluator = ParallelEvaluator.from_spec(
+        SPEC,
+        jobs=2,
+        sink=sink,
+        injector=injector,
+        measure_timeout=1.0,
+        retry_backoff=0.0,
+    )
+    tuner = GeneticTuner(
+        evaluator,
+        min_size=MIN_SIZE,
+        max_size=MAX_SIZE,
+        population_size=6,
+        tunable_rounds=1,
+        refine_passes=0,
+        threshold_metric=sort_app.size_metric,
+    )
+    begin = time.perf_counter()
+    try:
+        result = tuner.tune()
+    finally:
+        evaluator.close()
+    return result, time.perf_counter() - begin, sink
+
+
+def build_rows():
+    return [(label, *tune_under(spec)) for label, spec in PLANS]
+
+
+def test_fault_recovery_overhead(benchmark):
+    data = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    _, clean_result, clean_time, _ = data[0]
+
+    widths = [22, 10, 10, 9, 9, 9]
+    lines = [
+        f"Fault recovery: Sort on xeon8, jobs=2, sizes "
+        f"{MIN_SIZE}..{MAX_SIZE}",
+        fmt_row(
+            ["fault plan", "wall (s)", "overhead", "retries", "rebuilds",
+             "timeouts"],
+            widths,
+        ),
+    ]
+    for label, result, elapsed, sink in data:
+        lines.append(
+            fmt_row(
+                [
+                    label,
+                    f"{elapsed:.2f}",
+                    f"{elapsed / clean_time:.2f}x",
+                    sink.counter("tuner.pool.retries"),
+                    sink.counter("tuner.pool.rebuilds"),
+                    sink.counter("tuner.pool.timeouts"),
+                ],
+                widths,
+            )
+        )
+    lines.append(
+        "contract: every plan lands on the byte-identical configuration"
+    )
+    write_report("fault_recovery", lines)
+
+    for label, result, _, _ in data[1:]:
+        assert result.config.to_json() == clean_result.config.to_json(), label
+        assert result.best_time == clean_result.best_time, label

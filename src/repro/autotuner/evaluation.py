@@ -21,6 +21,7 @@ reordered, or fanned out across worker processes (see
 from __future__ import annotations
 
 import hashlib
+import math
 import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, Optional, Sequence, Tuple, Union
@@ -68,6 +69,32 @@ class Measurement:
     time: float
     tasks: int
     steals: int
+
+    def to_record(self) -> Dict[str, object]:
+        """The wire/cache form: the schema one JSONL cache row and one
+        pool-worker result share."""
+        return {"time": self.time, "tasks": self.tasks, "steals": self.steals}
+
+    @staticmethod
+    def from_record(record: object) -> "Measurement":
+        """Parse and validate a result record.
+
+        Raises ``ValueError`` on anything malformed — a non-dict, missing
+        fields, non-numeric or non-finite values — which is how the
+        fault-tolerant evaluator detects corrupted worker results and
+        how the cache loader rejects damaged rows.
+        """
+        if not isinstance(record, dict):
+            raise ValueError(f"record is {type(record).__name__}, not a dict")
+        try:
+            time = float(record["time"])
+            tasks = int(record["tasks"])
+            steals = int(record["steals"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"malformed measurement record: {exc}") from None
+        if not math.isfinite(time) or time < 0 or tasks < 0 or steals < 0:
+            raise ValueError(f"out-of-range measurement record: {record!r}")
+        return Measurement(time=time, tasks=tasks, steals=steals)
 
 
 def generator_inputs(

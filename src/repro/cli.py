@@ -35,6 +35,16 @@ byte-identical for any ``N``.  ``tune --cache PATH`` persists every
 measurement to a JSONL cache (keyed by machine profile, workers, trials,
 seed, configuration signature, and size) so repeat invocations skip
 already-simulated candidates entirely.
+
+Tuning is fault tolerant: ``--measure-timeout`` bounds every
+measurement with an adaptive deadline (hung candidates are culled like
+any other nonviable candidate), ``--max-retries`` bounds recovery
+retries for crashed workers and transient failures (the pool is rebuilt
+automatically), and the cache is flushed after every batch so a killed
+run loses at most one batch of measurements.  Recovery actions are
+summarised on a ``fault recovery:`` line.  ``--inject SPEC`` (dev/test
+only) turns on the deterministic fault injector of :mod:`repro.faults`
+to exercise those paths.
 """
 
 from __future__ import annotations
@@ -49,6 +59,7 @@ import numpy as np
 from repro.autotuner import GeneticTuner
 from repro.autotuner.parallel import EvaluatorSpec, ParallelEvaluator
 from repro.compiler import ChoiceConfig, CompiledProgram, compile_program
+from repro.faults import FaultInjector, FaultSpecError
 from repro.observe import TraceSink
 from repro.runtime import MACHINES, WorkStealingScheduler
 
@@ -205,10 +216,28 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+#: recovery counters `repro tune` surfaces (counter name, report label).
+_RECOVERY_COUNTERS = (
+    ("tuner.pool.timeouts", "timeouts"),
+    ("tuner.pool.retries", "retries"),
+    ("tuner.pool.rebuilds", "pool rebuilds"),
+    ("tuner.pool.quarantines", "quarantined candidates"),
+    ("tuner.degraded_serial", "degraded to serial"),
+    ("tuner.cache.corrupt_lines", "corrupt cache lines skipped"),
+)
+
+
 def cmd_tune(args: argparse.Namespace) -> int:
     with open(args.source, "r", encoding="utf-8") as handle:
         source_text = handle.read()
-    sink = TraceSink() if args.trace else None
+    # Counters (recovery accounting) are always collected; the event
+    # stream — the expensive part — only when --trace asks for it.
+    sink = TraceSink(capture_events=bool(args.trace))
+    try:
+        injector = FaultInjector.parse(args.inject) if args.inject else None
+    except FaultSpecError as exc:
+        print(f"error: --inject {exc}", file=sys.stderr)
+        return 2
     # Parent and pool workers build their evaluators from the same
     # picklable spec, so every process measures identically; the result
     # is byte-for-byte the same for any --jobs value.
@@ -220,16 +249,26 @@ def cmd_tune(args: argparse.Namespace) -> int:
         max_size=args.max_size,
     )
     evaluator = ParallelEvaluator.from_spec(
-        spec, jobs=args.jobs, cache=args.cache, sink=sink
+        spec,
+        jobs=args.jobs,
+        cache=args.cache,
+        sink=sink,
+        measure_timeout=args.measure_timeout if args.measure_timeout > 0 else None,
+        max_retries=args.max_retries,
+        injector=injector,
     )
-    tuner = GeneticTuner(
-        evaluator,
-        min_size=args.min_size,
-        max_size=args.max_size,
-        population_size=args.population,
-        refine_passes=0,
-    )
+    # Everything from here runs under try/finally: close() shuts the
+    # pool down and flushes the cache even when tuning (or reporting)
+    # raises mid-generation, so an interrupted run keeps every batch it
+    # completed.
     try:
+        tuner = GeneticTuner(
+            evaluator,
+            min_size=args.min_size,
+            max_size=args.max_size,
+            population_size=args.population,
+            refine_passes=0,
+        )
         result = tuner.tune()
     finally:
         evaluator.close()
@@ -248,7 +287,14 @@ def cmd_tune(args: argparse.Namespace) -> int:
             f"{args.cache} ({evaluator.evaluations} fresh evaluations "
             f"this run)"
         )
-    if sink is not None:
+    recovered = [
+        f"{sink.counter(name)} {label}"
+        for name, label in _RECOVERY_COUNTERS
+        if sink.counter(name)
+    ]
+    if recovered:
+        print(f"fault recovery: {', '.join(recovered)}")
+    if args.trace:
         lines = sink.write_jsonl(args.trace)
         print(
             f"candidate timeline: {lines} events "
@@ -347,6 +393,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache", metavar="PATH",
         help="persistent JSONL measurement cache, shared across "
              "invocations and keyed by machine profile",
+    )
+    p_tune.add_argument(
+        "--measure-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="floor of the adaptive per-measurement deadline; hung or "
+             "pathologically slow candidates are culled as failures "
+             "after bounded retries (0 disables deadlines; default: "
+             "%(default)s)",
+    )
+    p_tune.add_argument(
+        "--max-retries", type=int, default=3, metavar="N",
+        help="bounded retries for transient worker failures, corrupt "
+             "results, crashes, and deadline misses (default: "
+             "%(default)s)",
+    )
+    p_tune.add_argument(
+        "--inject", metavar="SPEC",
+        help="(dev/test only) deterministic fault injection, e.g. "
+             "'worker-crash:0.2,worker-hang:0.05,seed=7,hang=2' — "
+             "see repro.faults for the grammar",
     )
     p_tune.add_argument("-o", "--output", help="write configuration JSON")
     p_tune.add_argument(

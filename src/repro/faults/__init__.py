@@ -1,0 +1,35 @@
+"""Deterministic fault injection for the fault-tolerance layer.
+
+:mod:`repro.faults.injector` defines the seeded :class:`FaultInjector`
+(worker crash, worker hang, transient error, corrupted result record,
+cache-line corruption) that plugs into the pool workers and the cache
+writer of :mod:`repro.autotuner.parallel`; every decision is a pure
+function of ``(seed, fault kind, identity, attempt)``, so injected
+failures replay identically across runs and processes.
+
+:mod:`repro.faults.harness` is the companion stress harness — the
+fault-layer sibling of :mod:`repro.observe.stress` — which tunes a real
+transform under an injected fault plan and asserts the recovery
+invariant: the tuned configuration and history are byte-identical to a
+fault-free run (import it directly; it pulls in the autotuner).
+"""
+
+from repro.faults.injector import (
+    DEFAULT_HANG_SECONDS,
+    DEFAULT_SEED,
+    KINDS,
+    FaultInjector,
+    FaultRule,
+    FaultSpecError,
+    TransientFault,
+)
+
+__all__ = [
+    "DEFAULT_HANG_SECONDS",
+    "DEFAULT_SEED",
+    "KINDS",
+    "FaultInjector",
+    "FaultRule",
+    "FaultSpecError",
+    "TransientFault",
+]

@@ -25,6 +25,11 @@ asserts the scheduler invariants that the theory of §3.2/§3.4 promises:
 Dependency ordering (every task starts only after its deps and its
 spawning parent have finished) is asserted as well — it is implied by
 the simulation but cheap to check from the trace.
+
+The fault-tolerance layer has a sibling harness,
+:mod:`repro.faults.harness`, which plays the same role for the parallel
+tuning loop: seeded fault plans instead of seeded task graphs, and the
+recovery-parity invariant instead of the scheduler invariants.
 """
 
 from __future__ import annotations

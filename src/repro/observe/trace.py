@@ -16,7 +16,12 @@ interesting transition is captured three ways:
 * **counters** — monotonically increasing named integers
   (``scheduler.steals``, ``tuner.evaluations``, ``tuner.cache_hits``;
   parallel tuning adds ``tuner.pool.dispatches``, ``tuner.pool.batches``,
-  ``tuner.cache.misses``, and ``tuner.cache.disk_hits``).
+  ``tuner.cache.misses``, and ``tuner.cache.disk_hits``; the
+  fault-tolerance layer adds ``tuner.pool.timeouts``,
+  ``tuner.pool.retries``, ``tuner.pool.rebuilds``,
+  ``tuner.pool.quarantines``, ``tuner.degraded_serial``, and
+  ``tuner.cache.corrupt_lines`` — every recovery action is counted,
+  so ``repro tune`` can summarise what it survived).
 * **histograms** — power-of-two bucketed distributions
   (``scheduler.deque_depth``, ``scheduler.task_duration``,
   ``tuner.pool.batch_size``, ``tuner.pool.batch_latency_ms``).

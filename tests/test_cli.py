@@ -192,6 +192,55 @@ class TestTuneAndReport:
         assert "(0 fresh evaluations this run)" in warm
         assert cfg.read_bytes() == first
 
+    def test_tune_injected_faults_byte_identical(self, source, tmp_path, capsys):
+        """The acceptance bar: tuning with --jobs 2 under injected
+        crashes and hangs writes the exact bytes of a clean --jobs 1
+        run, and reports what it recovered from."""
+        base = [
+            "tune", source, "-t", "RollingSum",
+            "--machine", "xeon8", "--min-size", "16", "--max-size", "32",
+        ]
+        clean = tmp_path / "clean.json"
+        assert main(base + ["--jobs", "1", "-o", str(clean)]) == 0
+        capsys.readouterr()
+
+        faulty = tmp_path / "faulty.json"
+        assert main(base + [
+            "--jobs", "2",
+            "--inject", "worker-crash:0.2,worker-hang:0.05,hang=2",
+            "--measure-timeout", "1", "--max-retries", "3",
+            "-o", str(faulty),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert faulty.read_bytes() == clean.read_bytes()
+        assert "fault recovery:" in out
+        assert "retries" in out
+
+    def test_tune_clean_run_reports_no_recovery(self, source, tmp_path, capsys):
+        assert main([
+            "tune", source, "-t", "RollingSum",
+            "--machine", "xeon1", "--min-size", "16", "--max-size", "16",
+        ]) == 0
+        assert "fault recovery:" not in capsys.readouterr().out
+
+    def test_tune_corrupt_cache_surfaced(self, source, tmp_path, capsys):
+        cache = tmp_path / "cache.jsonl"
+        cache.write_text('{truncated row\n["not", "a", "record"]\n')
+        assert main([
+            "tune", source, "-t", "RollingSum",
+            "--machine", "xeon1", "--min-size", "16", "--max-size", "16",
+            "--cache", str(cache),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2 corrupt cache lines skipped" in out
+        assert (tmp_path / "cache.jsonl.bad").exists()
+
+    def test_tune_bad_inject_spec_errors(self, source, capsys):
+        assert main([
+            "tune", source, "-t", "RollingSum", "--inject", "nonsense:0.5",
+        ]) == 2
+        assert "--inject" in capsys.readouterr().err
+
     def test_report(self, tmp_path, capsys):
         config = ChoiceConfig()
         config.set_choice("T.Y.0", Selector(((64, 0), (None, 1))))
