@@ -1,0 +1,56 @@
+"""Static verifier suite over compiled transform IR.
+
+Four pass families — symbolic/witness bounds checking, write-write race
+detection, coverage auditing, and hygiene lints — emitting structured
+:class:`~repro.analysis.diagnostics.Diagnostic` records with stable
+``PBxxx`` codes, source positions, fix hints, and concrete witnesses.
+Exposed through the ``repro check`` CLI subcommand and the
+``compile_program(..., analyze=True)`` pipeline hook.
+"""
+
+from repro.analysis.diagnostics import (
+    AnalysisReport,
+    CODE_TABLE,
+    Diagnostic,
+    ERROR,
+    INFO,
+    WARNING,
+    default_severity,
+)
+from repro.analysis.witness import WitnessBudget, DEFAULT_BUDGET
+from repro.analysis.bounds import check_bounds
+from repro.analysis.races import check_races
+from repro.analysis.coverage import check_coverage
+from repro.analysis.lints import check_lints
+from repro.analysis.check import (
+    analyze_program,
+    analyze_transform,
+    check_file,
+    check_source,
+    diagnostic_from_error,
+    record_report,
+    run_check,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "CODE_TABLE",
+    "Diagnostic",
+    "ERROR",
+    "INFO",
+    "WARNING",
+    "WitnessBudget",
+    "DEFAULT_BUDGET",
+    "analyze_program",
+    "analyze_transform",
+    "check_bounds",
+    "check_coverage",
+    "check_file",
+    "check_lints",
+    "check_races",
+    "check_source",
+    "default_severity",
+    "diagnostic_from_error",
+    "record_report",
+    "run_check",
+]

@@ -1,0 +1,228 @@
+"""Verifier driver: run every pass, collect one report, serve the CLI.
+
+Entry points, lowest to highest level:
+
+* :func:`analyze_transform` — the four pass families over one compiled
+  transform.
+* :func:`analyze_program` — every transform of a compiled program.
+* :func:`check_source` — compile DSL text (pipeline analysis disabled —
+  this driver *is* the analysis) and analyze; compile failures become
+  error diagnostics instead of exceptions.
+* :func:`check_file` — dispatch on extension: DSL files are checked as
+  source; ``.py`` files are imported and their ``build_program()``
+  and/or module-level DSL string constants are checked.
+* :func:`run_check` — the ``repro check`` subcommand body.
+
+Diagnostic counts are mirrored into a :class:`repro.observe.TraceSink`
+when one is passed: ``analysis.diagnostics.<CODE>`` per code plus the
+``analysis.errors`` / ``analysis.warnings`` / ``analysis.infos`` totals.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import re
+import sys
+from typing import List, Optional
+
+from repro.analysis.bounds import check_bounds
+from repro.analysis.coverage import check_coverage
+from repro.analysis.diagnostics import (
+    AnalysisReport,
+    Diagnostic,
+    default_severity,
+)
+from repro.analysis.lints import check_lints
+from repro.analysis.races import check_races
+from repro.analysis.witness import WitnessBudget, DEFAULT_BUDGET
+from repro.language.errors import PetaBricksError
+
+
+def analyze_transform(
+    compiled,
+    budget: WitnessBudget = DEFAULT_BUDGET,
+    path: str = "",
+    errors_only: bool = False,
+) -> List[Diagnostic]:
+    """All four pass families over one compiled transform."""
+    diagnostics = []
+    diagnostics.extend(check_bounds(compiled, budget, path))
+    diagnostics.extend(check_races(compiled, budget, path))
+    diagnostics.extend(check_coverage(compiled, budget, path))
+    if not errors_only:
+        diagnostics.extend(check_lints(compiled, budget, path))
+    if errors_only:
+        diagnostics = [d for d in diagnostics if d.is_error]
+    return diagnostics
+
+
+def analyze_program(
+    program,
+    budget: WitnessBudget = DEFAULT_BUDGET,
+    path: str = "",
+    errors_only: bool = False,
+) -> AnalysisReport:
+    report = AnalysisReport()
+    for name in sorted(program.transforms):
+        report.extend(
+            analyze_transform(
+                program.transforms[name], budget, path, errors_only
+            )
+        )
+    return report
+
+
+def diagnostic_from_error(exc: PetaBricksError, path: str = "") -> Diagnostic:
+    """A compile failure as a diagnostic (code PB001 when untagged)."""
+    code = exc.code or "PB001"
+    return Diagnostic(
+        code=code,
+        severity=default_severity(code),
+        message=exc.message,
+        line=exc.line,
+        column=exc.column,
+        hint=exc.hint or "",
+        path=path,
+    )
+
+
+def check_source(
+    source: str,
+    path: str = "",
+    budget: WitnessBudget = DEFAULT_BUDGET,
+) -> AnalysisReport:
+    """Compile DSL text and run every pass; never raises on bad input."""
+    from repro.compiler.codegen import compile_program
+
+    try:
+        program = compile_program(source, analyze=False)
+    except PetaBricksError as exc:
+        return AnalysisReport([diagnostic_from_error(exc, path)])
+    return analyze_program(program, budget, path)
+
+
+#: A module-level string constant is treated as DSL when it opens with a
+#: transform declaration.
+_DSL_RE = re.compile(r"^\s*transform\s+\w+", re.MULTILINE)
+
+
+def check_python_module(
+    path: str, budget: WitnessBudget = DEFAULT_BUDGET
+) -> AnalysisReport:
+    """Import a ``.py`` file and check the transforms it defines.
+
+    Checks ``build_program()`` when the module exports one, and any
+    module-level string constant that parses as transform source (e.g.
+    ``rollingsum.SOURCE``).  Bundled apps and examples all guard their
+    entry points with ``__main__``, so importing them is side-effect
+    free.
+    """
+    report = AnalysisReport()
+    spec = importlib.util.spec_from_file_location(
+        f"_repro_check_{abs(hash(path))}", path
+    )
+    if spec is None or spec.loader is None:
+        report.add(
+            Diagnostic(
+                code="PB001",
+                severity="error",
+                message=f"cannot import {path}",
+                path=path,
+            )
+        )
+        return report
+    module = importlib.util.module_from_spec(spec)
+    try:
+        spec.loader.exec_module(module)
+    except Exception as exc:  # import errors are check failures, not crashes
+        report.add(
+            Diagnostic(
+                code="PB001",
+                severity="error",
+                message=f"import failed: {exc}",
+                path=path,
+            )
+        )
+        return report
+
+    checked_sources = set()
+    builder = getattr(module, "build_program", None)
+    if callable(builder):
+        try:
+            program = builder()
+        except PetaBricksError as exc:
+            report.add(diagnostic_from_error(exc, path))
+            program = None
+        if program is not None:
+            report.extend(analyze_program(program, budget, path))
+    for name in sorted(vars(module)):
+        value = getattr(module, name)
+        if (
+            isinstance(value, str)
+            and _DSL_RE.search(value)
+            and value not in checked_sources
+        ):
+            checked_sources.add(value)
+            report.extend(check_source(value, path, budget))
+    if builder is not None and checked_sources:
+        # build_program() modules usually compile the same constant; drop
+        # exact duplicate findings from the double-check.
+        unique = {}
+        for diag in report.diagnostics:
+            unique.setdefault(diag, diag)
+        report.diagnostics = list(unique.values())
+    return report
+
+
+def check_file(path: str, budget: WitnessBudget = DEFAULT_BUDGET) -> AnalysisReport:
+    if path.endswith(".py"):
+        return check_python_module(path, budget)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as exc:
+        return AnalysisReport(
+            [
+                Diagnostic(
+                    code="PB001",
+                    severity="error",
+                    message=str(exc),
+                    path=path,
+                )
+            ]
+        )
+    return check_source(source, path, budget)
+
+
+def record_report(report: AnalysisReport, sink) -> None:
+    """Mirror diagnostic counts into a TraceSink's counters."""
+    if sink is None:
+        return
+    for code, count in report.counts_by_code().items():
+        sink.count(f"analysis.diagnostics.{code}", count)
+    sink.count("analysis.errors", len(report.errors))
+    sink.count("analysis.warnings", len(report.warnings))
+    sink.count("analysis.infos", len(report.infos))
+
+
+def run_check(
+    paths: List[str],
+    fmt: str = "text",
+    strict: bool = False,
+    budget: WitnessBudget = DEFAULT_BUDGET,
+    sink=None,
+    out=None,
+) -> int:
+    """The ``repro check`` subcommand: check files, print, exit-code."""
+    out = out if out is not None else sys.stdout
+    report = AnalysisReport()
+    for path in paths:
+        report.extend(check_file(path, budget).diagnostics)
+    record_report(report, sink)
+    if fmt == "json":
+        print(report.to_json(), file=out)
+    else:
+        for diag in report:
+            print(diag.format(), file=out)
+        print(f"repro check: {report.summary_line()}", file=out)
+    return report.exit_code(strict=strict)

@@ -1,0 +1,179 @@
+"""Coverage auditor (pass family 3: PB301, PB302).
+
+Every cell of every computed matrix must be written no matter which
+option the selector picks: per (segment, option, size env) the cells
+written by the option's applications must include every cell of the
+segment, and per matrix the segment boxes must add up to the whole
+matrix.  Uncovered cells are PB301 errors with a concrete witness —
+the engine would leave them at their initial value, silently.
+
+PB301 is also raised during compilation (by `repro.compiler.choicegrid`)
+when a matrix has no rules at all or a segment has no applicable rule;
+this pass catches the finer-grained failures segmentation cannot see,
+e.g. an instance rule whose stride skips cells inside its applicable
+region.
+
+PB302 is informational: a segment with several interchangeable options
+is the paper's *algorithmic choice* (the autotuner's search space), and
+is reported only so `repro check` output shows where choices live.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, ERROR, INFO
+from repro.analysis.races import _applications
+from repro.analysis.witness import (
+    Cell,
+    WitnessBudget,
+    DEFAULT_BUDGET,
+    describe_bounds,
+    describe_env,
+    region_cells,
+    size_envs,
+)
+from repro.compiler.ir import ROLE_INPUT
+
+
+def check_coverage(
+    compiled, budget: WitnessBudget = DEFAULT_BUDGET, path: str = ""
+) -> List[Diagnostic]:
+    ir = compiled.ir
+    envs = size_envs(compiled, budget)
+    diagnostics: List[Diagnostic] = []
+    seen: Set[Tuple] = set()
+
+    for segment in compiled.grid.all_segments():
+        for option in segment.options:
+            for env in envs:
+                diag = _check_segment_option(
+                    compiled, segment, option, env, budget
+                )
+                if diag is None:
+                    continue
+                key = (diag.code, segment.matrix, segment.index, diag.rule)
+                if key not in seen:
+                    seen.add(key)
+                    diagnostics.append(
+                        Diagnostic(**{**diag.to_dict(), "path": path})
+                    )
+        if len(segment.options) > 1:
+            mat = ir.matrices[segment.matrix]
+            diagnostics.append(
+                Diagnostic(
+                    code="PB302",
+                    severity=INFO,
+                    message=(
+                        f"segment {segment.key} has "
+                        f"{len(segment.options)} interchangeable options: "
+                        + ", ".join(
+                            opt.describe(ir) for opt in segment.options
+                        )
+                    ),
+                    transform=ir.name,
+                    region=f"{segment.matrix}[{segment.box}]",
+                    line=mat.line or ir.line,
+                    column=mat.column or ir.column,
+                    hint="the autotuner selects among these",
+                    path=path,
+                )
+            )
+
+    diagnostics.extend(_matrix_partition(compiled, envs, budget, path))
+    return diagnostics
+
+
+def _check_segment_option(compiled, segment, option, env, budget):
+    """One PB301 (or None) for this segment/option at these sizes."""
+    ir = compiled.ir
+    seg_bounds = segment.box.concrete(env)
+    target = region_cells(seg_bounds, budget)
+    if target is None or not target:
+        return None
+    apps = _applications(compiled, segment, option, env, budget)
+    if apps is None:
+        return None
+    written: Set[Cell] = set()
+    for chosen, instance_env, _assignment in apps:
+        for region in chosen.to_regions:
+            if region.matrix != segment.matrix:
+                continue
+            cells = region_cells(region.box.concrete(instance_env), budget)
+            if cells is None:
+                return None
+            written.update(cells)
+    missing = [cell for cell in target if cell not in written]
+    if not missing:
+        return None
+    rule = ir.rules[option.primary]
+    cell = missing[0]
+    return Diagnostic(
+        code="PB301",
+        severity=ERROR,
+        message=(
+            f"option {option.describe(ir)} leaves "
+            f"{len(missing)} cell(s) of segment {segment.key} "
+            f"{describe_bounds(segment.matrix, seg_bounds)} unwritten, "
+            f"first {describe_bounds(segment.matrix, [(c, c + 1) for c in cell])}"
+        ),
+        transform=ir.name,
+        rule=rule.label,
+        region=f"{segment.matrix}[{segment.box}]",
+        line=rule.line,
+        column=rule.column,
+        hint=(
+            "widen the rule's to-region or add a rule covering the "
+            "skipped cells"
+        ),
+        witness=describe_env(env),
+    )
+
+
+def _matrix_partition(compiled, envs, budget, path: str) -> List[Diagnostic]:
+    """PB301 when a matrix's segments do not add up to its whole box."""
+    ir = compiled.ir
+    diagnostics: List[Diagnostic] = []
+    for name, segments in compiled.grid.segments.items():
+        mat = ir.matrices[name]
+        if mat.role == ROLE_INPUT:
+            continue
+        for env in envs:
+            whole = region_cells(mat.whole_box().concrete(env), budget)
+            if whole is None:
+                continue
+            covered: Set[Cell] = set()
+            over_budget = False
+            for segment in segments:
+                cells = region_cells(segment.box.concrete(env), budget)
+                if cells is None:
+                    over_budget = True
+                    break
+                covered.update(cells)
+            if over_budget:
+                continue
+            missing = [cell for cell in whole if cell not in covered]
+            if missing:
+                cell = missing[0]
+                diagnostics.append(
+                    Diagnostic(
+                        code="PB301",
+                        severity=ERROR,
+                        message=(
+                            f"choice grid of {name!r} misses "
+                            f"{len(missing)} cell(s), first "
+                            f"{describe_bounds(name, [(c, c + 1) for c in cell])}"
+                        ),
+                        transform=ir.name,
+                        line=mat.line or ir.line,
+                        column=mat.column or ir.column,
+                        hint=(
+                            "a rule's applicable region excludes these "
+                            "cells and no other rule covers them"
+                        ),
+                        witness=describe_env(env),
+                        path=path,
+                    )
+                )
+                break  # one witness per matrix is enough
+    return diagnostics

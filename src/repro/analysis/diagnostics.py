@@ -1,0 +1,179 @@
+"""Structured diagnostics for the static verifier suite.
+
+Every finding of the analysis passes is a :class:`Diagnostic`: a stable
+code (``PB1xx`` bounds, ``PB2xx`` races/deadlocks, ``PB3xx`` coverage,
+``PB4xx`` hygiene), a severity, the offending transform/rule/region, a
+source position when the program came from the parser, a one-line fix
+hint, and — for the witness-based checks — the concrete size/instance
+assignment that exhibits the problem.  Error-severity diagnostics are
+always backed by such a witness, so an error is never a false positive:
+it names sizes at which the program would corrupt memory, race, or fail.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+_SEVERITY_RANK = {ERROR: 0, WARNING: 1, INFO: 2}
+
+#: The diagnostic code registry: code -> (severity, pass family, summary).
+#: DESIGN.md renders this table; tests assert it matches emitted codes.
+CODE_TABLE: Dict[str, Tuple[str, str, str]] = {
+    "PB001": (ERROR, "general", "compile error (uncategorized)"),
+    "PB101": (ERROR, "bounds", "region access provably out of bounds"),
+    "PB102": (ERROR, "bounds", "rule variable has an unbounded instance space"),
+    "PB103": (INFO, "bounds", "in-bounds only under runtime size guards"),
+    "PB201": (ERROR, "races", "two instances of one rule write the same cell"),
+    "PB202": (ERROR, "races", "one application's to-bindings overlap"),
+    "PB203": (ERROR, "races", "concurrent writers overlap (rules or segments)"),
+    "PB204": (ERROR, "races", "dependency cycle would deadlock (§3.6)"),
+    "PB205": (ERROR, "races", "self-dependency has no schedulable iteration order"),
+    "PB301": (ERROR, "coverage", "region of an output matrix is uncovered"),
+    "PB302": (INFO, "coverage", "segment has multiple interchangeable options"),
+    "PB401": (WARNING, "hygiene", "where-clause is unsatisfiable"),
+    "PB402": (WARNING, "hygiene", "tunable is never used"),
+    "PB403": (WARNING, "hygiene", "matrix is never used"),
+    "PB404": (WARNING, "hygiene", "rule is never selectable in any segment"),
+    "PB405": (WARNING, "hygiene", "rule is priority-shadowed everywhere"),
+}
+
+
+def default_severity(code: str) -> str:
+    """The registered severity of ``code`` (errors for unknown codes)."""
+    return CODE_TABLE.get(code, (ERROR, "general", ""))[0]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of a static-analysis pass."""
+
+    code: str
+    severity: str
+    message: str
+    transform: str = ""
+    rule: str = ""
+    region: str = ""
+    line: int = 0
+    column: int = 0
+    hint: str = ""
+    witness: str = ""
+    path: str = ""
+
+    def __post_init__(self) -> None:
+        if self.severity not in _SEVERITY_RANK:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == ERROR
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready dict (stable key order, empty fields included)."""
+        return {key: value for key, value in sorted(asdict(self).items())}
+
+    def format(self) -> str:
+        """One human-readable line, lint style."""
+        location = self.path or "<source>"
+        if self.line:
+            location += f":{self.line}:{self.column}"
+        subject = ".".join(p for p in (self.transform, self.rule) if p)
+        parts = [f"{location}: {self.severity}[{self.code}]"]
+        if subject:
+            parts.append(f"{subject}:")
+        parts.append(self.message)
+        text = " ".join(parts)
+        if self.witness:
+            text += f"\n    witness: {self.witness}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def sort_key(self) -> Tuple:
+        return (
+            self.path,
+            _SEVERITY_RANK[self.severity],
+            self.transform,
+            self.line,
+            self.code,
+            self.rule,
+            self.region,
+            self.message,
+        )
+
+
+class AnalysisReport:
+    """An ordered collection of diagnostics with lint-style summaries."""
+
+    def __init__(self, diagnostics: Iterable[Diagnostic] = ()) -> None:
+        self.diagnostics: List[Diagnostic] = list(diagnostics)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def sorted(self) -> List[Diagnostic]:
+        return sorted(self.diagnostics, key=Diagnostic.sort_key)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.sorted())
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def with_severity(self, severity: str) -> List[Diagnostic]:
+        return [d for d in self.sorted() if d.severity == severity]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return self.with_severity(ERROR)
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return self.with_severity(WARNING)
+
+    @property
+    def infos(self) -> List[Diagnostic]:
+        return self.with_severity(INFO)
+
+    @property
+    def clean(self) -> bool:
+        """No errors and no warnings (info is always allowed)."""
+        return not self.errors and not self.warnings
+
+    def counts_by_code(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for diag in self.diagnostics:
+            counts[diag.code] = counts.get(diag.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def exit_code(self, strict: bool = False) -> int:
+        """Lint-style: 1 for errors (or warnings under --strict), else 0."""
+        if self.errors:
+            return 1
+        if strict and self.warnings:
+            return 1
+        return 0
+
+    def summary_line(self) -> str:
+        return (
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
+            f"{len(self.infos)} info"
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        payload = {
+            "diagnostics": [d.to_dict() for d in self.sorted()],
+            "counts": self.counts_by_code(),
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "infos": len(self.infos),
+        }
+        return json.dumps(payload, indent=indent, sort_keys=True)

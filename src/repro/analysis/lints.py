@@ -1,0 +1,270 @@
+"""Hygiene lints (pass family 4: PB401–PB405).
+
+Warnings about suspicious-but-executable programs: where-clauses that
+can never hold, declared tunables and input matrices nothing reads,
+rules the choice grid can never select, and rules that are applicable
+somewhere but lose the priority filter in every segment.  All are
+warnings — the program runs, but part of its text is inert — except
+that `repro check --strict` promotes them to a failing exit code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, WARNING
+from repro.analysis.witness import (
+    WitnessBudget,
+    DEFAULT_BUDGET,
+    describe_env,
+    instance_assignments,
+    residual_ok,
+    size_envs,
+    size_guards_hold,
+)
+from repro.compiler.ir import ROLE_INPUT
+
+
+def check_lints(
+    compiled, budget: WitnessBudget = DEFAULT_BUDGET, path: str = ""
+) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    diagnostics.extend(_unsatisfiable_wheres(compiled, budget, path))
+    diagnostics.extend(_unused_tunables(compiled, path))
+    diagnostics.extend(_unused_matrices(compiled, path))
+    diagnostics.extend(_dead_and_shadowed_rules(compiled, path))
+    return diagnostics
+
+
+def _rule_used_names(rule) -> Set[str]:
+    """Every identifier a rule's text references: region boxes, where
+    clauses, and body expressions."""
+    names: Set[str] = set()
+    for region in rule.to_regions + rule.from_regions:
+        for interval in region.box.intervals:
+            names.update(interval.lo.variables())
+            names.update(interval.hi.variables())
+    for cond in rule.where:
+        names.update(cond.free_names())
+    for stmt in rule.body:
+        names.update(stmt.target.free_names())
+        names.update(stmt.value.free_names())
+    return names
+
+
+def _unsatisfiable_wheres(compiled, budget, path: str) -> List[Diagnostic]:
+    """PB401: a residual where-predicate that is false at every instance
+    of every admitted size (the rule's body can never run as primary).
+
+    Only reported when the instance space was enumerated exhaustively at
+    at least one admitted size — a budget-truncated sweep stays silent.
+    """
+    ir = compiled.ir
+    envs = size_envs(compiled, budget)
+    diagnostics: List[Diagnostic] = []
+    for segment in compiled.grid.all_segments():
+        for option in segment.options:
+            rule = ir.rules[option.primary]
+            if not rule.residual_where:
+                continue
+            satisfiable = False
+            probed = 0
+            for env in envs:
+                if not size_guards_hold(rule, env):
+                    continue
+                assignments = instance_assignments(
+                    compiled, segment, rule, env, budget
+                )
+                if assignments is None:
+                    probed = 0  # incomplete evidence: stay silent
+                    satisfiable = True
+                    break
+                for assignment in assignments:
+                    instance_env = dict(env)
+                    instance_env.update(assignment)
+                    probed += 1
+                    if residual_ok(rule, instance_env):
+                        satisfiable = True
+                        break
+                if satisfiable:
+                    break
+            if satisfiable or probed == 0:
+                continue
+            line, column = rule.line, rule.column
+            if rule.residual_where and rule.where:
+                try:
+                    index = list(rule.where).index(rule.residual_where[0])
+                except ValueError:
+                    index = -1
+                if index >= 0:
+                    pos = rule.where_position(index)
+                    if pos:
+                        line, column = pos
+            diagnostics.append(
+                Diagnostic(
+                    code="PB401",
+                    severity=WARNING,
+                    message=(
+                        f"where-clause is false at every admitted instance "
+                        f"({probed} probed); the rule never fires as primary"
+                    ),
+                    transform=ir.name,
+                    rule=rule.label,
+                    line=line,
+                    column=column,
+                    hint="loosen the predicate or delete the rule",
+                    witness=describe_env(envs[-1]) if envs else "",
+                    path=path,
+                )
+            )
+    # Dedup per rule (the same meta-rule option can recur across segments).
+    unique: Dict[Tuple[str, str], Diagnostic] = {}
+    for diag in diagnostics:
+        unique.setdefault((diag.code, diag.rule), diag)
+    return list(unique.values())
+
+
+def _unused_tunables(compiled, path: str) -> List[Diagnostic]:
+    """PB402: declared tunable no rule text references.
+
+    Skipped when any rule has a native (Python) body — native bodies may
+    read tunables through the execution context, invisibly to this pass.
+    """
+    ir = compiled.ir
+    if any(rule.native_body is not None for rule in ir.rules):
+        return []
+    used: Set[str] = set()
+    for rule in ir.rules:
+        used.update(_rule_used_names(rule))
+    diagnostics = []
+    for tunable in ir.tunables:
+        if tunable.name in used:
+            continue
+        diagnostics.append(
+            Diagnostic(
+                code="PB402",
+                severity=WARNING,
+                message=f"tunable {tunable.name!r} is never used by any rule",
+                transform=ir.name,
+                line=tunable.line or ir.line,
+                column=tunable.column or ir.column,
+                hint="delete the tunable or reference it in a rule",
+                path=path,
+            )
+        )
+    return diagnostics
+
+
+def _unused_matrices(compiled, path: str) -> List[Diagnostic]:
+    """PB403: an input matrix never bound by any rule region and never
+    named in any rule expression (outputs are covered by PB301)."""
+    ir = compiled.ir
+    referenced: Set[str] = set()
+    for rule in ir.rules:
+        for region in rule.to_regions + rule.from_regions:
+            referenced.add(region.matrix)
+        referenced.update(_rule_used_names(rule))
+    diagnostics = []
+    for matrix in ir.matrices.values():
+        if matrix.role != ROLE_INPUT or matrix.name in referenced:
+            continue
+        diagnostics.append(
+            Diagnostic(
+                code="PB403",
+                severity=WARNING,
+                message=f"input matrix {matrix.name!r} is never read",
+                transform=ir.name,
+                line=matrix.line or ir.line,
+                column=matrix.column or ir.column,
+                hint="drop the matrix from the from(...) header",
+                path=path,
+            )
+        )
+    return diagnostics
+
+
+def _dead_and_shadowed_rules(compiled, path: str) -> List[Diagnostic]:
+    """PB404 (rule in no segment's option set) and PB405 (rule applicable
+    in one or more segments but priority-filtered in all of them).
+
+    PB405 requires shadowing in *every* applicable segment: a secondary
+    rule that wins boundary segments while an interior rule wins the
+    bulk — the paper's priority idiom — is not flagged.
+    """
+    ir = compiled.ir
+    assumptions = ir.assumptions
+    selected: Set[int] = set()
+    for segment in compiled.grid.all_segments():
+        for option in segment.options:
+            selected.add(option.primary)
+            if option.fallback is not None:
+                selected.add(option.fallback)
+
+    applicable_in: Dict[int, int] = {}
+    shadowed_in: Dict[int, int] = {}
+    for segment in compiled.grid.all_segments():
+        candidates = []
+        for rule in ir.rules:
+            box = rule.applicable.get(segment.matrix)
+            if box is None:
+                continue
+            if rule.is_instance_rule:
+                fits = box.contains(segment.box, assumptions)
+            else:
+                fits = box.contains(segment.box, assumptions) and (
+                    segment.box.contains(box, assumptions)
+                )
+            if fits:
+                candidates.append(rule)
+        if not candidates:
+            continue
+        min_priority = min(rule.priority for rule in candidates)
+        for rule in candidates:
+            applicable_in[rule.rule_id] = applicable_in.get(rule.rule_id, 0) + 1
+            if rule.priority > min_priority:
+                shadowed_in[rule.rule_id] = shadowed_in.get(rule.rule_id, 0) + 1
+
+    diagnostics = []
+    for rule in ir.rules:
+        if rule.rule_id in selected:
+            continue
+        segments_seen = applicable_in.get(rule.rule_id, 0)
+        if segments_seen and shadowed_in.get(rule.rule_id, 0) == segments_seen:
+            diagnostics.append(
+                Diagnostic(
+                    code="PB405",
+                    severity=WARNING,
+                    message=(
+                        f"rule is shadowed by higher-priority rules in all "
+                        f"{segments_seen} segment(s) where it applies"
+                    ),
+                    transform=ir.name,
+                    rule=rule.label,
+                    line=rule.line,
+                    column=rule.column,
+                    hint=(
+                        "lower the rule's priority value or remove it; it "
+                        "can never be chosen"
+                    ),
+                    path=path,
+                )
+            )
+        else:
+            diagnostics.append(
+                Diagnostic(
+                    code="PB404",
+                    severity=WARNING,
+                    message="rule is never selectable in any segment",
+                    transform=ir.name,
+                    rule=rule.label,
+                    line=rule.line,
+                    column=rule.column,
+                    hint=(
+                        "its applicable region matches no segment (or it "
+                        "needs an unrestricted fallback); adjust regions "
+                        "or priorities"
+                    ),
+                    path=path,
+                )
+            )
+    return diagnostics

@@ -1,0 +1,220 @@
+"""Write-write race detector (pass family 2: PB201, PB202, PB203).
+
+The §3.6 scheduler may run every instance of a segment's chosen option
+concurrently, so within one (segment, option) the instance applications
+must write pairwise-disjoint cells; different segments of one matrix are
+likewise independently schedulable and must not overlap.  The detector
+replays the engine's geometry per admitted size environment and records
+the first writer of every cell:
+
+* PB201 — two *instances* of the same rule write one cell (the rule's
+  to-region strides/offsets collide across the instance space).
+* PB202 — two to-bindings of a *single application* overlap (the rule
+  hands the body two aliased writable views).
+* PB203 — two *different* writers overlap: primary vs fallback of a
+  meta-rule at different instances, or two segments of the same matrix
+  whose concrete boxes intersect.
+
+PB204 (deadlock cycle) and PB205 (no iteration order) belong to this
+family but are raised during compilation by `repro.compiler.depgraph`;
+the check driver converts those CompileErrors into diagnostics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, ERROR
+from repro.analysis.witness import (
+    Cell,
+    WitnessBudget,
+    DEFAULT_BUDGET,
+    describe_bounds,
+    describe_env,
+    instance_assignments,
+    region_cells,
+    residual_ok,
+    size_envs,
+    size_guards_hold,
+)
+
+
+def check_races(
+    compiled, budget: WitnessBudget = DEFAULT_BUDGET, path: str = ""
+) -> List[Diagnostic]:
+    ir = compiled.ir
+    envs = size_envs(compiled, budget)
+    diagnostics: List[Diagnostic] = []
+    seen: Set[Tuple] = set()
+
+    def emit(code: str, key: Tuple, message: str, rule, hint: str, witness: str) -> None:
+        if key in seen:
+            return
+        seen.add(key)
+        diagnostics.append(
+            Diagnostic(
+                code=code,
+                severity=ERROR,
+                message=message,
+                transform=ir.name,
+                rule=rule.label,
+                line=rule.line,
+                column=rule.column,
+                hint=hint,
+                witness=witness,
+                path=path,
+            )
+        )
+
+    for segment in compiled.grid.all_segments():
+        for option in segment.options:
+            for env in envs:
+                _check_option_writes(
+                    compiled, segment, option, env, budget, emit
+                )
+
+    diagnostics.extend(_cross_segment_overlaps(compiled, envs, path, seen))
+    return diagnostics
+
+
+def _applications(compiled, segment, option, env, budget):
+    """(rule, instance_env, assignment) triples the engine would run for
+    this option, or None when the instance space exceeds the budget."""
+    ir = compiled.ir
+    rule = ir.rules[option.primary]
+    fallback = ir.rules[option.fallback] if option.fallback is not None else None
+    if not size_guards_hold(rule, env):
+        return []
+    assignments = instance_assignments(compiled, segment, rule, env, budget)
+    if assignments is None:
+        return None
+    apps = []
+    for assignment in assignments:
+        instance_env = dict(env)
+        instance_env.update(assignment)
+        chosen = rule
+        if rule.residual_where and not residual_ok(rule, instance_env):
+            if fallback is None or not size_guards_hold(fallback, env):
+                continue
+            chosen = fallback
+        apps.append((chosen, instance_env, assignment))
+    return apps
+
+
+def _check_option_writes(compiled, segment, option, env, budget, emit) -> None:
+    apps = _applications(compiled, segment, option, env, budget)
+    if not apps:
+        return
+    # cell -> (rule, assignment) of its first writer, per matrix
+    writers: Dict[str, Dict[Cell, Tuple]] = {}
+    for chosen, instance_env, assignment in apps:
+        app_cells: Dict[str, Set[Cell]] = {}
+        for region in chosen.to_regions:
+            bounds = region.box.concrete(instance_env)
+            cells = region_cells(bounds, budget)
+            if cells is None:
+                return  # over budget: skip this option/env entirely
+            mine = app_cells.setdefault(region.matrix, set())
+            for cell in cells:
+                if cell in mine:
+                    emit(
+                        "PB202",
+                        ("PB202", chosen.rule_id, region.matrix),
+                        f"to-bindings of one application alias cell "
+                        f"{describe_bounds(region.matrix, [(c, c + 1) for c in cell])}",
+                        chosen,
+                        "split the rule so each application writes each "
+                        "cell through a single binding",
+                        describe_env(env, assignment),
+                    )
+                    break
+                mine.add(cell)
+        for matrix, cells in app_cells.items():
+            first = writers.setdefault(matrix, {})
+            for cell in cells:
+                prior = first.get(cell)
+                if prior is None:
+                    first[cell] = (chosen, assignment)
+                    continue
+                prior_rule, prior_assignment = prior
+                where = describe_bounds(
+                    matrix, [(c, c + 1) for c in cell]
+                )
+                if prior_rule.rule_id == chosen.rule_id:
+                    emit(
+                        "PB201",
+                        ("PB201", chosen.rule_id, matrix),
+                        f"instances {describe_env({}, prior_assignment)} and "
+                        f"{describe_env({}, assignment)} both write {where}",
+                        chosen,
+                        "make the to-region stride cover each cell exactly "
+                        "once per instance",
+                        describe_env(env, assignment),
+                    )
+                else:
+                    emit(
+                        "PB203",
+                        ("PB203", prior_rule.rule_id, chosen.rule_id, matrix),
+                        f"concurrent writers {prior_rule.label} and "
+                        f"{chosen.label} both write {where}",
+                        chosen,
+                        "restrict one writer's region or give the rules "
+                        "different priorities",
+                        describe_env(env, assignment),
+                    )
+
+
+def _cross_segment_overlaps(
+    compiled, envs, path: str, seen: Set[Tuple]
+) -> List[Diagnostic]:
+    """PB203 for two segments of one matrix whose concrete boxes overlap
+    (the grid should partition each matrix; overlap means two segment
+    schedules would write the same cells)."""
+    ir = compiled.ir
+    diagnostics: List[Diagnostic] = []
+    for matrix, segments in compiled.grid.segments.items():
+        for env in envs:
+            boxes = [
+                (seg, seg.box.concrete(env)) for seg in segments
+            ]
+            for i, (seg_a, box_a) in enumerate(boxes):
+                for seg_b, box_b in boxes[i + 1 :]:
+                    if _boxes_overlap(box_a, box_b):
+                        key = ("PB203-seg", matrix, seg_a.index, seg_b.index)
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        mat = ir.matrices[matrix]
+                        diagnostics.append(
+                            Diagnostic(
+                                code="PB203",
+                                severity=ERROR,
+                                message=(
+                                    f"segments {seg_a.key} "
+                                    f"{describe_bounds(matrix, box_a)} and "
+                                    f"{seg_b.key} "
+                                    f"{describe_bounds(matrix, box_b)} overlap"
+                                ),
+                                transform=ir.name,
+                                line=mat.line or ir.line,
+                                column=mat.column or ir.column,
+                                hint=(
+                                    "segment boundaries are mis-ordered at "
+                                    "these sizes; an ordering guard is missing"
+                                ),
+                                witness=describe_env(env),
+                                path=path,
+                            )
+                        )
+    return diagnostics
+
+
+def _boxes_overlap(
+    box_a: Tuple[Tuple[int, int], ...], box_b: Tuple[Tuple[int, int], ...]
+) -> bool:
+    if not box_a or not box_b:
+        return False  # 0-D scalar segments never coexist in one matrix
+    for (lo_a, hi_a), (lo_b, hi_b) in zip(box_a, box_b):
+        if min(hi_a, hi_b) <= max(lo_a, lo_b):
+            return False
+    return True

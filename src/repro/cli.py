@@ -140,6 +140,12 @@ def _parse_sizes(args: argparse.Namespace) -> dict:
     )
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    from repro.analysis import run_check
+
+    return run_check(args.source, fmt=args.format, strict=args.strict)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     program = _load_program(args.source)
     transform = program.transform(args.transform)
@@ -331,6 +337,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_compile = sub.add_parser("compile", help="compile and show analyses")
     p_compile.add_argument("source")
     p_compile.set_defaults(func=cmd_compile)
+
+    p_check = sub.add_parser(
+        "check", help="run the static verifier suite (bounds/races/coverage/lints)"
+    )
+    p_check.add_argument(
+        "source", nargs="+",
+        help="DSL files, or .py modules defining build_program()/DSL constants",
+    )
+    p_check.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="diagnostic output format (default: %(default)s)",
+    )
+    p_check.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 on warnings too (default: only errors fail)",
+    )
+    p_check.set_defaults(func=cmd_check)
 
     p_run = sub.add_parser("run", help="run a transform")
     p_run.add_argument("source")

@@ -54,10 +54,17 @@ class _Bounds:
     def add_upper(self, bound: Affine, assumptions: Assumptions) -> None:
         self.hi = bound if self.hi is None else _symbolic_min(self.hi, bound, assumptions)
 
-    def interval(self, var: str) -> Interval:
+    def interval(self, var: str, line: int = 0, column: int = 0) -> Interval:
         if self.lo is None or self.hi is None:
             raise CompileError(
-                f"rule variable {var!r} has an unbounded instance space"
+                f"rule variable {var!r} has an unbounded instance space",
+                line=line,
+                column=column,
+                code="PB102",
+                hint=(
+                    f"add a region read/write or an affine where-clause "
+                    f"that bounds {var!r} on both sides"
+                ),
             )
         return Interval(self.lo, self.hi)
 
@@ -66,11 +73,17 @@ def _analyze_rule(transform: TransformIR, rule: RuleIR) -> None:
     assumptions = transform.assumptions
     bounds: Dict[str, _Bounds] = {var: _Bounds() for var in rule.rule_vars}
     guards: List[Affine] = []
+    # Source position of the constraint currently being folded, so errors
+    # raised inside add_ge_zero point at the offending binding/clause.
+    pos = (rule.line, rule.column)
 
     def add_ge_zero(expr: Affine, strict: bool = False) -> None:
         """Record constraint expr >= 0 (or > 0), splitting by rule vars."""
         if strict:
-            expr = expr - 1  # integer semantics: e > 0  <=>  e - 1 >= 0
+            # Integer-valued variables make expr a multiple of 1/L, so
+            # e > 0  <=>  e >= 1/L  <=>  e - 1/L >= 0 (exact; the old
+            # "e - 1" form over-tightened fractional expressions).
+            expr = expr - Fraction(1, expr.denominator_lcm())
         rule_var_list = [v for v in expr.variables() if v in bounds]
         if not rule_var_list:
             if expr.always_ge(0, assumptions):
@@ -78,7 +91,14 @@ def _analyze_rule(transform: TransformIR, rule: RuleIR) -> None:
             if expr.always_lt(0, assumptions):
                 raise CompileError(
                     f"{transform.name} {rule.label}: constraint "
-                    f"{expr} >= 0 is never satisfiable"
+                    f"{expr} >= 0 is never satisfiable",
+                    line=pos[0],
+                    column=pos[1],
+                    code="PB401",
+                    hint=(
+                        "the rule can never apply; fix the region bounds "
+                        "or where-clause, or delete the rule"
+                    ),
                 )
             guards.append(expr)
             return
@@ -93,8 +113,15 @@ def _analyze_rule(transform: TransformIR, rule: RuleIR) -> None:
         if coeff > 0:
             bounds[var].add_lower(_ceil_for_integers(bound), assumptions)
         else:
-            # var <= bound; half-open upper is bound + 1 for integral bounds.
-            bounds[var].add_upper(bound + 1, assumptions)
+            # var <= bound over integers is var < bound + 1/L where L is
+            # the LCM of bound's denominators: concrete evaluation rounds
+            # the half-open hi with ceil, and ceil(bound + 1/L) is exactly
+            # floor(bound) + 1.  (The previous flat +1 shift admitted one
+            # extra instance whenever bound evaluated to a non-integer —
+            # an out-of-bounds read at even sizes for strides like 2*i.)
+            bounds[var].add_upper(
+                bound + Fraction(1, bound.denominator_lcm()), assumptions
+            )
 
     residual: List[ast.ExprNode] = []
 
@@ -102,6 +129,7 @@ def _analyze_rule(transform: TransformIR, rule: RuleIR) -> None:
     #    and lo <= hi for region bindings.
     for region in rule.to_regions + rule.from_regions:
         mat = transform.matrices[region.matrix]
+        pos = (region.line or rule.line, region.column or rule.column)
         for dim, interval in enumerate(region.box.intervals):
             size = mat.dims[dim]
             add_ge_zero(interval.lo)
@@ -111,14 +139,16 @@ def _analyze_rule(transform: TransformIR, rule: RuleIR) -> None:
 
     # 2. where clauses: affine single-variable conditions tighten bounds,
     #    everything else is residual.
-    for condition in rule.where:
+    for index, condition in enumerate(rule.where):
+        pos = rule.where_position(index) or (rule.line, rule.column)
         folded = _fold_where(condition, add_ge_zero)
         if not folded:
             residual.append(condition)
+    pos = (rule.line, rule.column)
 
     # 3. Materialize per-variable intervals.
     for var in rule.rule_vars:
-        rule.var_bounds[var] = bounds[var].interval(var)
+        rule.var_bounds[var] = bounds[var].interval(var, rule.line, rule.column)
     rule.size_guards = tuple(guards)
     rule.residual_where = tuple(residual)
 

@@ -179,7 +179,14 @@ def _grid_for_matrix(
     ]
     if not relevant:
         raise CompileError(
-            f"{transform.name}: no rule computes matrix {matrix_name!r}"
+            f"{transform.name}: no rule computes matrix {matrix_name!r}",
+            line=matrix.line or transform.line,
+            column=matrix.column or transform.column,
+            code="PB301",
+            hint=(
+                f"add a rule with a to({matrix_name}...) binding, or drop "
+                f"the matrix from the transform header"
+            ),
         )
 
     # Boundary expressions per dimension: matrix edges plus every rule's
@@ -216,7 +223,14 @@ def _grid_for_matrix(
                 continue  # provably empty sliver, drop it
             raise CompileError(
                 f"{transform.name}: no rule covers region {box} of "
-                f"matrix {matrix_name!r}"
+                f"matrix {matrix_name!r}",
+                line=matrix.line or transform.line,
+                column=matrix.column or transform.column,
+                code="PB301",
+                hint=(
+                    "extend an existing rule's applicable region or add a "
+                    "(possibly secondary) rule covering the gap"
+                ),
             )
         segments.append(
             Segment(

@@ -122,11 +122,20 @@ class CompiledProgram:
 def compile_program(
     source: Union[str, ProgramIR, TransformIR, Sequence[TransformIR]],
     template_values: Optional[Dict[str, Sequence[int]]] = None,
+    analyze: bool = True,
 ) -> CompiledProgram:
     """Compile DSL source text, a ProgramIR, or built TransformIR(s).
 
     ``template_values`` instantiates template transforms: e.g.
     ``{"T": [4, 64]}`` creates independently-tuned ``T_4`` and ``T_64``.
+
+    With ``analyze`` (the default) the error-severity subset of the
+    static verifier suite (:mod:`repro.analysis`) runs over the compiled
+    transforms at a small witness budget; a finding becomes a
+    :class:`CompileError` carrying the diagnostic's code, position, and
+    hint.  Pass ``analyze=False`` to skip it — ``repro check`` does, so
+    problems report as diagnostics instead of raising, and tests that
+    build intentionally-broken transforms can too.
     """
     if isinstance(source, str):
         ir = build_ir(parse_program(source), template_values)
@@ -137,7 +146,27 @@ def compile_program(
     else:
         table = {t.name: t for t in source}
         ir = ProgramIR(table)
-    return CompiledProgram(ir)
+    program = CompiledProgram(ir)
+    if analyze:
+        # Local import: repro.analysis sits on top of this module.
+        from repro.analysis.check import analyze_program
+        from repro.analysis.witness import WitnessBudget
+
+        budget = WitnessBudget(
+            max_size=2, max_envs=4, max_instances=256, max_cells=512
+        )
+        report = analyze_program(program, budget, errors_only=True)
+        for diag in report:
+            raise CompileError(
+                f"{diag.transform}.{diag.rule}: {diag.message}"
+                if diag.rule
+                else f"{diag.transform}: {diag.message}",
+                line=diag.line,
+                column=diag.column,
+                code=diag.code,
+                hint=diag.hint,
+            )
+    return program
 
 
 class CompiledTransform:

@@ -347,7 +347,14 @@ def _solve_iteration_order(
     raise CompileError(
         f"{transform.name} {rule.label}: self-dependency on "
         f"{segment.matrix!r} has no schedulable iteration order "
-        f"(cycle would deadlock)"
+        f"(cycle would deadlock)",
+        line=getattr(rule, "line", 0),
+        column=getattr(rule, "column", 0),
+        code="PB205",
+        hint=(
+            "make the rule read strictly earlier cells along some axis "
+            "(e.g. an offset like i-1), or split it into staged rules"
+        ),
     )
 
 
@@ -390,6 +397,13 @@ def _topological_order(
         stuck = sorted(set(nodes) - set(order))
         raise CompileError(
             f"{transform.name}: dependency cycle between regions "
-            f"{stuck} — program would deadlock"
+            f"{stuck} — program would deadlock",
+            line=getattr(transform, "line", 0),
+            column=getattr(transform, "column", 0),
+            code="PB204",
+            hint=(
+                "break the cycle with a through-matrix staging the "
+                "intermediate values, or reorder the reads"
+            ),
         )
     return order

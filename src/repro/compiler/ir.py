@@ -39,6 +39,8 @@ class MatrixIR:
     name: str
     role: str
     dims: Tuple[Affine, ...]
+    line: int = field(default=0, compare=False)
+    column: int = field(default=0, compare=False)
 
     @property
     def ndim(self) -> int:
@@ -62,6 +64,8 @@ class RegionIR:
     view_kind: str  # cell | region | row | column | all
     box: Box
     bind_name: str
+    line: int = field(default=0, compare=False)
+    column: int = field(default=0, compare=False)
 
     def ndim(self) -> int:
         return self.box.ndim
@@ -92,6 +96,11 @@ class RuleIR:
     #: default-configuration synthesis to guarantee termination.  Native
     #: rules set this through the builder's ``recursive=`` flag.
     is_recursive: bool = False
+    #: Source position of the rule header (0 for builder-made rules), and
+    #: per-where-clause positions parallel to ``where``.
+    line: int = 0
+    column: int = 0
+    where_positions: Tuple[Tuple[int, int], ...] = ()
     # Filled by analysis passes:
     applicable: Dict[str, Box] = field(default_factory=dict)
     var_bounds: Dict[str, Interval] = field(default_factory=dict)
@@ -103,6 +112,14 @@ class RuleIR:
         """True when the rule is applied per point of an instance space
         (it has rule variables); False for whole-region rules."""
         return bool(self.rule_vars)
+
+    def where_position(self, index: int) -> Optional[Tuple[int, int]]:
+        """(line, column) of the index-th where clause, if known."""
+        if index < len(self.where_positions):
+            line, column = self.where_positions[index]
+            if line:
+                return (line, column)
+        return None
 
     def writes_matrices(self) -> Tuple[str, ...]:
         return tuple(dict.fromkeys(r.matrix for r in self.to_regions))
@@ -122,6 +139,8 @@ class TransformIR:
     tunables: Tuple[ast.TunableDecl, ...] = ()
     generator: Optional[str] = None
     assumptions: Assumptions = field(default_factory=Assumptions)
+    line: int = 0
+    column: int = 0
 
     def matrices_with_role(self, role: str) -> List[MatrixIR]:
         return [m for m in self.matrices.values() if m.role == role]
@@ -233,28 +252,37 @@ def instantiate_template(
             version=None
             if mat.version is None
             else (subst_expr(mat.version[0]), subst_expr(mat.version[1])),
+            line=mat.line,
+            column=mat.column,
+        )
+
+    def subst_bind(b: ast.RegionBind) -> ast.RegionBind:
+        return ast.RegionBind(
+            b.matrix,
+            b.accessor,
+            tuple(subst_expr(a) for a in b.args),
+            b.name,
+            line=b.line,
+            column=b.column,
         )
 
     def subst_rule(rule: ast.RuleDecl) -> ast.RuleDecl:
         return ast.RuleDecl(
-            to_bindings=tuple(
-                ast.RegionBind(b.matrix, b.accessor, tuple(subst_expr(a) for a in b.args), b.name)
-                for b in rule.to_bindings
-            ),
-            from_bindings=tuple(
-                ast.RegionBind(b.matrix, b.accessor, tuple(subst_expr(a) for a in b.args), b.name)
-                for b in rule.from_bindings
-            ),
+            to_bindings=tuple(subst_bind(b) for b in rule.to_bindings),
+            from_bindings=tuple(subst_bind(b) for b in rule.from_bindings),
             body=tuple(
                 ast.Assign(subst_expr(s.target), s.op, subst_expr(s.value))
                 for s in rule.body
             ),
             where=tuple(
-                ast.WhereClause(subst_expr(w.condition)) for w in rule.where
+                ast.WhereClause(subst_expr(w.condition), w.line, w.column)
+                for w in rule.where
             ),
             priority=rule.priority,
             label=rule.label,
             escapes=rule.escapes,
+            line=rule.line,
+            column=rule.column,
         )
 
     return ast.TransformDecl(
@@ -266,6 +294,8 @@ def instantiate_template(
         tunables=decl.tunables,
         generator=decl.generator,
         template_params=(),
+        line=decl.line,
+        column=decl.column,
     )
 
 
@@ -282,7 +312,11 @@ def _build_transform(decl: ast.TransformDecl) -> TransformIR:
                     f"matrix {mat.name!r} declared twice in {decl.name}"
                 )
             matrices[mat.name] = MatrixIR(
-                name=mat.name, role=role, dims=_matrix_dims(mat)
+                name=mat.name,
+                role=role,
+                dims=_matrix_dims(mat),
+                line=mat.line,
+                column=mat.column,
             )
 
     size_vars = decl.size_variables
@@ -307,6 +341,8 @@ def _build_transform(decl: ast.TransformDecl) -> TransformIR:
         tunables=decl.tunables,
         generator=decl.generator,
         assumptions=assumptions,
+        line=decl.line,
+        column=decl.column,
     )
 
 
@@ -386,7 +422,9 @@ def _build_rule(
         if bind.matrix not in matrices:
             raise CompileError(
                 f"{transform_name} rule {index}: unknown matrix "
-                f"{bind.matrix!r}"
+                f"{bind.matrix!r}",
+                line=bind.line,
+                column=bind.column,
             )
         mat = matrices[bind.matrix]
         exprs = coord_exprs(bind)
@@ -397,6 +435,8 @@ def _build_rule(
             view_kind=bind.accessor,
             box=box,
             bind_name=bind.name,
+            line=bind.line,
+            column=bind.column,
         )
 
     to_regions = tuple(region_ir(b) for b in rule.to_bindings)
@@ -406,7 +446,9 @@ def _build_rule(
     if len(target_matrices) > 1:
         raise CompileError(
             f"{transform_name} rule {index}: rules writing multiple "
-            f"matrices are not supported (targets {sorted(target_matrices)})"
+            f"matrices are not supported (targets {sorted(target_matrices)})",
+            line=rule.line,
+            column=rule.column,
         )
 
     seen_names = set()
@@ -414,7 +456,9 @@ def _build_rule(
         if region.bind_name in seen_names:
             raise CompileError(
                 f"{transform_name} rule {index}: duplicate binding name "
-                f"{region.bind_name!r}"
+                f"{region.bind_name!r}",
+                line=region.line or rule.line,
+                column=region.column or rule.column,
             )
         seen_names.add(region.bind_name)
 
@@ -422,7 +466,9 @@ def _build_rule(
         if matrices[region.matrix].role == ROLE_INPUT:
             raise CompileError(
                 f"{transform_name} rule {index}: writes to input matrix "
-                f"{region.matrix!r}"
+                f"{region.matrix!r}",
+                line=region.line or rule.line,
+                column=region.column or rule.column,
             )
 
     return RuleIR(
@@ -434,6 +480,9 @@ def _build_rule(
         rule_vars=tuple(rule_vars),
         body=rule.body,
         where=tuple(w.condition for w in rule.where),
+        line=rule.line,
+        column=rule.column,
+        where_positions=tuple((w.line, w.column) for w in rule.where),
     )
 
 

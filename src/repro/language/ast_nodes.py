@@ -175,11 +175,18 @@ Statement = Assign  # rule bodies are sequences of assignments
 @dataclass(frozen=True)
 class MatrixDecl:
     """A matrix in a transform header: ``A[c, h]`` or versioned
-    ``A<0..n>[m]`` (the version range becomes a leading dimension)."""
+    ``A<0..n>[m]`` (the version range becomes a leading dimension).
+
+    ``line``/``column`` locate the declaration in the source text (0 when
+    built programmatically); they are excluded from equality so decls
+    still compare structurally.
+    """
 
     name: str
     dims: Tuple[ExprNode, ...]
     version: Optional[Tuple[ExprNode, ExprNode]] = None
+    line: int = field(default=0, compare=False)
+    column: int = field(default=0, compare=False)
 
     @property
     def ndim(self) -> int:
@@ -196,6 +203,8 @@ class RegionBind:
     accessor: str
     args: Tuple[ExprNode, ...]
     name: str
+    line: int = field(default=0, compare=False)
+    column: int = field(default=0, compare=False)
 
 
 @dataclass(frozen=True)
@@ -203,6 +212,8 @@ class WhereClause:
     """A ``where`` restriction on a rule's applicable region."""
 
     condition: ExprNode
+    line: int = field(default=0, compare=False)
+    column: int = field(default=0, compare=False)
 
 
 @dataclass(frozen=True)
@@ -221,6 +232,8 @@ class RuleDecl:
     priority: int = 1
     label: str = ""
     escapes: Tuple[str, ...] = ()
+    line: int = field(default=0, compare=False)
+    column: int = field(default=0, compare=False)
 
 
 @dataclass(frozen=True)
@@ -231,6 +244,8 @@ class TunableDecl:
     lo: int = 1
     hi: int = 2**20
     default: Optional[int] = None
+    line: int = field(default=0, compare=False)
+    column: int = field(default=0, compare=False)
 
 
 @dataclass(frozen=True)
@@ -245,6 +260,8 @@ class TransformDecl:
     tunables: Tuple[TunableDecl, ...] = ()
     generator: Optional[str] = None
     template_params: Tuple[Tuple[str, int, int], ...] = ()
+    line: int = field(default=0, compare=False)
+    column: int = field(default=0, compare=False)
 
     def matrix(self, name: str) -> MatrixDecl:
         for decl in self.to_matrices + self.from_matrices + self.through_matrices:

@@ -1,17 +1,39 @@
-"""Error hierarchy for the PetaBricks frontend and compiler."""
+"""Error hierarchy for the PetaBricks frontend and compiler.
+
+Every error keeps its bare ``message`` accessible separately from the
+formatted string (``str(err)`` prepends ``line L:C:`` when a position is
+known), so the static analyzer in :mod:`repro.analysis` can re-wrap a
+``CompileError`` as a structured :class:`~repro.analysis.Diagnostic`
+without re-parsing the text.  Errors raised by passes that know their
+diagnostic code carry it in ``code`` (e.g. ``PB204`` for a dependency
+deadlock) along with an optional one-line fix ``hint``.
+"""
 
 from __future__ import annotations
+
+from typing import Optional
 
 
 class PetaBricksError(Exception):
     """Base class for all language/compiler diagnostics."""
 
-    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+    def __init__(
+        self,
+        message: str,
+        line: int = 0,
+        column: int = 0,
+        code: Optional[str] = None,
+        hint: Optional[str] = None,
+    ) -> None:
+        self.message = message
         self.line = line
         self.column = column
+        self.code = code
+        self.hint = hint
+        formatted = message
         if line:
-            message = f"line {line}:{column}: {message}"
-        super().__init__(message)
+            formatted = f"line {line}:{column}: {formatted}"
+        super().__init__(formatted)
 
 
 class LexError(PetaBricksError):

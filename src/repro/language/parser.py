@@ -94,7 +94,7 @@ class _Parser:
         return Program(tuple(transforms))
 
     def parse_transform(self) -> TransformDecl:
-        self.expect("keyword", "transform")
+        start = self.expect("keyword", "transform")
         name = self.expect("name").text
         to_mats: List[MatrixDecl] = []
         from_mats: List[MatrixDecl] = []
@@ -144,6 +144,8 @@ class _Parser:
             tunables=tuple(tunables),
             generator=generator,
             template_params=tuple(templates),
+            line=start.line,
+            column=start.column,
         )
 
     def parse_matrix_decls(self) -> List[MatrixDecl]:
@@ -153,7 +155,8 @@ class _Parser:
         return decls
 
     def parse_matrix_decl(self) -> MatrixDecl:
-        name = self.expect("name").text
+        name_tok = self.expect("name")
+        name = name_tok.text
         version = None
         if self.accept("op", "<"):
             # Version bounds use additive expressions only, so the closing
@@ -169,10 +172,16 @@ class _Parser:
             while self.accept("op", ","):
                 dims.append(self.parse_expr())
             self.expect("op", "]")
-        return MatrixDecl(name=name, dims=tuple(dims), version=version)
+        return MatrixDecl(
+            name=name,
+            dims=tuple(dims),
+            version=version,
+            line=name_tok.line,
+            column=name_tok.column,
+        )
 
     def parse_tunable(self) -> TunableDecl:
-        name = self.expect("name").text
+        name_tok = self.expect("name")
         lo, hi, default = 1, 2**20, None
         if self.accept("op", "("):
             lo = int(self.expect("int").text)
@@ -182,7 +191,14 @@ class _Parser:
                 default = int(self.expect("int").text)
             self.expect("op", ")")
         self.accept("op", ";")
-        return TunableDecl(name=name, lo=lo, hi=hi, default=default)
+        return TunableDecl(
+            name=name_tok.text,
+            lo=lo,
+            hi=hi,
+            default=default,
+            line=name_tok.line,
+            column=name_tok.column,
+        )
 
     def parse_template_param(self) -> Tuple[str, int, int]:
         self.expect("op", "<")
@@ -197,6 +213,7 @@ class _Parser:
     # -- rules ----------------------------------------------------------------
 
     def parse_rule(self, index: int) -> RuleDecl:
+        start = self.peek()
         priority = 1
         if self.accept("keyword", "primary"):
             priority = 0
@@ -230,9 +247,21 @@ class _Parser:
 
         wheres: List[WhereClause] = []
         if self.accept("keyword", "where"):
-            wheres.append(WhereClause(self.parse_expr()))
+            cond_tok = self.peek()
+            wheres.append(
+                WhereClause(
+                    self.parse_expr(), line=cond_tok.line, column=cond_tok.column
+                )
+            )
             while self.accept("op", ","):
-                wheres.append(WhereClause(self.parse_expr()))
+                cond_tok = self.peek()
+                wheres.append(
+                    WhereClause(
+                        self.parse_expr(),
+                        line=cond_tok.line,
+                        column=cond_tok.column,
+                    )
+                )
 
         self.expect("op", "{")
         body: List[Assign] = []
@@ -250,6 +279,8 @@ class _Parser:
             priority=priority,
             label=f"rule{index}",
             escapes=tuple(escapes),
+            line=start.line,
+            column=start.column,
         )
 
     def parse_bind_list(self) -> Tuple[RegionBind, ...]:
@@ -259,7 +290,8 @@ class _Parser:
         return tuple(binds)
 
     def parse_bind(self) -> RegionBind:
-        matrix = self.expect("name").text
+        matrix_tok = self.expect("name")
+        matrix = matrix_tok.text
         accessor = "all"
         args: Tuple[ExprNode, ...] = ()
         if self.accept("op", "."):
@@ -285,7 +317,14 @@ class _Parser:
             name = self.take().text
         else:
             name = matrix
-        return RegionBind(matrix=matrix, accessor=accessor, args=args, name=name)
+        return RegionBind(
+            matrix=matrix,
+            accessor=accessor,
+            args=args,
+            name=name,
+            line=matrix_tok.line,
+            column=matrix_tok.column,
+        )
 
     # -- statements -------------------------------------------------------------
 

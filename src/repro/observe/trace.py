@@ -21,7 +21,12 @@ interesting transition is captured three ways:
   ``tuner.pool.retries``, ``tuner.pool.rebuilds``,
   ``tuner.pool.quarantines``, ``tuner.degraded_serial``, and
   ``tuner.cache.corrupt_lines`` — every recovery action is counted,
-  so ``repro tune`` can summarise what it survived).
+  so ``repro tune`` can summarise what it survived; the static verifier
+  suite adds ``analysis.diagnostics.<CODE>`` per emitted diagnostic
+  code plus ``analysis.errors`` / ``analysis.warnings`` /
+  ``analysis.infos`` totals when a sink is passed to
+  :func:`repro.analysis.run_check` or
+  :func:`repro.analysis.record_report`).
 * **histograms** — power-of-two bucketed distributions
   (``scheduler.deque_depth``, ``scheduler.task_duration``,
   ``tuner.pool.batch_size``, ``tuner.pool.batch_latency_ms``).

@@ -112,6 +112,22 @@ class Affine:
     def is_constant(self) -> bool:
         return not self._coeffs
 
+    def denominator_lcm(self) -> int:
+        """LCM of all coefficient/constant denominators.
+
+        Under any integer assignment of the variables, the expression's
+        value is a multiple of ``1/L`` where ``L`` is this LCM.  That
+        granularity is what converts inclusive integer bounds to exact
+        half-open form: ``v <= q`` over integers is ``v < q + 1/L``, and
+        ``ceil(q + 1/L) == floor(q) + 1`` exactly (for integral ``q`` both
+        sides are ``q + 1``).  The previous ``q + 1`` shift over-counted by
+        one whenever ``q`` evaluated to a non-integer.
+        """
+        lcm = self._const.denominator
+        for _, coeff in self._coeffs:
+            lcm = math.lcm(lcm, coeff.denominator)
+        return lcm
+
     def as_constant(self) -> Fraction:
         """The value of a constant expression (raises if not constant)."""
         if self._coeffs:

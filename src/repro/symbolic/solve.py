@@ -7,10 +7,13 @@ inequality: with ``e = c*i + r`` (``r`` free of ``i``),
 
 * ``c > 0``:  ``i in [ (lo - r)/c, (hi - r)/c )``
 * ``c < 0``:  the inequalities flip; the interval endpoints come from the
-  opposite constraint sides, and because our intervals are half-open we
-  conservatively use exact rational endpoints (``i > q`` over integers is
-  ``i >= q + epsilon``; concrete evaluation rounds with ceil, which is
-  exact whenever q is integral — the only case the language produces).
+  opposite constraint sides.  Over the integers ``i > q`` is
+  ``i >= floor(q) + 1`` — we encode that exactly as the affine bound
+  ``q + 1/L`` where ``L`` is the LCM of ``q``'s denominators: every
+  integer assignment makes ``q`` a multiple of ``1/L``, so
+  ``ceil(q + 1/L) == floor(q) + 1`` (concrete evaluation rounds interval
+  endpoints with ceil).  The same shift turns the inclusive upper bound
+  ``i <= q`` into the half-open ``i < q + 1/L``.
 * ``c == 0``: the constraint does not restrict ``i``; it is either always
   satisfiable (leave unbounded) or a compile-time error when provably
   violated.
@@ -66,12 +69,13 @@ def solve_bounds_for(
         return Interval(lower, upper)
     # Negative coefficient: lo <= c*v + r < hi  <=>
     #   (lo - r)/c >= v  and  v > (hi - r)/c.
-    # Over the integers, v > q is v >= floor(q) + 1; over exact rationals we
-    # return [upper', lower') with a one-cell shift when q is integral.
     # expr decreasing in var: v ranges over ( (hi-r)/c , (lo-r)/c ].
     strict_low = upper  # exclusive lower bound
     incl_high = lower  # inclusive upper bound
-    return Interval(strict_low + Fraction(1), incl_high + Fraction(1))
+    return Interval(
+        strict_low + Fraction(1, strict_low.denominator_lcm()),
+        incl_high + Fraction(1, incl_high.denominator_lcm()),
+    )
 
 
 def solve_equal(var: str, lhs: AffineLike, rhs: AffineLike) -> Optional[Affine]:

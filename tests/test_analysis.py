@@ -1,0 +1,441 @@
+"""Tests for the static verifier suite (repro.analysis).
+
+Three layers: golden-diagnostic tests pin exact code/severity/position
+for seeded known-bad transforms, a hypothesis property test checks the
+bounds checker's soundness guarantee (a transform whose executions are
+in-bounds is never flagged), and a sweep asserts every bundled app and
+example passes ``repro check --strict``.
+"""
+
+import dataclasses
+import glob
+import json
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (
+    AnalysisReport,
+    CODE_TABLE,
+    Diagnostic,
+    analyze_transform,
+    check_bounds,
+    check_file,
+    check_source,
+    record_report,
+    run_check,
+)
+from repro.compiler import ChoiceConfig, Selector, compile_program
+from repro.compiler.config import site_key
+from repro.compiler.ir import RegionIR
+from repro.language.errors import CompileError, PetaBricksError
+from repro.observe import TraceSink
+from repro.symbolic import Box, Interval
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+# ---------------------------------------------------------------------------
+# Golden diagnostics: known-bad sources -> exact code/severity/line
+# ---------------------------------------------------------------------------
+
+OVERLAP_WRITE = """transform Overlap
+from A[n]
+to B[n]
+{
+  to (B.region(i, i+2) b) from (A.cell(i) a) { b = a; }
+}
+"""
+
+DUP_BIND = """transform Dup
+from A[n]
+to B[n]
+{
+  to (B.cell(i) x, B.cell(i) y) from (A.cell(i) a) { x = a; y = a; }
+}
+"""
+
+META_FALLBACK_OVERLAP = """transform MetaOverlap
+from A[n]
+to B[n]
+{
+  to (B.cell(i) b) from (A.cell(i) a) where i % 2 == 0 { b = a; }
+  to (B b) from (A a) { b = a; }
+}
+"""
+
+DEADLOCK = """transform Cycle
+from A[n]
+to B[n]
+through C[n]
+{
+  to (B b) from (C c) { b = c; }
+  to (C c) from (B b) { c = b; }
+}
+"""
+
+NO_ORDER = """transform NoOrder
+from A[n]
+to B[n]
+{
+  to (B.cell(i) b) from (A.cell(i) a, B.cell(i-1) l, B.cell(i+1) r) { b = a + l + r; }
+  secondary to (B.cell(i) b) from (A.cell(i) a) { b = a; }
+}
+"""
+
+UNBOUNDED = """transform Unb
+from A[n]
+to B[n]
+{
+  to (B.cell(i) b) from (A.region(0, 2*i - j) a) { b = sum(a); }
+  to (B.cell(i) b) from (A.cell(i) a) { b = a; }
+}
+"""
+
+UNSAT_WHERE = """transform Unsat
+from A[n]
+to B[n]
+{
+  to (B.cell(i) b) from (A.cell(i) a) where i % 2 == 2 { b = a; }
+  to (B.cell(i) b) from (A.cell(i) a) { b = a; }
+}
+"""
+
+UNUSED_DECLS = """transform Unused
+from A[n], C[n]
+to B[n]
+tunable block(1, 64)
+{
+  to (B.cell(i) b) from (A.cell(i) a) { b = a; }
+}
+"""
+
+SHADOWED = """transform Shadow
+from A[n]
+to B[n]
+{
+  to (B.cell(i) b) from (A.cell(i) a) { b = a; }
+  secondary to (B.cell(i) b) from (A.cell(i) a) { b = 2 * a; }
+}
+"""
+
+DEAD_RULE = """transform Dead
+from A[n]
+to B[n]
+{
+  to (B.cell(i) b) from (A.cell(i) a) where i < n / 2 { b = a; }
+  to (B.cell(i) b) from (A.cell(i) a) where i >= n / 2 { b = 2 * a; }
+  to (B.region(1, n-1) w) from (A a) { w = 0; }
+}
+"""
+
+#: fixture -> required (code, severity, line) triples; the report may
+#: additionally contain info-severity diagnostics only.
+GOLDEN = {
+    "overlap_write": (
+        OVERLAP_WRITE,
+        {("PB201", "error", 5), ("PB301", "error", 5)},
+    ),
+    "dup_bind": (DUP_BIND, {("PB202", "error", 5)}),
+    "meta_fallback_overlap": (
+        META_FALLBACK_OVERLAP,
+        {("PB203", "error", 5), ("PB203", "error", 6), ("PB201", "error", 6)},
+    ),
+    "deadlock": (DEADLOCK, {("PB204", "error", 1)}),
+    "no_order": (NO_ORDER, {("PB205", "error", 5)}),
+    "unbounded": (UNBOUNDED, {("PB102", "error", 5)}),
+    "unsat_where": (UNSAT_WHERE, {("PB401", "warning", 5)}),
+    "unused_decls": (
+        UNUSED_DECLS,
+        {("PB402", "warning", 4), ("PB403", "warning", 2)},
+    ),
+    "shadowed": (SHADOWED, {("PB405", "warning", 6)}),
+    "dead_rule": (DEAD_RULE, {("PB404", "warning", 7)}),
+}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_golden_diagnostics(name):
+    source, expected = GOLDEN[name]
+    report = check_source(source, path=name)
+    got = {(d.code, d.severity, d.line) for d in report if d.severity != "info"}
+    assert got == expected
+    for diag in report:
+        assert diag.code in CODE_TABLE
+        assert diag.line > 0, f"{diag.code} lost its source position"
+        assert diag.column > 0, f"{diag.code} lost its source column"
+
+
+def test_golden_fixtures_span_eight_codes_across_all_families():
+    codes = set()
+    for source, expected in GOLDEN.values():
+        codes.update(code for code, _, _ in expected)
+    assert len(codes) >= 8
+    families = {CODE_TABLE[code][1] for code in codes}
+    assert families == {"bounds", "races", "coverage", "hygiene"}
+
+
+def test_witness_on_every_error():
+    """Witness-based errors carry a concrete size/instance assignment."""
+    report = check_source(OVERLAP_WRITE)
+    witnessed = [d for d in report.errors if d.code in ("PB201", "PB301")]
+    assert witnessed
+    for diag in witnessed:
+        assert "n=" in diag.witness
+
+
+# ---------------------------------------------------------------------------
+# PB101: out-of-bounds reads the symbolic layer failed to exclude
+# ---------------------------------------------------------------------------
+
+
+def _compiled_with_shifted_read():
+    """A correct transform whose from-region is then widened behind the
+    symbolic layer's back — modeling an inference bug, the exact class
+    of defect the witness checker exists to catch."""
+    program = compile_program(
+        "transform Shift\nfrom A[n]\nto B[n]\n"
+        "{\n  to (B.cell(i) b) from (A.cell(i) a) { b = a; }\n}\n",
+        analyze=False,
+    )
+    compiled = program.transforms["Shift"]
+    rule = compiled.ir.rules[0]
+    region = rule.from_regions[0]
+    shifted = Box(
+        [Interval(iv.lo + 1, iv.hi + 1) for iv in region.box.intervals]
+    )
+    rule.from_regions = (dataclasses.replace(region, box=shifted),)
+    return compiled
+
+
+def test_bounds_checker_reports_oob_read_with_witness():
+    compiled = _compiled_with_shifted_read()
+    diagnostics = check_bounds(compiled)
+    oob = [d for d in diagnostics if d.code == "PB101"]
+    assert len(oob) == 1
+    diag = oob[0]
+    assert diag.severity == "error"
+    assert diag.rule == "rule0"
+    assert "reads" in diag.message
+    assert "n=" in diag.witness and "i=" in diag.witness
+
+
+def test_bounds_witness_names_a_real_crash():
+    """The PB101 witness must be a size at which execution faults."""
+    compiled = _compiled_with_shifted_read()
+    diag = [d for d in check_bounds(compiled) if d.code == "PB101"][0]
+    env = dict(
+        part.split("=") for part in diag.witness.split(", ")
+    )
+    n = int(env["n"])
+    with pytest.raises((IndexError, PetaBricksError)):
+        compiled.run([np.arange(float(n))])
+
+
+# ---------------------------------------------------------------------------
+# Regression: exact interval conversion for strided/fractional bounds
+# ---------------------------------------------------------------------------
+
+STRIDE = """transform Stride
+from A[n]
+to B[n]
+{
+  to (B.cell(i) b) from (A.cell(2 * i) a) where i < (n + 1) / 2 { b = a; }
+  secondary to (B.cell(i) b) from (A.cell(i) a) { b = a; }
+}
+"""
+
+
+def test_strided_read_bounds_are_exact():
+    """A from-coordinate with stride 2 previously admitted one instance
+    past the matrix edge at even sizes (the +1 interval shift rounded
+    (n-1)/2 up); n=4 and n=6 crashed with IndexError.  The bounds are
+    now shifted by the exact 1/lcm step, the program both checks clean
+    and runs at every size."""
+    report = check_source(STRIDE)
+    assert not report.errors
+    program = compile_program(STRIDE)
+    transform = program.transforms["Stride"]
+    for n in range(1, 9):
+        # pre-fix this raised IndexError (A[n] read) at n = 4 and 6
+        result = transform.run([np.arange(float(n))])
+        out = result.outputs["B"].data
+        for i, value in enumerate(out):
+            assert value in (float(i), float(2 * i))
+            if value == float(2 * i) and i:
+                assert 2 * i < n, "strided read went past the matrix edge"
+
+
+# ---------------------------------------------------------------------------
+# Soundness property: in-bounds executions are never flagged
+# ---------------------------------------------------------------------------
+
+
+def _window_source(lo: int, hi: int) -> str:
+    return (
+        "transform Window\n"
+        "from A[n]\n"
+        "to B[n]\n"
+        "{\n"
+        f"  to (B.cell(i) b) from (A.region(i + {lo}, i + {hi}) a)"
+        " { b = sum(a); }\n"
+        "  to (B.cell(i) b) from (A.cell(i) a) { b = a; }\n"
+        "}\n"
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(lo=st.integers(-2, 2), width=st.integers(1, 3))
+def test_bounds_checker_soundness(lo, width):
+    """If every execution (all sizes 1..6, every choice option) stays
+    in-bounds, the bounds checker must not emit PB101."""
+    source = _window_source(lo, lo + width)
+    try:
+        program = compile_program(source, analyze=False)
+    except PetaBricksError:
+        return  # rejected by the pipeline: nothing to check
+    compiled = program.transforms["Window"]
+    flagged = [
+        d for d in check_bounds(compiled) if d.code == "PB101"
+    ]
+    crashed = False
+    for n in range(1, 7):
+        for _, segment in compiled.choice_sites():
+            for index in range(len(segment.options)):
+                config = ChoiceConfig()
+                config.set_choice(
+                    site_key("Window", segment.matrix, segment.index),
+                    Selector.static(index),
+                )
+                try:
+                    compiled.run([np.arange(float(n))], config)
+                except (IndexError, PetaBricksError):
+                    crashed = True
+    if not crashed:
+        assert not flagged, [d.format() for d in flagged]
+
+
+# ---------------------------------------------------------------------------
+# Sweep: every bundled app and example checks clean
+# ---------------------------------------------------------------------------
+
+BUNDLED = sorted(
+    glob.glob(os.path.join(REPO_ROOT, "src", "repro", "apps", "*.py"))
+    + glob.glob(os.path.join(REPO_ROOT, "examples", "*.py"))
+)
+BUNDLED = [p for p in BUNDLED if os.path.basename(p) != "__init__.py"]
+
+
+@pytest.mark.parametrize("path", BUNDLED, ids=os.path.basename)
+def test_bundled_programs_check_clean(path):
+    report = check_file(path)
+    assert report.clean, "\n".join(d.format() for d in report)
+
+
+# ---------------------------------------------------------------------------
+# Pipeline hook: compile_program(analyze=True) raises tagged CompileErrors
+# ---------------------------------------------------------------------------
+
+
+def test_compile_hook_raises_on_race():
+    with pytest.raises(CompileError) as err:
+        compile_program(OVERLAP_WRITE)
+    assert err.value.code in ("PB201", "PB301")
+    assert err.value.line == 5
+    assert err.value.hint
+    # the unformatted message stays accessible next to the formatted str
+    assert err.value.message in str(err.value)
+    assert str(err.value).startswith("line 5:")
+
+
+def test_compile_hook_opt_out():
+    program = compile_program(OVERLAP_WRITE, analyze=False)
+    assert "Overlap" in program.transforms
+
+
+def test_compile_hook_ignores_warnings():
+    # hygiene findings are warnings: compilation must still succeed
+    program = compile_program(UNUSED_DECLS)
+    assert "Unused" in program.transforms
+
+
+# ---------------------------------------------------------------------------
+# Report plumbing: CLI driver, JSON, exit codes, observe counters
+# ---------------------------------------------------------------------------
+
+
+def test_run_check_text_and_exit_codes(tmp_path, capsys):
+    bad = tmp_path / "bad.pbcc"
+    bad.write_text(OVERLAP_WRITE)
+    warn = tmp_path / "warn.pbcc"
+    warn.write_text(UNUSED_DECLS)
+    clean = tmp_path / "clean.pbcc"
+    clean.write_text(_window_source(0, 1))
+
+    assert run_check([str(bad)]) == 1
+    assert run_check([str(warn)]) == 0
+    assert run_check([str(warn)], strict=True) == 1
+    assert run_check([str(clean)], strict=True) == 0
+    out = capsys.readouterr().out
+    assert "error[PB" in out
+    assert "repro check:" in out
+
+
+def test_run_check_json(tmp_path, capsys):
+    bad = tmp_path / "bad.pbcc"
+    bad.write_text(DUP_BIND)
+    code = run_check([str(bad)], fmt="json")
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["errors"] == 1
+    assert payload["counts"].get("PB202") == 1
+    (diag,) = payload["diagnostics"]
+    assert diag["code"] == "PB202"
+    assert diag["line"] == 5
+    assert diag["path"] == str(bad)
+
+
+def test_cli_check_subcommand(tmp_path, capsys):
+    from repro.cli import main
+
+    bad = tmp_path / "bad.pbcc"
+    bad.write_text(OVERLAP_WRITE)
+    assert main(["check", str(bad)]) == 1
+    assert main(["check", "--format", "json", str(bad)]) == 1
+    app = os.path.join(REPO_ROOT, "src", "repro", "apps", "rollingsum.py")
+    assert main(["check", "--strict", app]) == 0
+
+
+def test_record_report_counters():
+    sink = TraceSink()
+    report = check_source(OVERLAP_WRITE)
+    record_report(report, sink)
+    counts = report.counts_by_code()
+    for code, count in counts.items():
+        assert sink.counter(f"analysis.diagnostics.{code}") == count
+    assert sink.counter("analysis.errors") == len(report.errors)
+
+
+def test_parse_error_becomes_diagnostic():
+    report = check_source("transform Broken from A[n]")
+    assert len(report) == 1
+    (diag,) = report
+    assert diag.is_error
+    assert diag.code == "PB001"
+
+
+def test_code_table_severities_are_valid():
+    for code, (severity, family, summary) in CODE_TABLE.items():
+        Diagnostic(code=code, severity=severity, message=summary)
+        assert family in ("general", "bounds", "races", "coverage", "hygiene")
+
+
+def test_report_ordering_and_summary():
+    report = AnalysisReport()
+    report.add(Diagnostic(code="PB402", severity="warning", message="w", line=9))
+    report.add(Diagnostic(code="PB101", severity="error", message="e", line=2))
+    assert [d.code for d in report] == ["PB101", "PB402"]
+    assert report.exit_code() == 1
+    assert "1 error(s), 1 warning(s)" in report.summary_line()

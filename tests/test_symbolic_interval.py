@@ -138,6 +138,22 @@ class TestSolveBounds:
         got = [v for v in range(lo, hi)]
         assert got == expected
 
+    @given(st.integers(1, 40), st.integers(-3, 3), st.integers(1, 3))
+    def test_solution_matches_bruteforce_negative_scale(self, size, offset, scale):
+        # constraint: 0 <= -scale*i + offset + n < size; the negative-
+        # coefficient branch flips strict/inclusive bounds, and for
+        # |scale| > 1 the half-open conversion must shift by the exact
+        # 1/lcm step (a flat +1 used to admit an extra instance).
+        expr = i * (-scale) + offset + n
+        interval = solve_bounds_for("i", expr, 0, n)
+        lo, hi = interval.concrete({"n": size})
+        expected = [
+            v
+            for v in range(-60, size + 60)
+            if 0 <= -scale * v + offset + size < size
+        ]
+        assert [v for v in range(lo, hi)] == expected
+
 
 class TestSolveEqual:
     def test_simple(self):
