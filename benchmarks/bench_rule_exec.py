@@ -1,0 +1,237 @@
+"""Rule-kernel microbenchmark: interpreter vs closure vs vector leaves.
+
+Wall-clock (not simulated) timing of the three leaf execution paths
+(:mod:`repro.engine_fast`) on three rule-body shapes:
+
+* ``elementwise`` — a 2-D stencil-style elementwise rule (affine offset
+  cell reads, straight-line arithmetic): vector-eligible, the headline
+  number.
+* ``rollingsum`` — the paper's Figure 3 running example under its
+  Theta(n^2) data-parallel choice: a region reduction, so the vector
+  path demotes to the closure (reported as such).
+* ``matmul_kernel`` — the inner product-cube + reduction decomposition
+  of matrix multiply: a 3-D vector-eligible rule feeding a region
+  reduction.
+
+Every timed run is also checked bit-for-bit against the interpreter's
+output.  Results go to ``benchmarks/results/rule_exec.txt`` (human) and
+``benchmarks/results/BENCH_rule_exec.json`` (machine-readable; CI
+uploads it as an artifact).
+
+Script mode: ``python benchmarks/bench_rule_exec.py [--quick]``.
+``--quick`` shrinks sizes/repeats and exits nonzero unless the closure
+path is at least 2x the interpreter on the elementwise kernel — the CI
+perf-smoke gate.
+"""
+
+import argparse
+import statistics
+import sys
+import time
+
+import numpy as np
+
+from harness import fmt_row, write_json, write_report
+
+from repro.compiler import ChoiceConfig, Selector, compile_program
+
+ELEMENTWISE = """
+transform Elementwise
+from A[n+1, m+1]
+to B[n, m]
+{
+  to (B.cell(x, y) b)
+  from (A.cell(x, y) a, A.cell(x+1, y+1) d) {
+    b = a * 0.5 + d * 0.25 + 1.0;
+  }
+}
+"""
+
+ROLLINGSUM = """
+transform RollingSum
+from A[n]
+to B[n]
+{
+  to (B.cell(i) b) from (A.region(0, i+1) in) { b = sum(in); }
+  to (B.cell(i) b) from (A.cell(i) a, B.cell(i-1) leftSum) { b = a + leftSum; }
+}
+"""
+
+MATMUL_KERNEL = """
+transform MatMulKernel
+from A[p, n], B[m, p]
+through C[m, n, p]
+to AB[m, n]
+{
+  to (C.cell(x, y, k) c) from (A.cell(k, y) a, B.cell(x, k) b) {
+    c = a * b;
+  }
+  to (AB.cell(x, y) o) from (C.region(x, y, 0, x+1, y+1, p) prods) {
+    o = sum(prods);
+  }
+}
+"""
+
+LEAF_NAMES = ("interp", "closure", "vector")
+
+
+def _leaf_config(transform: str, leaf: int, choices=None) -> ChoiceConfig:
+    config = ChoiceConfig()
+    config.set_tunable(f"{transform}.__leaf_path__", leaf)
+    for site, option in (choices or {}).items():
+        config.set_choice(site, Selector.static(option))
+    return config
+
+
+def _time_run(transform, inputs, config, repeats: int):
+    times = []
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = transform.run(inputs, config)
+        times.append(time.perf_counter() - start)
+    return statistics.median(times), result
+
+
+def _bench_case(name, transform, inputs, repeats, choices=None):
+    """Time all three leaf paths; verify bit-for-bit parity."""
+    row = {"kernel": name, "times": {}}
+    baseline = None
+    for leaf, leaf_name in enumerate(LEAF_NAMES):
+        config = _leaf_config(transform.name, leaf, choices)
+        seconds, result = _time_run(transform, inputs, config, repeats)
+        outputs = {
+            out: matrix.data.tobytes()
+            for out, matrix in result.outputs.items()
+        }
+        if baseline is None:
+            baseline = outputs
+        elif outputs != baseline:
+            raise AssertionError(
+                f"{name}: {leaf_name} output differs from interpreter"
+            )
+        row["times"][leaf_name] = seconds
+    interp = row["times"]["interp"]
+    row["speedup"] = {
+        leaf_name: interp / row["times"][leaf_name]
+        for leaf_name in LEAF_NAMES
+    }
+    return row
+
+
+def run_benchmark(quick: bool = False):
+    rng = np.random.default_rng(7)
+    ew_n = 48 if quick else 160
+    rs_n = 96 if quick else 256
+    mm_n = 10 if quick else 24
+    repeats = 3 if quick else 5
+
+    rows = []
+
+    program = compile_program(ELEMENTWISE)
+    transform = program.transform("Elementwise")
+    inputs = {"A": rng.uniform(-4.0, 4.0, (ew_n + 1, ew_n + 1))}
+    rows.append(_bench_case("elementwise", transform, inputs, repeats))
+
+    program = compile_program(ROLLINGSUM)
+    transform = program.transform("RollingSum")
+    inputs = {"A": rng.uniform(-1.0, 1.0, rs_n)}
+    rows.append(
+        _bench_case(
+            "rollingsum",
+            transform,
+            inputs,
+            repeats,
+            choices={"RollingSum.B.0": 0, "RollingSum.B.1": 0},
+        )
+    )
+
+    program = compile_program(MATMUL_KERNEL)
+    transform = program.transform("MatMulKernel")
+    inputs = {
+        "A": rng.uniform(-1.0, 1.0, (mm_n, mm_n)),
+        "B": rng.uniform(-1.0, 1.0, (mm_n, mm_n)),
+    }
+    rows.append(_bench_case("matmul_kernel", transform, inputs, repeats))
+
+    payload = {
+        "quick": quick,
+        "sizes": {
+            "elementwise": ew_n,
+            "rollingsum": rs_n,
+            "matmul_kernel": mm_n,
+        },
+        "repeats": repeats,
+        "kernels": rows,
+    }
+    write_json("BENCH_rule_exec", payload)
+
+    widths = [14, 12, 12, 12, 10, 10]
+    lines = [
+        "Rule-kernel leaf paths: median wall-clock seconds per run",
+        fmt_row(
+            ["kernel", "interp", "closure", "vector", "clo x", "vec x"],
+            widths,
+        ),
+    ]
+    for row in rows:
+        t = row["times"]
+        s = row["speedup"]
+        lines.append(
+            fmt_row(
+                [
+                    row["kernel"],
+                    f"{t['interp']:.4f}",
+                    f"{t['closure']:.4f}",
+                    f"{t['vector']:.4f}",
+                    f"{s['closure']:.1f}x",
+                    f"{s['vector']:.1f}x",
+                ],
+                widths,
+            )
+        )
+    lines.append(
+        "(rollingsum's vector column demotes to the closure path: its "
+        "body is a region reduction)"
+    )
+    write_report("rule_exec", lines)
+    return payload
+
+
+def test_rule_exec(benchmark):
+    payload = benchmark.pedantic(
+        run_benchmark, args=(True,), rounds=1, iterations=1
+    )
+    by_kernel = {row["kernel"]: row for row in payload["kernels"]}
+    # The lowered paths must not lose to the interpreter on the kernels
+    # they target (generous margins: CI boxes are noisy).
+    assert by_kernel["elementwise"]["speedup"]["closure"] > 1.5
+    assert by_kernel["elementwise"]["speedup"]["vector"] > 2.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small sizes + enforce the CI gate (closure >= 2x interp "
+        "on the elementwise kernel)",
+    )
+    args = parser.parse_args(argv)
+    payload = run_benchmark(quick=args.quick)
+    if args.quick:
+        by_kernel = {row["kernel"]: row for row in payload["kernels"]}
+        closure_speedup = by_kernel["elementwise"]["speedup"]["closure"]
+        if closure_speedup < 2.0:
+            print(
+                f"FAIL: closure path is {closure_speedup:.2f}x the "
+                f"interpreter on the elementwise kernel (need >= 2x)",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"perf-smoke OK: closure {closure_speedup:.2f}x interpreter")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

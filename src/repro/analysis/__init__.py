@@ -1,7 +1,8 @@
 """Static verifier suite over compiled transform IR.
 
-Four pass families — symbolic/witness bounds checking, write-write race
-detection, coverage auditing, and hygiene lints — emitting structured
+Five pass families — symbolic/witness bounds checking, write-write race
+detection, coverage auditing, hygiene lints, and the leaf-path
+eligibility report — emitting structured
 :class:`~repro.analysis.diagnostics.Diagnostic` records with stable
 ``PBxxx`` codes, source positions, fix hints, and concrete witnesses.
 Exposed through the ``repro check`` CLI subcommand and the
@@ -22,6 +23,7 @@ from repro.analysis.bounds import check_bounds
 from repro.analysis.races import check_races
 from repro.analysis.coverage import check_coverage
 from repro.analysis.lints import check_lints
+from repro.analysis.leafpaths import check_leaf_paths
 from repro.analysis.check import (
     analyze_program,
     analyze_transform,
@@ -46,6 +48,7 @@ __all__ = [
     "check_bounds",
     "check_coverage",
     "check_file",
+    "check_leaf_paths",
     "check_lints",
     "check_races",
     "check_source",

@@ -32,6 +32,7 @@ from repro.analysis.diagnostics import (
     Diagnostic,
     default_severity,
 )
+from repro.analysis.leafpaths import check_leaf_paths
 from repro.analysis.lints import check_lints
 from repro.analysis.races import check_races
 from repro.analysis.witness import WitnessBudget, DEFAULT_BUDGET
@@ -51,6 +52,7 @@ def analyze_transform(
     diagnostics.extend(check_coverage(compiled, budget, path))
     if not errors_only:
         diagnostics.extend(check_lints(compiled, budget, path))
+        diagnostics.extend(check_leaf_paths(compiled, budget, path))
     if errors_only:
         diagnostics = [d for d in diagnostics if d.is_error]
     return diagnostics

@@ -2,7 +2,8 @@
 
 Every finding of the analysis passes is a :class:`Diagnostic`: a stable
 code (``PB1xx`` bounds, ``PB2xx`` races/deadlocks, ``PB3xx`` coverage,
-``PB4xx`` hygiene), a severity, the offending transform/rule/region, a
+``PB4xx`` hygiene, ``PB5xx`` leaf execution paths), a severity, the
+offending transform/rule/region, a
 source position when the program came from the parser, a one-line fix
 hint, and — for the witness-based checks — the concrete size/instance
 assignment that exhibits the problem.  Error-severity diagnostics are
@@ -41,6 +42,8 @@ CODE_TABLE: Dict[str, Tuple[str, str, str]] = {
     "PB403": (WARNING, "hygiene", "matrix is never used"),
     "PB404": (WARNING, "hygiene", "rule is never selectable in any segment"),
     "PB405": (WARNING, "hygiene", "rule is priority-shadowed everywhere"),
+    "PB501": (INFO, "leafpaths", "rule qualifies for vectorized leaf execution"),
+    "PB502": (INFO, "leafpaths", "rule is not vectorizable (closure path applies)"),
 }
 
 

@@ -1,0 +1,97 @@
+"""Leaf-path eligibility report (pass family 5: PB501, PB502).
+
+Informational pass over the choice grid: for every (segment, option)
+site with a DSL instance rule, report whether the engine's vectorized
+leaf path (:mod:`repro.engine_fast.vectorize`) is legal there — and when
+it is not, the exact reason the planner rejected it.  The verdicts come
+from the same cached planner the executor consults, so ``repro check``
+describes precisely what ``__leaf_path__ = 2`` would do at run time.
+
+Both codes are INFO severity: rejection is not a defect (the closure
+path still applies), and eligibility is an optimization opportunity.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, INFO
+from repro.analysis.races import vector_leaf_status
+
+
+def check_leaf_paths(compiled, budget=None, path: str = "") -> List[Diagnostic]:
+    """PB501/PB502 eligibility diagnostics for one compiled transform.
+
+    ``budget`` is accepted for driver uniformity but unused: eligibility
+    is a static property of the rule body and dependency directions, not
+    of any concrete size environment.
+    """
+    ir = compiled.ir
+    diagnostics: List[Diagnostic] = []
+    seen: Set[Tuple] = set()
+    for segment in compiled.grid.all_segments():
+        for option in segment.options:
+            rule = ir.rules[option.primary]
+            if rule.native_body is not None or not rule.is_instance_rule:
+                continue
+            if not rule.body:
+                continue
+            has_fallback = option.fallback is not None
+            qualifies, reason = vector_leaf_status(
+                compiled, segment, rule, has_fallback
+            )
+            key = (rule.rule_id, qualifies, reason)
+            if key in seen:
+                continue
+            seen.add(key)
+            if qualifies:
+                free_vars = _free_vars(compiled, segment, rule)
+                over = (
+                    f" over ({', '.join(free_vars)})" if free_vars else ""
+                )
+                diagnostics.append(
+                    Diagnostic(
+                        code="PB501",
+                        severity=INFO,
+                        message=(
+                            f"qualifies for vectorized leaf execution"
+                            f"{over} (segment {segment.key})"
+                        ),
+                        transform=ir.name,
+                        rule=rule.label,
+                        line=rule.line,
+                        column=rule.column,
+                        hint=(
+                            f"set tunable {ir.name}.__leaf_path__ = 2 (or "
+                            "let the autotuner pick it) to run whole "
+                            "data-parallel steps as NumPy slice arithmetic"
+                        ),
+                        path=path,
+                    )
+                )
+            else:
+                diagnostics.append(
+                    Diagnostic(
+                        code="PB502",
+                        severity=INFO,
+                        message=f"not vectorizable: {reason}",
+                        transform=ir.name,
+                        rule=rule.label,
+                        line=rule.line,
+                        column=rule.column,
+                        hint=(
+                            "the rule still runs through the compiled "
+                            "closure path (__leaf_path__ = 1, the default)"
+                        ),
+                        path=path,
+                    )
+                )
+    return diagnostics
+
+
+def _free_vars(compiled, segment, rule) -> Tuple[str, ...]:
+    try:
+        directions, var_order = compiled._var_directions_cached(segment, rule)
+    except Exception:
+        return ()
+    return tuple(v for v in var_order if directions.get(v, 0) == 0)

@@ -149,9 +149,21 @@ def radix_sort(ctx) -> None:
         out.assign(data)
         ctx.charge(CALL_OVERHEAD + n)
         return
-    scaled = (data - lo) * (RADIX_BUCKETS / (hi - lo))
+    with np.errstate(over="ignore", invalid="ignore"):
+        scaled = (data - lo) * (RADIX_BUCKETS / (hi - lo))
+        scaled = np.nan_to_num(
+            scaled, nan=0.0, posinf=RADIX_BUCKETS - 1, neginf=0.0
+        )
     digits = np.clip(scaled.astype(np.int64), 0, RADIX_BUCKETS - 1)
     buckets = [data[digits == k] for k in range(RADIX_BUCKETS)]
+    if max(bucket.size for bucket in buckets) == n:
+        # Degenerate key range (e.g. a subnormal span, where
+        # RADIX_BUCKETS/(hi-lo) overflows): every key lands in one
+        # bucket and recursing would never make progress.  Sort
+        # directly, priced as the merge pass it replaces.
+        out.assign(np.sort(data, kind="stable"))
+        ctx.charge(CALL_OVERHEAD + MS_MERGE * n * max(1.0, np.log2(n)))
+        return
     ctx.charge(CALL_OVERHEAD + BUCKET_OVERHEAD + RS_SCATTER * n)
     sorted_buckets = ctx.parallel(
         *[

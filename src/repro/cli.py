@@ -146,10 +146,26 @@ def cmd_check(args: argparse.Namespace) -> int:
     return run_check(args.source, fmt=args.format, strict=args.strict)
 
 
+_LEAF_PATHS = {"interp": 0, "closure": 1, "vector": 2}
+
+
+def _apply_leaf_path(
+    config: ChoiceConfig, args: argparse.Namespace
+) -> ChoiceConfig:
+    """Fold a ``--leaf-path`` override into the run's configuration."""
+    leaf = getattr(args, "leaf_path", None)
+    if leaf is None:
+        return config
+    config = config or ChoiceConfig()
+    config.tunables[f"{args.transform}.__leaf_path__"] = _LEAF_PATHS[leaf]
+    return config
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     program = _load_program(args.source)
     transform = program.transform(args.transform)
     config = ChoiceConfig.load(args.config) if args.config else None
+    config = _apply_leaf_path(config, args)
     sizes = _parse_sizes(args)
 
     try:
@@ -180,6 +196,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
     program = _load_program(args.source)
     transform = program.transform(args.transform)
     config = ChoiceConfig.load(args.config) if args.config else None
+    config = _apply_leaf_path(config, args)
     machine = MACHINES[args.machine]
     workers = args.workers if args.workers else machine.cores
     sizes = _parse_sizes(args)
@@ -369,6 +386,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_run.add_argument("--output", help="save outputs as .npy")
     p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument(
+        "--leaf-path", choices=sorted(_LEAF_PATHS),
+        help="leaf execution path override (default: closure)",
+    )
     p_run.set_defaults(func=cmd_run)
 
     p_trace = sub.add_parser(
@@ -395,6 +416,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument(
         "-o", "--output",
         help="JSONL trace file (omit to stream JSONL to stdout)",
+    )
+    p_trace.add_argument(
+        "--leaf-path", choices=sorted(_LEAF_PATHS),
+        help="leaf execution path override (default: closure)",
     )
     p_trace.set_defaults(func=cmd_trace)
 

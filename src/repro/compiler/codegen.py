@@ -32,6 +32,17 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Uni
 
 import numpy as np
 
+from repro.engine_fast import (
+    LEAF_CLOSURE,
+    LEAF_INTERP,
+    LEAF_VECTOR,
+    Geometry,
+    RuleKernel,
+    VectorPlan,
+    build_geometry,
+    geometry_key,
+    lower_rule,
+)
 from repro.language import ast_nodes as ast
 from repro.language import parse_program
 from repro.language.errors import CompileError, PetaBricksError
@@ -56,6 +67,20 @@ from repro.compiler.ir import (
 )
 
 ArrayLike = Union[Matrix, MatrixView, np.ndarray, Sequence[float]]
+
+#: Simulated-work model for the vectorized leaf: one step charges
+#: ``volume * (base_work + static_ops) * _VECTOR_WORK_FACTOR +
+#: _VECTOR_STEP_WORK``.  The factor models the per-element speedup of
+#: slice arithmetic over per-cell calls; the flat term models the fixed
+#: slice-setup cost.  Together they make ``__leaf_path__`` a genuine
+#: tradeoff for the autotuner: vector wins on large blocks, loses below
+#: the (tunable) cutoff.
+_VECTOR_WORK_FACTOR = 1.0 / 16.0
+_VECTOR_STEP_WORK = 32.0
+
+#: Geometry entries are small, but recursive transforms can visit many
+#: distinct size-envs; cap the cache rather than grow without bound.
+_GEOM_CACHE_LIMIT = 4096
 
 
 class ExecutionError(PetaBricksError):
@@ -195,6 +220,29 @@ class CompiledTransform:
         self._segments: Dict[str, Segment] = {
             seg.key: seg for seg in self.grid.all_segments()
         }
+        # Rule-kernel compilation (repro.engine_fast): each DSL body is
+        # lowered to a closure once, on first use (lazily, so only rules
+        # that actually execute pay lowering, and tooling that rewrites
+        # rule IR after compilation still gets kernels for the rewritten
+        # rules).  Rules the lowerer cannot prove bit-for-bit equivalent
+        # keep the interpreter, so a failed lowering is a lost
+        # optimization, never a wrong answer.
+        self._kernels: Dict[int, Optional[RuleKernel]] = {}
+        # Lazily-populated caches: iteration geometry per (segment, rule,
+        # size-env), direction analysis per (segment, rule), and vector
+        # plans per (segment, rule, fallback?).
+        self._geom_cache: Dict[object, Geometry] = {}
+        # Size-binding solutions per (input shapes, explicit sizes):
+        # recursive transforms re-enter with a handful of distinct
+        # shapes thousands of times, and the iterative affine solve in
+        # _bind_sizes is pure in this key.
+        self._size_cache: Dict[object, Dict[str, int]] = {}
+        self._dir_cache: Dict[
+            Tuple[str, int], Tuple[Dict[str, int], List[str]]
+        ] = {}
+        self._vector_plans: Dict[
+            Tuple[str, int, bool], Tuple[Optional[VectorPlan], str]
+        ] = {}
 
     # -- public API ------------------------------------------------------------
 
@@ -267,6 +315,24 @@ class CompiledTransform:
         return views
 
     def _bind_sizes(
+        self,
+        input_views: Mapping[str, MatrixView],
+        explicit: Optional[Mapping[str, int]],
+    ) -> Dict[str, int]:
+        key = (
+            tuple(input_views[mat.name].shape for mat in self.ir.inputs),
+            tuple(sorted(explicit.items())) if explicit else (),
+        )
+        cached = self._size_cache.get(key)
+        if cached is not None:
+            return dict(cached)
+        env = self._bind_sizes_uncached(input_views, explicit)
+        if len(self._size_cache) >= _GEOM_CACHE_LIMIT:
+            self._size_cache.clear()
+        self._size_cache[key] = dict(env)
+        return env
+
+    def _bind_sizes_uncached(
         self,
         input_views: Mapping[str, MatrixView],
         explicit: Optional[Mapping[str, int]],
@@ -479,47 +545,167 @@ class CompiledTransform:
         views: Dict[str, MatrixView],
         segment_bounds: Tuple[Tuple[int, int], ...],
     ) -> None:
+        geometry = self._segment_geometry(
+            state, segment, rule, env, segment_bounds
+        )
+        tunables = self._tunable_values(state)
+        leaf, plan = self._resolve_leaf(state, segment, rule, fallback, geometry)
+        if leaf == LEAF_VECTOR:
+            self._run_vector_steps(
+                state, rule, env, views, geometry, plan, tunables
+            )
+            return
+        if leaf == LEAF_CLOSURE:
+            apply_block = self._closure_block_runner(
+                state, rule, fallback, env, views, geometry, tunables
+            )
+        else:
+            apply_block = self._interp_block_runner(
+                state, rule, fallback, env, views, geometry, tunables
+            )
+        self._run_instance_steps(state, rule, geometry, apply_block)
+
+    def _segment_geometry(
+        self,
+        state: _EngineState,
+        segment: Segment,
+        rule: RuleIR,
+        env: Dict[str, int],
+        segment_bounds: Tuple[Tuple[int, int], ...],
+    ) -> Geometry:
+        """Iteration geometry, cached per (segment, rule, size-env) —
+        ``segment_bounds`` is itself a function of ``env``, so it does
+        not enter the key."""
+        key = geometry_key(segment.key, rule.rule_id, env)
+        geometry = self._geom_cache.get(key)
+        sink = state.recorder.sink
+        if geometry is not None:
+            if sink is not None:
+                sink.count("exec.geom_cache_hits")
+            return geometry
         var_ranges = self._instance_ranges(segment, rule, env, segment_bounds)
-        directions, var_order = self._var_directions(segment, rule)
+        directions, var_order = self._var_directions_cached(segment, rule)
+        geometry = build_geometry(var_ranges, directions, var_order)
+        if len(self._geom_cache) >= _GEOM_CACHE_LIMIT:
+            self._geom_cache.clear()
+        self._geom_cache[key] = geometry
+        if sink is not None:
+            sink.count("exec.geom_cache_misses")
+        return geometry
 
-        # Split the (priority-ordered) variables into the directional
-        # outer loops — executed as sequential steps with a barrier
-        # between them — and the free inner variables, whose instances
-        # are data parallel within each step.
-        chain_vars = [v for v in var_order if directions.get(v, 0) != 0]
-        free_vars = [v for v in var_order if directions.get(v, 0) == 0]
+    def _kernel(self, rule: RuleIR) -> Optional[RuleKernel]:
+        """The rule's compiled closure kernel (lowered on first use)."""
+        if rule.rule_id in self._kernels:
+            return self._kernels[rule.rule_id]
+        kernel = None
+        if rule.is_instance_rule:
+            try:
+                kernel = lower_rule(rule, self.ir)
+            except Exception:
+                kernel = None
+        self._kernels[rule.rule_id] = kernel
+        return kernel
 
-        def values_of(var: str) -> List[int]:
-            lo, hi = var_ranges[var]
-            values = list(range(lo, hi))
-            if directions.get(var, 0) < 0:
-                values.reverse()
-            return values
+    def _var_directions_cached(
+        self, segment: Segment, rule: RuleIR
+    ) -> Tuple[Dict[str, int], List[str]]:
+        key = (segment.key, rule.rule_id)
+        cached = self._dir_cache.get(key)
+        if cached is None:
+            cached = self._dir_cache[key] = self._var_directions(
+                segment, rule
+            )
+        return cached
 
-        free_ranges = [values_of(var) for var in free_vars]
+    def _vector_plan(
+        self, segment: Segment, rule: RuleIR, has_fallback: bool
+    ) -> Tuple[Optional[VectorPlan], str]:
+        """The (cached) vector leaf plan or rejection reason for this
+        (segment, rule) site; also the backing store for the PB501/PB502
+        diagnostics (see :func:`repro.analysis.races.vector_leaf_status`)."""
+        key = (segment.key, rule.rule_id, bool(has_fallback))
+        cached = self._vector_plans.get(key)
+        if cached is None:
+            from repro.engine_fast.vectorize import plan_vector_leaf
+
+            try:
+                directions, var_order = self._var_directions_cached(
+                    segment, rule
+                )
+            except ExecutionError as error:
+                cached = (None, str(error))
+            else:
+                cached = plan_vector_leaf(
+                    self.ir, rule, directions, var_order, has_fallback
+                )
+            self._vector_plans[key] = cached
+        return cached
+
+    def _tunable_values(self, state: _EngineState) -> Dict[str, int]:
+        """User tunables at the current problem size, computed once per
+        segment application (not once per cell)."""
+        config = state.config
+        size = state.problem_size
+        return {
+            t.name: config.tunable_at(
+                f"{self.name}.{t.name}",
+                size,
+                t.default if t.default is not None else t.lo,
+            )
+            for t in self.ir.tunables
+        }
+
+    def _resolve_leaf(
+        self,
+        state: _EngineState,
+        segment: Segment,
+        rule: RuleIR,
+        fallback: Optional[RuleIR],
+        geometry: Geometry,
+    ) -> Tuple[int, Optional[VectorPlan]]:
+        """Pick the leaf execution path for this segment application.
+
+        The configured path degrades gracefully: vector falls back to
+        closure when the site is not vectorizable (or below the cutoff),
+        closure falls back to the interpreter when the rule has no
+        kernel.  The interpreter is always legal.
+        """
+        leaf = state.config.leaf_path(self.name, state.problem_size)
+        if leaf == LEAF_VECTOR:
+            plan, _reason = self._vector_plan(
+                segment, rule, fallback is not None
+            )
+            if plan is not None:
+                cutoff = state.config.vectorize_cutoff(
+                    self.name, state.problem_size
+                )
+                if geometry.step_volume >= max(1, cutoff):
+                    return LEAF_VECTOR, plan
+            sink = state.recorder.sink
+            if sink is not None:
+                sink.count("exec.vector_fallbacks")
+            leaf = LEAF_CLOSURE
+        if leaf == LEAF_CLOSURE and self._kernel(rule) is None:
+            leaf = LEAF_INTERP
+        return leaf, None
+
+    def _run_instance_steps(
+        self,
+        state: _EngineState,
+        rule: RuleIR,
+        geometry: Geometry,
+        apply_block: Callable[[Tuple[int, ...], Sequence[Tuple[int, ...]]], None],
+    ) -> None:
+        """The shared per-instance driver: sequential chain steps, each a
+        set of blocked data-parallel tasks.  Task labels, block deps, and
+        barrier structure are identical for the interpreter and closure
+        paths (and identical to the pre-kernel engine)."""
         block = max(1, state.config.block_size(self.name))
+        instances = geometry.free_products
 
-        def run_instance(assignment: Dict[str, int]) -> None:
-            instance_env = dict(env)
-            instance_env.update(assignment)
-            chosen = rule
-            if rule.residual_where and not self._residual_ok(
-                rule, instance_env
-            ):
-                if fallback is None:
-                    raise ExecutionError(
-                        f"{self.name} {rule.label}: where-clause fails "
-                        f"at {assignment} and no fallback exists"
-                    )
-                chosen = fallback
-            self._apply_once(state, chosen, instance_env, views)
-
-        def run_step(step_env: Dict[str, int], deps: List[int]) -> List[int]:
-            """One data-parallel step: blocked tasks over the free vars."""
-            # product() of zero ranges yields one empty tuple (the single
-            # instance of a chain-only rule); an empty *range* yields no
-            # instances at all, as it should.
-            instances = list(itertools.product(*free_ranges))
+        def run_step(
+            chain_values: Tuple[int, ...], deps: List[int]
+        ) -> List[int]:
             block_tasks: List[int] = []
             for start in range(0, len(instances), block):
                 with state.recorder.task(
@@ -527,25 +713,204 @@ class CompiledTransform:
                     label=f"{rule.label}[{start}]",
                     inline=state.inline,
                 ) as block_task:
-                    for values in instances[start : start + block]:
-                        assignment = dict(step_env)
-                        assignment.update(zip(free_vars, values))
-                        run_instance(assignment)
+                    apply_block(
+                        chain_values, instances[start : start + block]
+                    )
                 if block_task is not None:
                     block_tasks.append(block_task)
             return block_tasks
 
-        if not chain_vars:
-            run_step({}, [])
+        if not geometry.chain_vars:
+            run_step((), [])
             return
         previous: List[int] = []
-        for chain_values in itertools.product(
-            *(values_of(var) for var in chain_vars)
-        ):
-            step_env = dict(zip(chain_vars, chain_values))
-            step_tasks = run_step(step_env, sorted(set(previous)))
+        for chain_values in itertools.product(*geometry.chain_value_lists):
+            step_tasks = run_step(chain_values, sorted(set(previous)))
             if step_tasks:
                 previous = step_tasks
+
+    def _interp_block_runner(
+        self,
+        state: _EngineState,
+        rule: RuleIR,
+        fallback: Optional[RuleIR],
+        env: Dict[str, int],
+        views: Dict[str, MatrixView],
+        geometry: Geometry,
+        tunables: Dict[str, int],
+    ) -> Callable[[Tuple[int, ...], Sequence[Tuple[int, ...]]], None]:
+        """Reference path: the rule-body interpreter, one call per cell.
+
+        One mutable instance env is reused across all instances (the old
+        engine copied ``dict(env)`` per cell); ``_apply_once`` never
+        leaks it into anything that outlives the call.
+        """
+        chain_vars = geometry.chain_vars
+        free_vars = geometry.free_vars
+        instance_env = dict(env)
+
+        def apply_block(
+            chain_values: Tuple[int, ...],
+            block_instances: Sequence[Tuple[int, ...]],
+        ) -> None:
+            for var, value in zip(chain_vars, chain_values):
+                instance_env[var] = value
+            for values in block_instances:
+                for var, value in zip(free_vars, values):
+                    instance_env[var] = value
+                chosen = rule
+                if rule.residual_where and not self._residual_ok(
+                    rule, instance_env
+                ):
+                    if fallback is None:
+                        assignment = dict(zip(chain_vars, chain_values))
+                        assignment.update(zip(free_vars, values))
+                        raise ExecutionError(
+                            f"{self.name} {rule.label}: where-clause fails "
+                            f"at {assignment} and no fallback exists"
+                        )
+                    chosen = fallback
+                self._apply_once(
+                    state, chosen, instance_env, views, tunables
+                )
+
+        return apply_block
+
+    def _closure_block_runner(
+        self,
+        state: _EngineState,
+        rule: RuleIR,
+        fallback: Optional[RuleIR],
+        env: Dict[str, int],
+        views: Dict[str, MatrixView],
+        geometry: Geometry,
+        tunables: Dict[str, int],
+    ) -> Callable[[Tuple[int, ...], Sequence[Tuple[int, ...]]], None]:
+        """Lowered path: one direct call into the rule's compiled closure
+        per cell; work is charged in one batch per block (identical task
+        totals, since per-instance charges are summed within the block's
+        task either way)."""
+        kernel = self._kernel(rule)
+        assert kernel is not None
+        arrays = {
+            name: views[name].to_numpy() for name in kernel.matrices
+        }
+        call = (
+            (lambda name, args: self._call_sibling(state, name, args))
+            if kernel.uses_call
+            else None
+        )
+        instance = kernel.maker(env, tunables, arrays, call)
+        recorder = state.recorder
+        sink = recorder.sink
+        base_work = rule.base_work
+        position = {var: i for i, var in enumerate(kernel.params)}
+        chain_pos = [position[v] for v in geometry.chain_vars]
+        free_pos = [position[v] for v in geometry.free_vars]
+        args: List[int] = [0] * len(kernel.params)
+
+        residual = None
+        if rule.residual_where and kernel.residual_maker is not None:
+            residual = kernel.residual_maker(env)
+        # Fallback instances (and un-lowerable residuals) go through the
+        # interpreter's `_apply_once`, sharing one mutable env.
+        residual_env = dict(env) if rule.residual_where else None
+
+        def apply_block(
+            chain_values: Tuple[int, ...],
+            block_instances: Sequence[Tuple[int, ...]],
+        ) -> None:
+            for pos, value in zip(chain_pos, chain_values):
+                args[pos] = value
+            total = 0.0
+            count = 0
+            if rule.residual_where:
+                for var, value in zip(geometry.chain_vars, chain_values):
+                    residual_env[var] = value
+                for values in block_instances:
+                    for pos, value in zip(free_pos, values):
+                        args[pos] = value
+                    for var, value in zip(geometry.free_vars, values):
+                        residual_env[var] = value
+                    if residual is not None:
+                        ok = bool(residual(*args))
+                    else:
+                        ok = self._residual_ok(rule, residual_env)
+                    if ok:
+                        total += base_work + instance(*args)
+                        count += 1
+                        continue
+                    if fallback is None:
+                        assignment = dict(zip(geometry.chain_vars, chain_values))
+                        assignment.update(zip(geometry.free_vars, values))
+                        raise ExecutionError(
+                            f"{self.name} {rule.label}: where-clause fails "
+                            f"at {assignment} and no fallback exists"
+                        )
+                    self._apply_once(
+                        state, fallback, residual_env, views, tunables
+                    )
+            else:
+                for values in block_instances:
+                    for pos, value in zip(free_pos, values):
+                        args[pos] = value
+                    total += base_work + instance(*args)
+                    count += 1
+            if count:
+                state.applications += count
+                recorder.charge(total)
+                if sink is not None:
+                    sink.count("exec.closure_calls", count)
+
+        return apply_block
+
+    def _run_vector_steps(
+        self,
+        state: _EngineState,
+        rule: RuleIR,
+        env: Dict[str, int],
+        views: Dict[str, MatrixView],
+        geometry: Geometry,
+        plan: VectorPlan,
+        tunables: Dict[str, int],
+    ) -> None:
+        """Vector path: one task and one NumPy slice expression per chain
+        step.  Bit-identical results; a *different* (cheaper) task graph
+        and work model — that difference is exactly what makes the leaf
+        path worth tuning."""
+        arrays = {name: views[name].to_numpy() for name in plan.matrices}
+        step = plan.maker(env, tunables, arrays)
+        free_args: List[int] = []
+        for var in plan.free_vars:
+            lo, hi = geometry.var_ranges[var]
+            free_args.extend((lo, hi - lo))
+        volume = geometry.step_volume
+        work = (
+            volume * (rule.base_work + plan.static_ops) * _VECTOR_WORK_FACTOR
+            + _VECTOR_STEP_WORK
+        )
+        recorder = state.recorder
+        sink = recorder.sink
+        steps = (
+            itertools.product(*geometry.chain_value_lists)
+            if geometry.chain_vars
+            else [()]
+        )
+        previous: List[int] = []
+        for chain_values in steps:
+            with recorder.task(
+                deps=sorted(set(previous)),
+                label=f"{rule.label}[vec]",
+                inline=state.inline,
+            ) as step_task:
+                step(*chain_values, *free_args)
+                recorder.charge(work)
+            state.applications += volume
+            if sink is not None:
+                sink.count("exec.vectorized_blocks")
+                sink.count("exec.vectorized_cells", volume)
+            if step_task is not None:
+                previous = [step_task]
 
     def _instance_ranges(
         self,
@@ -627,7 +992,8 @@ class CompiledTransform:
         return directions, var_order
 
     def _residual_ok(self, rule: RuleIR, env: Dict[str, int]) -> bool:
-        scope = Scope(dict(env))
+        # Scope only reads its bindings, so no defensive copy is needed.
+        scope = Scope(env)
         return all(
             float(evaluate(cond, scope)) != 0 for cond in rule.residual_where
         )
@@ -649,21 +1015,16 @@ class CompiledTransform:
         rule: RuleIR,
         env: Dict[str, int],
         views: Dict[str, MatrixView],
+        tunables: Optional[Dict[str, int]] = None,
     ) -> None:
         state.applications += 1
         bindings: Dict[str, object] = {}
-        for region in rule.to_regions + rule.from_regions:
+        for region in rule.all_regions:
             bindings[region.bind_name] = _region_view(
                 region, env, views[region.matrix]
             )
-        tunables = {
-            t.name: state.config.tunable_at(
-                f"{self.name}.{t.name}",
-                state.problem_size,
-                t.default if t.default is not None else t.lo,
-            )
-            for t in self.ir.tunables
-        }
+        if tunables is None:
+            tunables = self._tunable_values(state)
 
         if rule.native_body is not None:
             context = NativeContext(
@@ -845,6 +1206,11 @@ def specialize(
         clone.grid = compiled.grid
         clone.depgraph = compiled.depgraph
         clone._segments = compiled._segments
+        clone._kernels = compiled._kernels
+        clone._geom_cache = compiled._geom_cache
+        clone._size_cache = compiled._size_cache
+        clone._dir_cache = compiled._dir_cache
+        clone._vector_plans = compiled._vector_plans
         static.transforms[name] = clone
     return static
 

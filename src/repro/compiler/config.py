@@ -80,7 +80,9 @@ class ChoiceConfig:
     Keys are flat strings (the paper's flat configuration space):
     choice sites are ``"Transform.Matrix.segment"``, tunables are
     ``"Transform.name"`` plus the reserved runtime tunables
-    ``"Transform.__seq_cutoff__"`` and ``"Transform.__block_size__"``.
+    ``"Transform.__seq_cutoff__"``, ``"Transform.__block_size__"``,
+    ``"Transform.__leaf_path__"`` (0 interp / 1 closure / 2 vector) and
+    ``"Transform.__vectorize_cutoff__"``.
     """
 
     choices: Dict[str, Selector] = field(default_factory=dict)
@@ -127,6 +129,26 @@ class ChoiceConfig:
     def block_size(self, transform: str, default: int = 64) -> int:
         """Granularity for splitting data-parallel regions into tasks."""
         return self.tunable(f"{transform}.__block_size__", default)
+
+    def leaf_path(self, transform: str, size: int, default: int = 1) -> int:
+        """Leaf execution path for rule instances at a problem size:
+        0 = reference interpreter, 1 = compiled closure (the default),
+        2 = vectorized NumPy leaves (see :mod:`repro.engine_fast`).
+        Leveled entries make the path itself size-dependent."""
+        value = self.tunable_at(f"{transform}.__leaf_path__", size, default)
+        return min(2, max(0, int(value)))
+
+    def vectorize_cutoff(self, transform: str, size: int, default: int = 0) -> int:
+        """Minimum data-parallel step volume before the vector leaf path
+        engages; below it the engine demotes to the closure path."""
+        return max(
+            0,
+            int(
+                self.tunable_at(
+                    f"{transform}.__vectorize_cutoff__", size, default
+                )
+            ),
+        )
 
     # -- serialization ---------------------------------------------------------
 

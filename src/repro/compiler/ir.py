@@ -113,6 +113,20 @@ class RuleIR:
         (it has rule variables); False for whole-region rules."""
         return bool(self.rule_vars)
 
+    @property
+    def all_regions(self) -> Tuple[RegionIR, ...]:
+        """Every region binding in engine order: to-regions first, then
+        from-regions — the order bodies see their bindings built in (and
+        the order the lowered kernels must replicate for error parity)."""
+        return self.to_regions + self.from_regions
+
+    def region(self, bind_name: str) -> Optional[RegionIR]:
+        """The region bound to ``bind_name``, or None."""
+        for reg in self.all_regions:
+            if reg.bind_name == bind_name:
+                return reg
+        return None
+
     def where_position(self, index: int) -> Optional[Tuple[int, int]]:
         """(line, column) of the index-th where clause, if known."""
         if index < len(self.where_positions):

@@ -1,0 +1,664 @@
+"""Closure lowering: compile a rule body to a Python closure once per rule.
+
+The interpreter walks the body AST for every cell instance, rebuilding an
+environment dict and eager region views each time — the dominant cost of
+every benchmark.  This module walks the AST *once*, at
+``compile_program`` time, and emits Python source of the shape::
+
+    def _maker(_env, _tunables, _arrays, _call):
+        _e_n = _env['n']              # hoisted size variables
+        _m_B = _arrays['B']           # hoisted backing arrays (numpy windows)
+        _d_B_0 = _m_B.shape[0]        # hoisted extents for bounds checks
+        def _instance(_s_i):          # one parameter per rule variable
+            _ops = 0
+            _i_b_0 = _s_i             # region bindings, lowered eagerly
+            if not (0 <= _i_b_0 < _d_B_0):
+                raise IndexError(...)
+            ...                       # body statements
+            return _ops
+        return _instance
+
+which ``exec`` runs into a *maker*; the engine calls the maker once per
+segment application and the returned ``_instance`` closure once per cell.
+
+Semantics contract — the closure path must be **bit-for-bit identical** to
+the interpreter, including the ``ops`` work accounting the simulated
+scheduler charges:
+
+* every scalar read is wrapped in ``float(...)`` so values are true Python
+  floats (matching ``_as_scalar``), division by a zero operand raises the
+  interpreter's exact ``EvalError``, ``%`` is ``math.fmod``, comparisons
+  yield ``1.0``/``0.0``, and ``&&``/``||``/ternaries lower to real ``if``
+  statements so short-circuiting (and any side effects guarded by it, e.g.
+  ``rand()``) is preserved;
+* builtins dispatch to the *same* functions as the interpreter
+  (:data:`repro.language.interp.BUILTINS`), so stateful builtins like
+  ``rand()`` consume the shared RNG stream in the same per-instance order;
+* ops accounting mirrors the interpreter exactly: +1 per non-logical
+  binary/unary op, +Σ(argument sizes) per builtin call, +target size per
+  compound assignment, with branch-local counts flushed inside their
+  branch.
+
+Any construct the lowerer cannot prove equivalent (unknown names, region
+arguments to builtins it cannot type, mismatched ternary kinds, ...) makes
+:func:`lower_rule` return ``None`` and the engine keeps interpreting that
+rule — lowering is an optimization, never a semantics change.
+
+The only tolerated divergence is the *ordering between two failure paths*:
+a run that raises aborts identically, but which of two possible errors
+fires first may differ from the interpreter.  Successful runs are exact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.language import ast_nodes as ast
+from repro.language.interp import BUILTINS, EvalError
+from repro.symbolic import Affine
+
+if TYPE_CHECKING:  # typing only — keeps engine_fast free of compiler deps
+    from repro.compiler.ir import RegionIR, RuleIR, TransformIR
+
+__all__ = ["RuleKernel", "lower_rule"]
+
+
+class _NotLowerable(Exception):
+    """Internal: the rule uses a construct the lowerer does not support."""
+
+
+# -- runtime helpers injected into every generated namespace ---------------
+
+
+def _scal(value) -> float:
+    """Array-aware scalar coercion matching ``MatrixView.value``."""
+    if isinstance(value, np.ndarray):
+        if value.ndim != 0:
+            raise ValueError(
+                f"value on {value.ndim}-D view; use to_numpy()"
+            )
+        return float(value)
+    return float(value)
+
+
+def _idx(value) -> int:
+    """Index coercion matching the interpreter's ``_as_index``."""
+    return int(math.floor(_scal(value)))
+
+
+def _div(left: float, right: float) -> float:
+    if right == 0:
+        raise EvalError("division by zero in rule body")
+    return left / right
+
+
+def _base_namespace(used_builtins: Set[str]) -> Dict[str, object]:
+    namespace: Dict[str, object] = {
+        "_scal": _scal,
+        "_idx": _idx,
+        "_div": _div,
+        "_fmod": math.fmod,
+        "np": np,
+    }
+    for name in used_builtins:
+        namespace[f"_bi_{name}"] = BUILTINS[name]
+    return namespace
+
+
+@dataclass
+class RuleKernel:
+    """A lowered rule body: generated source plus the exec'd maker.
+
+    ``maker(env, tunables, arrays, call)`` returns the per-instance
+    closure; ``arrays`` maps matrix names to the numpy windows of the
+    engine's views (so coordinates stay view-relative).  ``params`` is the
+    positional argument order of the closure (the rule's variables).
+    ``residual_maker(env)``, when lowered, returns a boolean predicate
+    over the same parameters implementing the rule's where-clause.
+    """
+
+    params: Tuple[str, ...]
+    matrices: Tuple[str, ...]
+    maker: Callable
+    residual_maker: Optional[Callable]
+    uses_call: bool
+    source: str
+    residual_source: str = ""
+
+
+class _Val:
+    """A compiled expression: scalar ('s') or array ('a') plus its code.
+
+    Codes returned from ``_compile`` are side-effect free (reads only);
+    anything that can fail or mutate state is emitted as a statement, so
+    textual nesting never reorders observable effects.
+    """
+
+    __slots__ = ("kind", "code", "is_float")
+
+    def __init__(self, kind: str, code: str, is_float: bool = False) -> None:
+        self.kind = kind
+        self.code = code
+        self.is_float = is_float
+
+
+_ARITH = {"+": "+", "-": "-", "*": "*"}
+_COMPARE = {"==": "==", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+
+class _Lowerer:
+    """Compiles one rule body (or its residual where-clause) to source."""
+
+    def __init__(
+        self, rule: RuleIR, transform: TransformIR, residual: bool = False
+    ) -> None:
+        self.rule = rule
+        self.transform = transform
+        self.residual = residual
+        self.count_ops = not residual
+        self.lines: List[str] = []
+        self.maker_lines: List[str] = []
+        self.depth = 2
+        self.pending = 0
+        self.counter = 0
+        self.used_env: Set[str] = set()
+        self.used_tunables: Set[str] = set()
+        self.used_matrices: Set[str] = set()
+        self.used_dims: Dict[str, Set[int]] = {}
+        self.used_builtins: Set[str] = set()
+        self.uses_call = False
+        self.params: Tuple[str, ...] = tuple(rule.rule_vars)
+        self.param_set = set(rule.rule_vars)
+        self.tunable_names = (
+            set() if residual else {t.name for t in transform.tunables}
+        )
+        self.bindings: Dict[str, RegionIR] = {}
+        if not residual:
+            for region in rule.all_regions:
+                self.bindings[region.bind_name] = region
+
+    # -- emission ----------------------------------------------------------
+
+    def line(self, text: str) -> None:
+        self.lines.append("    " * self.depth + text)
+
+    def tmp(self) -> str:
+        self.counter += 1
+        return f"_t{self.counter}"
+
+    def add_ops(self, count: int) -> None:
+        if self.count_ops:
+            self.pending += count
+
+    def add_ops_code(self, code: str) -> None:
+        if self.count_ops:
+            self.flush_ops()
+            self.line(f"_ops += {code}")
+
+    def flush_ops(self) -> None:
+        if self.pending:
+            self.line(f"_ops += {self.pending}")
+            self.pending = 0
+
+    # -- name resolution ---------------------------------------------------
+
+    def _matrix_ref(self, name: str) -> str:
+        self.used_matrices.add(name)
+        return f"_m_{name}"
+
+    def _dim_ref(self, matrix: str, dim: int) -> str:
+        self.used_matrices.add(matrix)
+        self.used_dims.setdefault(matrix, set()).add(dim)
+        return f"_d_{matrix}_{dim}"
+
+    def _affine(self, expr: Affine) -> str:
+        """Exact integer lowering of ``expr.eval_ceil(env)``.
+
+        With ``L = denominator_lcm``, the scaled numerator is an integer
+        expression and ``ceil(num/L) == -((-num) // L)``; for ``L == 1``
+        this collapses to plain integer arithmetic.
+        """
+        lcm = expr.denominator_lcm()
+        parts: List[str] = []
+        constant = expr.constant * lcm
+        if constant.denominator != 1:
+            raise _NotLowerable(f"non-integral constant in {expr}")
+        if constant or not expr.coefficients:
+            parts.append(str(int(constant)))
+        for var, coeff in sorted(expr.coefficients.items()):
+            scaled = coeff * lcm
+            if scaled.denominator != 1:
+                raise _NotLowerable(f"non-integral coefficient in {expr}")
+            if var in self.param_set:
+                name = f"_s_{var}"
+            else:
+                self.used_env.add(var)
+                name = f"_e_{var}"
+            parts.append(f"{int(scaled)} * {name}")
+        code = " + ".join(parts)
+        if lcm == 1:
+            return f"({code})"
+        return f"(-((-({code})) // {lcm}))"
+
+    def _resolve_var(self, name: str) -> _Val:
+        # Resolution order mirrors the interpreter's scope merge:
+        # bindings shadow tunables shadow rule/size variables.
+        if name in self.bindings:
+            return self._binding_value(self.bindings[name])
+        if name in self.tunable_names:
+            self.used_tunables.add(name)
+            return _Val("s", f"_u_{name}")
+        if name in self.param_set:
+            return _Val("s", f"_s_{name}")
+        if name in self.transform.size_vars:
+            self.used_env.add(name)
+            return _Val("s", f"_e_{name}")
+        raise _NotLowerable(f"unknown name {name!r} in rule body")
+
+    def _cell_ref(self, region: RegionIR) -> str:
+        indices = ", ".join(
+            f"_i_{region.bind_name}_{dim}"
+            for dim in range(len(region.box.intervals))
+        )
+        return f"{self._matrix_ref(region.matrix)}[{indices}]"
+
+    def _binding_value(self, region: RegionIR) -> _Val:
+        if region.view_kind == "cell":
+            return _Val("s", f"float({self._cell_ref(region)})", True)
+        return _Val("a", f"_b_{region.bind_name}")
+
+    # -- scalar / array contexts ------------------------------------------
+
+    def scal(self, val: _Val) -> str:
+        if val.kind == "a":
+            return f"_scal({val.code})"
+        if val.is_float:
+            return val.code
+        return f"float({val.code})"
+
+    # -- region binding prologue ------------------------------------------
+
+    def emit_bindings(self) -> None:
+        """Lower every region binding eagerly, in declaration order
+        (to-regions then from-regions, matching the interpreter), with the
+        same bounds checks ``MatrixView`` performs."""
+        for region in self.rule.all_regions:
+            kind = region.view_kind
+            name = region.bind_name
+            mat = self._matrix_ref(region.matrix)
+            intervals = region.box.intervals
+            label = f"{self.transform.name}.{self.rule.label}"
+            if kind == "cell":
+                checks = []
+                for dim, interval in enumerate(intervals):
+                    self.line(f"_i_{name}_{dim} = {self._affine(interval.lo)}")
+                    extent = self._dim_ref(region.matrix, dim)
+                    checks.append(f"0 <= _i_{name}_{dim} < {extent}")
+                self.line(f"if not ({' and '.join(checks)}):")
+                self.line(
+                    f"    raise IndexError('{label}: cell binding "
+                    f"{name} outside view')"
+                )
+            elif kind == "region":
+                checks = []
+                slices = []
+                for dim, interval in enumerate(intervals):
+                    self.line(
+                        f"_lo_{name}_{dim} = {self._affine(interval.lo)}"
+                    )
+                    self.line(
+                        f"_hi_{name}_{dim} = {self._affine(interval.hi)}"
+                    )
+                    extent = self._dim_ref(region.matrix, dim)
+                    checks.append(
+                        f"0 <= _lo_{name}_{dim} <= _hi_{name}_{dim} "
+                        f"<= {extent}"
+                    )
+                    slices.append(f"_lo_{name}_{dim}:_hi_{name}_{dim}")
+                self.line(f"if not ({' and '.join(checks)}):")
+                self.line(
+                    f"    raise IndexError('{label}: region binding "
+                    f"{name} outside view')"
+                )
+                self.line(f"_b_{name} = {mat}[{', '.join(slices)}]")
+            elif kind == "row":
+                if len(intervals) != 2:
+                    raise _NotLowerable("row binding on non-2-D region")
+                self.line(f"_i_{name}_y = {self._affine(intervals[1].lo)}")
+                extent = self._dim_ref(region.matrix, 1)
+                self.line(f"if not (0 <= _i_{name}_y < {extent}):")
+                self.line(
+                    f"    raise IndexError('{label}: row binding "
+                    f"{name} outside view')"
+                )
+                self.line(f"_b_{name} = {mat}[:, _i_{name}_y]")
+            elif kind == "column":
+                if len(intervals) != 2:
+                    raise _NotLowerable("column binding on non-2-D region")
+                self.line(f"_i_{name}_x = {self._affine(intervals[0].lo)}")
+                extent = self._dim_ref(region.matrix, 0)
+                self.line(f"if not (0 <= _i_{name}_x < {extent}):")
+                self.line(
+                    f"    raise IndexError('{label}: column binding "
+                    f"{name} outside view')"
+                )
+                self.line(f"_b_{name} = {mat}[_i_{name}_x, :]")
+            elif kind == "all":
+                self.maker_lines.append(f"    _b_{name} = {mat}")
+            else:
+                raise _NotLowerable(f"unknown view kind {kind!r}")
+
+    # -- expressions -------------------------------------------------------
+
+    def _compile(self, node: ast.ExprNode) -> _Val:
+        if isinstance(node, ast.Num):
+            return _Val("s", repr(float(node.value)), True)
+        if isinstance(node, ast.Var):
+            return self._resolve_var(node.name)
+        if isinstance(node, ast.UnaryOp):
+            operand = self._compile(node.operand)
+            self.add_ops(1)
+            if node.op == "-":
+                return _Val("s", f"(-{self.scal(operand)})", True)
+            if node.op == "!":
+                return _Val(
+                    "s", f"(0.0 if {self.scal(operand)} != 0 else 1.0)", True
+                )
+            raise _NotLowerable(f"unary operator {node.op!r}")
+        if isinstance(node, ast.BinOp):
+            return self._compile_binop(node)
+        if isinstance(node, ast.Ternary):
+            return self._compile_ternary(node)
+        if isinstance(node, ast.CellAccess):
+            return self._compile_cell_access(node)
+        if isinstance(node, ast.Call):
+            return self._compile_call(node)
+        raise _NotLowerable(f"expression {type(node).__name__}")
+
+    def _compile_binop(self, node: ast.BinOp) -> _Val:
+        if node.op in ("&&", "||"):
+            # Short-circuit: the right operand's statements (builtin
+            # calls, nested divisions...) must only run when the left
+            # side does not decide the result — lower to a real `if`.
+            left = self._compile(node.left)
+            self.flush_ops()
+            result = self.tmp()
+            if node.op == "&&":
+                self.line(f"{result} = 0.0")
+                self.line(f"if {self.scal(left)} != 0:")
+            else:
+                self.line(f"{result} = 1.0")
+                self.line(f"if {self.scal(left)} == 0:")
+            self.depth += 1
+            right = self._compile(node.right)
+            self.flush_ops()
+            self.line(
+                f"{result} = 1.0 if {self.scal(right)} != 0 else 0.0"
+            )
+            self.depth -= 1
+            return _Val("s", result, True)
+        left = self._compile(node.left)
+        right = self._compile(node.right)
+        lc, rc = self.scal(left), self.scal(right)
+        self.add_ops(1)
+        if node.op in _ARITH:
+            return _Val("s", f"({lc} {node.op} {rc})", True)
+        if node.op in _COMPARE:
+            return _Val("s", f"(1.0 if {lc} {node.op} {rc} else 0.0)", True)
+        if node.op == "/":
+            result = self.tmp()
+            self.line(f"{result} = _div({lc}, {rc})")
+            return _Val("s", result, True)
+        if node.op == "%":
+            return _Val("s", f"_fmod({lc}, {rc})", True)
+        raise _NotLowerable(f"operator {node.op!r}")
+
+    def _compile_ternary(self, node: ast.Ternary) -> _Val:
+        cond = self._compile(node.cond)
+        self.flush_ops()
+        result = self.tmp()
+        self.line(f"if {self.scal(cond)} != 0:")
+        self.depth += 1
+        if_true = self._compile(node.if_true)
+        self.flush_ops()
+        self.line(f"{result} = {if_true.code}")
+        self.depth -= 1
+        self.line("else:")
+        self.depth += 1
+        if_false = self._compile(node.if_false)
+        self.flush_ops()
+        self.line(f"{result} = {if_false.code}")
+        self.depth -= 1
+        if if_true.kind != if_false.kind:
+            raise _NotLowerable("ternary branches of different kinds")
+        return _Val(
+            if_true.kind, result, if_true.is_float and if_false.is_float
+        )
+
+    def _compile_cell_access(self, node: ast.CellAccess) -> _Val:
+        if node.base not in self.bindings:
+            raise _NotLowerable(f"cell access on unknown base {node.base!r}")
+        region = self.bindings[node.base]
+        base = self._binding_value(region)
+        if base.kind != "a":
+            raise _NotLowerable("cell access on a scalar binding")
+        if region.view_kind == "region":
+            ndim = len(region.box.intervals)
+        elif region.view_kind in ("row", "column"):
+            ndim = 1
+        else:  # "all"
+            ndim = len(self.transform.matrices[region.matrix].dims)
+        if len(node.args) != ndim:
+            raise _NotLowerable("cell access arity mismatch")
+        coords = []
+        for arg in node.args:
+            value = self._compile(arg)
+            coord = self.tmp()
+            self.line(f"{coord} = _idx({value.code})")
+            coords.append(coord)
+        checks = " and ".join(
+            f"0 <= {coord} < {base.code}.shape[{dim}]"
+            for dim, coord in enumerate(coords)
+        )
+        self.line(f"if not ({checks}):")
+        self.line(
+            f"    raise IndexError('cell({', '.join(coords)}) outside "
+            f"view of {node.base}')"
+        )
+        result = self.tmp()
+        self.line(f"{result} = float({base.code}[{', '.join(coords)}])")
+        return _Val("s", result, True)
+
+    def _compile_call(self, node: ast.Call) -> _Val:
+        args = [self._compile(arg) for arg in node.args]
+        if node.name in BUILTINS:
+            self.used_builtins.add(node.name)
+            static = sum(1 for a in args if a.kind == "s")
+            self.add_ops(static)
+            for a in args:
+                if a.kind == "a":
+                    self.add_ops_code(f"{a.code}.size")
+            self.flush_ops()
+            result = self.tmp()
+            call_args = ", ".join(a.code for a in args)
+            self.line(f"{result} = _bi_{node.name}({call_args})")
+            return _Val("s", result, True)
+        if self.residual:
+            raise _NotLowerable("transform call in where-clause")
+        if any(a.kind != "a" for a in args):
+            raise _NotLowerable("transform call with scalar arguments")
+        self.uses_call = True
+        result = self.tmp()
+        call_args = ", ".join(a.code for a in args)
+        self.line(
+            f"{result} = _call({node.name!r}, [{call_args}]).to_numpy()"
+        )
+        return _Val("a", result)
+
+    # -- statements --------------------------------------------------------
+
+    def _compile_statement(self, stmt: ast.Statement) -> None:
+        if not isinstance(stmt, ast.Assign):
+            raise _NotLowerable(f"statement {type(stmt).__name__}")
+        value = self._compile(stmt.value)
+        if isinstance(stmt.target, ast.Var):
+            name = stmt.target.name
+            if name not in self.bindings:
+                raise _NotLowerable(f"assignment to non-region {name!r}")
+            region = self.bindings[name]
+            if region.view_kind == "cell":
+                self._store_scalar(self._cell_ref(region), stmt.op, value)
+            else:
+                self._store_array(f"_b_{name}", stmt.op, value)
+            return
+        if isinstance(stmt.target, ast.CellAccess):
+            # The interpreter resolves the target *after* the value.
+            target = self._compile_cell_access(stmt.target)
+            # target.code is `_tN`; recover the indexed reference from the
+            # emitted read line to store through the same element.
+            read_line = self.lines.pop()
+            ref = read_line.split(" = float(", 1)[1].rstrip(")")
+            self._store_scalar(ref, stmt.op, value)
+            return
+        raise _NotLowerable("invalid assignment target")
+
+    def _store_scalar(self, ref: str, op: str, value: _Val) -> None:
+        if op == "=":
+            self.line(f"{ref} = {self.scal(value)}")
+            return
+        current = self.tmp()
+        self.line(f"{current} = float({ref})")
+        if op == "/=":
+            # Plain Python division: a zero operand raises
+            # ZeroDivisionError exactly like the interpreter's 0-D path.
+            self.line(f"{ref} = {current} / {self.scal(value)}")
+        elif op in ("+=", "-=", "*="):
+            self.line(f"{ref} = {current} {op[0]} {self.scal(value)}")
+        else:
+            raise _NotLowerable(f"assignment operator {op!r}")
+        self.add_ops(1)
+
+    def _store_array(self, ref: str, op: str, value: _Val) -> None:
+        code = value.code
+        if op == "=":
+            self.line(f"{ref}[...] = {code}")
+            return
+        if op not in ("+=", "-=", "*=", "/="):
+            raise _NotLowerable(f"assignment operator {op!r}")
+        result = self.tmp()
+        self.line(f"{result} = {ref} {op[0]} ({code})")
+        self.add_ops_code(f"{ref}.size")
+        self.line(f"{ref}[...] = {result}")
+
+    # -- drivers -----------------------------------------------------------
+
+    def lower_body(self) -> str:
+        self.emit_bindings()
+        for stmt in self.rule.body:
+            self._compile_statement(stmt)
+        self.flush_ops()
+        return self._assemble(
+            maker_name="_maker",
+            maker_args="_env, _tunables, _arrays, _call",
+            inner_name="_instance",
+            footer="return _ops",
+            counter_init=True,
+        )
+
+    def lower_residual(self) -> str:
+        for cond in self.rule.residual_where:
+            value = self._compile(cond)
+            self.line(f"if {self.scal(value)} == 0:")
+            self.line("    return False")
+        self.line("return True")
+        return self._assemble(
+            maker_name="_residual_maker",
+            maker_args="_env",
+            inner_name="_residual",
+            footer=None,
+            counter_init=False,
+        )
+
+    def _assemble(
+        self,
+        maker_name: str,
+        maker_args: str,
+        inner_name: str,
+        footer: Optional[str],
+        counter_init: bool,
+    ) -> str:
+        out: List[str] = [f"def {maker_name}({maker_args}):"]
+        for name in sorted(self.used_env):
+            out.append(f"    _e_{name} = _env[{name!r}]")
+        for name in sorted(self.used_tunables):
+            out.append(f"    _u_{name} = _tunables[{name!r}]")
+        for name in sorted(self.used_matrices):
+            out.append(f"    _m_{name} = _arrays[{name!r}]")
+        for matrix in sorted(self.used_dims):
+            for dim in sorted(self.used_dims[matrix]):
+                out.append(f"    _d_{matrix}_{dim} = _m_{matrix}.shape[{dim}]")
+        out.extend(self.maker_lines)
+        args = ", ".join(f"_s_{v}" for v in self.params)
+        out.append(f"    def {inner_name}({args}):")
+        if counter_init:
+            out.append("        _ops = 0")
+        out.extend(self.lines)
+        if footer:
+            out.append(f"        {footer}")
+        out.append(f"    return {inner_name}")
+        return "\n".join(out) + "\n"
+
+
+def lower_rule(rule: RuleIR, transform: TransformIR) -> Optional[RuleKernel]:
+    """Lower one instance rule to a :class:`RuleKernel`.
+
+    Returns ``None`` when the rule has a native body, no DSL body, no rule
+    variables, or uses a construct the lowerer cannot prove equivalent to
+    the interpreter — the engine then interprets that rule as before.
+    """
+    if rule.native_body is not None or not rule.body:
+        return None
+    if not rule.is_instance_rule:
+        return None
+    try:
+        lowerer = _Lowerer(rule, transform)
+        source = lowerer.lower_body()
+    except _NotLowerable:
+        return None
+    namespace = _base_namespace(lowerer.used_builtins)
+    exec(  # noqa: S102 - compiling our own generated source
+        compile(source, f"<kernel {transform.name}.{rule.label}>", "exec"),
+        namespace,
+    )
+    residual_maker = None
+    residual_source = ""
+    if rule.residual_where:
+        try:
+            res_lowerer = _Lowerer(rule, transform, residual=True)
+            residual_source = res_lowerer.lower_residual()
+            res_namespace = _base_namespace(res_lowerer.used_builtins)
+            exec(  # noqa: S102
+                compile(
+                    residual_source,
+                    f"<residual {transform.name}.{rule.label}>",
+                    "exec",
+                ),
+                res_namespace,
+            )
+            residual_maker = res_namespace["_residual_maker"]
+        except _NotLowerable:
+            residual_maker = None
+            residual_source = ""
+    return RuleKernel(
+        params=tuple(rule.rule_vars),
+        matrices=tuple(sorted(lowerer.used_matrices)),
+        maker=namespace["_maker"],
+        residual_maker=residual_maker,
+        uses_call=lowerer.uses_call,
+        source=source,
+        residual_source=residual_source,
+    )

@@ -1,0 +1,81 @@
+"""Per-(segment, rule, size-env) iteration geometry, precomputed once.
+
+The engine used to re-solve the affine instance ranges, re-derive the
+chain/free split, and re-materialize the instance product for every
+segment application — at every recursion depth and for every chain step.
+All of that is a pure function of ``(segment, rule, env)``, so it is
+computed once and cached under :func:`geometry_key`; the engine counts
+hits and misses through the ``exec.geom_cache_*`` observe counters.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+
+@dataclass
+class Geometry:
+    """Concrete iteration space of one instance rule in one segment.
+
+    ``chain_vars`` iterate as sequential steps (directional, with a task
+    barrier between steps); ``free_vars`` are the data-parallel variables
+    within a step.  ``free_products`` is the materialized instance tuple
+    list shared by every step (and every cached lookup), ordered exactly
+    like the original per-application ``itertools.product``.
+    """
+
+    var_ranges: Dict[str, Tuple[int, int]]
+    directions: Dict[str, int]
+    var_order: Tuple[str, ...]
+    chain_vars: Tuple[str, ...]
+    free_vars: Tuple[str, ...]
+    chain_value_lists: Tuple[Tuple[int, ...], ...]
+    free_products: Tuple[Tuple[int, ...], ...]
+    step_volume: int
+
+
+def build_geometry(
+    var_ranges: Mapping[str, Tuple[int, int]],
+    directions: Mapping[str, int],
+    var_order: Sequence[str],
+) -> Geometry:
+    """Build the geometry from the engine's range/direction analyses.
+
+    Value ordering matches the engine exactly: ascending per variable,
+    reversed when the dependency analysis demands a negative direction
+    (free variables always have direction 0, hence always ascend).
+    """
+    chain_vars = tuple(v for v in var_order if directions.get(v, 0) != 0)
+    free_vars = tuple(v for v in var_order if directions.get(v, 0) == 0)
+
+    def values_of(var: str) -> Tuple[int, ...]:
+        lo, hi = var_ranges[var]
+        values: List[int] = list(range(lo, hi))
+        if directions.get(var, 0) < 0:
+            values.reverse()
+        return tuple(values)
+
+    chain_value_lists = tuple(values_of(v) for v in chain_vars)
+    free_value_lists = tuple(values_of(v) for v in free_vars)
+    # product() of zero ranges yields one empty tuple (the single
+    # instance of a chain-only rule); an empty *range* yields none.
+    free_products = tuple(itertools.product(*free_value_lists))
+    return Geometry(
+        var_ranges=dict(var_ranges),
+        directions=dict(directions),
+        var_order=tuple(var_order),
+        chain_vars=chain_vars,
+        free_vars=free_vars,
+        chain_value_lists=chain_value_lists,
+        free_products=free_products,
+        step_volume=len(free_products),
+    )
+
+
+def geometry_key(
+    segment_key: str, rule_id: int, env: Mapping[str, int]
+) -> Tuple[str, int, Tuple[Tuple[str, int], ...]]:
+    """Cache key: the geometry is a pure function of these three."""
+    return (segment_key, rule_id, tuple(sorted(env.items())))

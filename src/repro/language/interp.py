@@ -106,6 +106,14 @@ def _as_index(value: Value) -> int:
     return rounded
 
 
+# Public aliases: the lowered execution paths (repro.engine_fast) reuse
+# these coercions so scalar/index/array semantics stay defined in exactly
+# one place.
+as_scalar = _as_scalar
+as_array = _as_array
+as_index = _as_index
+
+
 class Scope:
     """Evaluation environment for one rule application."""
 

@@ -26,7 +26,11 @@ interesting transition is captured three ways:
   code plus ``analysis.errors`` / ``analysis.warnings`` /
   ``analysis.infos`` totals when a sink is passed to
   :func:`repro.analysis.run_check` or
-  :func:`repro.analysis.record_report`).
+  :func:`repro.analysis.record_report`; the lowered execution paths add
+  ``exec.closure_calls``, ``exec.vectorized_blocks``,
+  ``exec.vectorized_cells``, ``exec.vector_fallbacks``, and
+  ``exec.geom_cache_hits`` / ``exec.geom_cache_misses`` when a sink is
+  passed to ``CompiledTransform.run``).
 * **histograms** — power-of-two bucketed distributions
   (``scheduler.deque_depth``, ``scheduler.task_duration``,
   ``tuner.pool.batch_size``, ``tuner.pool.batch_latency_ms``).

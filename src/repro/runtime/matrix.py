@@ -104,7 +104,7 @@ class MatrixView:
     offsets, so recursive rules never see absolute indices.
     """
 
-    __slots__ = ("_data", "_bounds", "name")
+    __slots__ = ("_data", "_bounds", "name", "_window")
 
     def __init__(
         self,
@@ -124,6 +124,7 @@ class MatrixView:
         self._data = data
         self._bounds = bounds
         self.name = name
+        self._window: np.ndarray = None  # lazily built by to_numpy()
 
     # -- geometry ----------------------------------------------------------
 
@@ -250,8 +251,21 @@ class MatrixView:
     # -- bulk access -------------------------------------------------------------
 
     def to_numpy(self) -> np.ndarray:
-        """The underlying numpy window (a *view*, writes pass through)."""
-        return self._data[self._axis_slice()]
+        """The underlying numpy window (a *view*, writes pass through).
+
+        The window is cached: a view's bounds are immutable, so building
+        the slice once is enough (the lowered execution paths call this
+        on every segment application).
+        """
+        window = self._window
+        if window is None:
+            window = self._window = self._data[self._axis_slice()]
+        return window
+
+    @property
+    def bounds(self) -> Tuple[Tuple[int, int], ...]:
+        """Absolute ``(lo, hi)`` bounds per axis into the backing array."""
+        return self._bounds
 
     def assign(self, values) -> None:
         """Bulk write ``values`` (array-like of matching shape)."""

@@ -391,7 +391,9 @@ def test_run_check_json(tmp_path, capsys):
     payload = json.loads(capsys.readouterr().out)
     assert payload["errors"] == 1
     assert payload["counts"].get("PB202") == 1
-    (diag,) = payload["diagnostics"]
+    (diag,) = [
+        d for d in payload["diagnostics"] if d["severity"] == "error"
+    ]
     assert diag["code"] == "PB202"
     assert diag["line"] == 5
     assert diag["path"] == str(bad)
@@ -429,7 +431,9 @@ def test_parse_error_becomes_diagnostic():
 def test_code_table_severities_are_valid():
     for code, (severity, family, summary) in CODE_TABLE.items():
         Diagnostic(code=code, severity=severity, message=summary)
-        assert family in ("general", "bounds", "races", "coverage", "hygiene")
+        assert family in (
+            "general", "bounds", "races", "coverage", "hygiene", "leafpaths"
+        )
 
 
 def test_report_ordering_and_summary():

@@ -1,0 +1,334 @@
+"""Tests for the lowered rule-execution paths (repro.engine_fast).
+
+The contract under test: the closure path is bit-for-bit identical to
+the interpreter — outputs, rule application counts, task structure, and
+work accounting — and the vector path is bit-identical in outputs and
+application counts while charging its own (cheaper) work model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import check_source
+from repro.compiler import ChoiceConfig, Selector, compile_program
+from repro.compiler.codegen import specialize
+from repro.engine_fast import (
+    LEAF_CLOSURE,
+    LEAF_INTERP,
+    LEAF_VECTOR,
+    lower_rule,
+)
+from repro.language.errors import PetaBricksError
+from repro.observe import TraceSink
+
+ELEMENTWISE = """
+transform Elementwise
+from A[n+1, m+1]
+to B[n, m]
+{
+  to (B.cell(x, y) b) from (A.cell(x, y) a, A.cell(x+1, y+1) d) {
+    b = a * 0.5 + d * 0.25 + 1.0;
+  }
+}
+"""
+
+ROLLINGSUM = """
+transform RollingSum
+from A[n]
+to B[n]
+{
+  to (B.cell(i) b) from (A.region(0, i+1) in) { b = sum(in); }
+  to (B.cell(i) b) from (A.cell(i) a, B.cell(i-1) leftSum) { b = a + leftSum; }
+}
+"""
+
+CHECKER = """
+transform Checker
+from A[n]
+to B[n]
+{
+  to (B.cell(i) b) from (A.cell(i) a) where i % 2 == 0 { b = a * 2; }
+  to (B.cell(i) b) from (A.cell(i) a) { b = a; }
+}
+"""
+
+
+def _leaf_config(transform, leaf, **tunables):
+    config = ChoiceConfig()
+    config.set_tunable(f"{transform}.__leaf_path__", leaf)
+    for name, value in tunables.items():
+        config.set_tunable(f"{transform}.{name}", value)
+    return config
+
+
+def _run_all_paths(transform, inputs, base_config=None):
+    results = {}
+    for leaf in (LEAF_INTERP, LEAF_CLOSURE, LEAF_VECTOR):
+        config = ChoiceConfig(
+            choices=dict(base_config.choices) if base_config else {},
+            tunables=dict(base_config.tunables) if base_config else {},
+        )
+        config.set_tunable(f"{transform.name}.__leaf_path__", leaf)
+        results[leaf] = transform.run(inputs, config)
+    return results
+
+
+class TestClosureLowering:
+    def test_dsl_rules_get_kernels(self):
+        t = compile_program(ROLLINGSUM).transform("RollingSum")
+        for rule in t.ir.rules:
+            kernel = t._kernel(rule)
+            assert kernel is not None
+            assert "def _maker" in kernel.source
+
+    def test_three_paths_bitwise_equal(self):
+        t = compile_program(ROLLINGSUM).transform("RollingSum")
+        a = np.random.default_rng(0).uniform(-1, 1, 40)
+        for option in (0, 1):
+            base = ChoiceConfig()
+            base.set_choice("RollingSum.B.0", Selector.static(0))
+            base.set_choice("RollingSum.B.1", Selector.static(option))
+            results = _run_all_paths(t, {"A": a}, base)
+            reference = results[LEAF_INTERP]
+            for leaf in (LEAF_CLOSURE, LEAF_VECTOR):
+                result = results[leaf]
+                assert (
+                    result.output().tobytes()
+                    == reference.output().tobytes()
+                )
+                assert (
+                    result.rule_applications
+                    == reference.rule_applications
+                )
+
+    def test_closure_matches_interp_work_and_tasks(self):
+        """The closure path must be observationally identical to the
+        interpreter: same task labels/deps and the same total work."""
+        t = compile_program(ROLLINGSUM).transform("RollingSum")
+        a = np.arange(24.0)
+        results = _run_all_paths(t, {"A": a})
+        interp, closure = results[LEAF_INTERP], results[LEAF_CLOSURE]
+        assert closure.graph.total_work() == interp.graph.total_work()
+        assert len(closure.graph) == len(interp.graph)
+        label_deps = lambda g: [
+            (task.label, tuple(task.deps)) for task in g.tasks
+        ]
+        assert label_deps(closure.graph) == label_deps(interp.graph)
+
+    def test_closure_counter(self):
+        t = compile_program(ROLLINGSUM).transform("RollingSum")
+        sink = TraceSink()
+        t.run({"A": np.arange(8.0)}, _leaf_config("RollingSum", 1), sink=sink)
+        assert sink.counter("exec.closure_calls") == 8
+
+    def test_division_by_zero_matches_interp(self):
+        source = """
+        transform Div
+        from A[n]
+        to B[n]
+        {
+          to (B.cell(i) b) from (A.cell(i) a) { b = 1.0 / a; }
+        }
+        """
+        t = compile_program(source).transform("Div")
+        a = np.array([1.0, 0.0, 2.0])
+        for leaf in (LEAF_INTERP, LEAF_CLOSURE, LEAF_VECTOR):
+            with pytest.raises(PetaBricksError, match="division by zero"):
+                t.run({"A": a}, _leaf_config("Div", leaf))
+
+    def test_compound_assign_parity(self):
+        source = """
+        transform Acc
+        from A[n]
+        to B[n]
+        {
+          to (B.cell(i) b) from (A.cell(i) a) { b = a; b += 2 * a; b *= 0.5; }
+        }
+        """
+        t = compile_program(source).transform("Acc")
+        a = np.random.default_rng(1).uniform(-3, 3, 17)
+        results = _run_all_paths(t, {"A": a})
+        blobs = {
+            leaf: r.output().tobytes() for leaf, r in results.items()
+        }
+        assert blobs[LEAF_CLOSURE] == blobs[LEAF_INTERP]
+        assert blobs[LEAF_VECTOR] == blobs[LEAF_INTERP]
+
+    def test_meta_rule_residual_parity(self):
+        """Where-clause meta-rules run their predicate through the
+        lowered residual and fall back per instance, exactly like the
+        interpreter."""
+        t = compile_program(CHECKER).transform("Checker")
+        a = np.arange(10.0)
+        base = ChoiceConfig()
+        # Select the meta-rule option (restricted rule0 + fallback rule1)
+        (segment,) = t.grid.segments["B"]
+        meta = [
+            i
+            for i, opt in enumerate(segment.options)
+            if opt.fallback is not None
+        ][0]
+        base.set_choice("Checker.B.0", Selector.static(meta))
+        results = _run_all_paths(t, {"A": a}, base)
+        expected = np.where(np.arange(10) % 2 == 0, a * 2, a)
+        for leaf, result in results.items():
+            assert np.array_equal(result.output(), expected), leaf
+            assert (
+                result.rule_applications
+                == results[LEAF_INTERP].rule_applications
+            )
+
+    def test_whole_rule_not_lowered(self):
+        t = compile_program(ROLLINGSUM).transform("RollingSum")
+        whole = [r for r in t.ir.rules if not r.is_instance_rule]
+        for rule in whole:
+            assert lower_rule(rule, t.ir) is None
+
+
+class TestVectorLeaf:
+    def test_vector_bitwise_equal_and_counters(self):
+        t = compile_program(ELEMENTWISE).transform("Elementwise")
+        a = np.random.default_rng(2).uniform(-4, 4, (13, 15))
+        results = _run_all_paths(t, {"A": a})
+        assert (
+            results[LEAF_VECTOR].output().tobytes()
+            == results[LEAF_INTERP].output().tobytes()
+        )
+        sink = TraceSink()
+        t.run({"A": a}, _leaf_config("Elementwise", 2), sink=sink)
+        assert sink.counter("exec.vectorized_blocks") >= 1
+        assert sink.counter("exec.vectorized_cells") == 12 * 14
+        assert sink.counter("exec.vector_fallbacks") == 0
+
+    def test_vector_task_graph_is_smaller(self):
+        t = compile_program(ELEMENTWISE).transform("Elementwise")
+        a = np.zeros((40, 40))
+        results = _run_all_paths(t, {"A": a})
+        assert len(results[LEAF_VECTOR].graph) < len(
+            results[LEAF_INTERP].graph
+        )
+        assert (
+            results[LEAF_VECTOR].graph.total_work()
+            < results[LEAF_INTERP].graph.total_work()
+        )
+
+    def test_cutoff_demotes_to_closure(self):
+        t = compile_program(ELEMENTWISE).transform("Elementwise")
+        a = np.zeros((9, 9))
+        config = _leaf_config(
+            "Elementwise", 2, __vectorize_cutoff__=10_000
+        )
+        sink = TraceSink()
+        result = t.run({"A": a}, config, sink=sink)
+        assert sink.counter("exec.vectorized_blocks") == 0
+        assert sink.counter("exec.vector_fallbacks") >= 1
+        assert sink.counter("exec.closure_calls") == 8 * 8
+        assert np.allclose(
+            result.output(), a[:-1, :-1] * 0.5 + a[1:, 1:] * 0.25 + 1.0
+        )
+
+    def test_region_reduction_rejected(self):
+        t = compile_program(ROLLINGSUM).transform("RollingSum")
+        from repro.analysis.races import vector_leaf_status
+
+        segment = t._segments["B.1"]
+        ok, reason = vector_leaf_status(t, segment, t.ir.rules[0])
+        assert not ok and "region" in reason
+        ok, reason = vector_leaf_status(t, segment, t.ir.rules[1])
+        assert not ok and "sequential chain" in reason
+
+    def test_negative_direction_chain_with_vector_free_vars(self):
+        """A rule with one sequential axis and one parallel axis
+        vectorizes the parallel axis only, per chain step."""
+        source = """
+        transform Sweep
+        from A[n, m]
+        to B[n, m]
+        {
+          to (B.cell(x, y) b) from (A.cell(x, y) a, B.cell(x, y-1) p) {
+            b = a + p;
+          }
+          to (B.cell(x, 0) b) from (A.cell(x, 0) a) { b = a; }
+        }
+        """
+        t = compile_program(source).transform("Sweep")
+        a = np.random.default_rng(3).uniform(-1, 1, (6, 7))
+        results = _run_all_paths(t, {"A": a})
+        assert (
+            results[LEAF_VECTOR].output().tobytes()
+            == results[LEAF_INTERP].output().tobytes()
+        )
+
+    def test_geometry_cache_hits_across_runs(self):
+        t = compile_program(ELEMENTWISE).transform("Elementwise")
+        a = np.zeros((10, 10))
+        sink1 = TraceSink()
+        t.run({"A": a}, sink=sink1)
+        misses = sink1.counter("exec.geom_cache_misses")
+        assert misses >= 1
+        sink2 = TraceSink()
+        t.run({"A": a}, sink=sink2)
+        assert sink2.counter("exec.geom_cache_misses") == 0
+        assert sink2.counter("exec.geom_cache_hits") == misses
+
+
+class TestChoiceIntegration:
+    def test_leveled_leaf_path_switches_by_size(self):
+        """The leaf path is a per-size algorithmic choice: a leveled
+        tunable can pick vector for large runs, interp for small."""
+        t = compile_program(ELEMENTWISE).transform("Elementwise")
+        config = ChoiceConfig()
+        config.set_leveled_tunable(
+            "Elementwise.__leaf_path__", Selector(((64, 0), (None, 2)))
+        )
+        small, large = np.zeros((5, 5)), np.zeros((30, 30))
+        sink = TraceSink()
+        t.run({"A": small}, config, sink=sink)
+        assert sink.counter("exec.vectorized_blocks") == 0
+        sink = TraceSink()
+        t.run({"A": large}, config, sink=sink)
+        assert sink.counter("exec.vectorized_blocks") >= 1
+
+    def test_specialized_program_uses_kernels(self):
+        program = compile_program(ELEMENTWISE)
+        config = _leaf_config("Elementwise", 2)
+        static = specialize(program, config)
+        a = np.random.default_rng(4).uniform(-1, 1, (8, 9))
+        result = static.transform("Elementwise").run({"A": a})
+        reference = program.transform("Elementwise").run(
+            {"A": a}, _leaf_config("Elementwise", 0)
+        )
+        assert result.output().tobytes() == reference.output().tobytes()
+
+    def test_check_reports_leaf_path_diagnostics(self):
+        report = check_source(ELEMENTWISE)
+        codes = {d.code for d in report}
+        assert "PB501" in codes
+        assert report.clean  # INFOs don't dirty the report
+        report = check_source(ROLLINGSUM)
+        info = {d.code for d in report}
+        assert "PB502" in info
+
+    def test_tuner_searches_leaf_path(self):
+        from repro.autotuner import Evaluator, GeneticTuner
+        from repro.runtime import MACHINES
+
+        program = compile_program(ROLLINGSUM)
+
+        def gen(size, rng):
+            return [np.array([rng.uniform(-1, 1) for _ in range(size)])]
+
+        evaluator = Evaluator(program, "RollingSum", gen, MACHINES["xeon8"])
+        tuner = GeneticTuner(
+            evaluator,
+            min_size=8,
+            max_size=32,
+            population_size=2,
+            parents=1,
+            tunable_rounds=1,
+            refine_passes=0,
+        )
+        config = tuner.tune().config
+        keys = set(config.tunables) | set(config.leveled_tunables)
+        assert "RollingSum.__leaf_path__" in keys
+        assert "RollingSum.__vectorize_cutoff__" in keys

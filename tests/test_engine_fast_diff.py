@@ -1,0 +1,210 @@
+"""Differential property test: the three leaf paths are interchangeable.
+
+Hypothesis generates random straight-line elementwise programs (and
+drives the RollingSum choice space); every program runs under the
+interpreter, closure, and vector leaf paths and must produce
+
+* bit-identical outputs (exact ``tobytes`` equality, no tolerance), and
+* identical observable write sets — output/through matrices are
+  sentinel-filled at allocation, so "written" is detectable per cell.
+"""
+
+from contextlib import contextmanager
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import ChoiceConfig, Selector, compile_program
+from repro.runtime.matrix import Matrix
+
+#: A value no generated program can produce from the bounded inputs.
+SENTINEL = -987654321.25
+
+LEAF_PATHS = (0, 1, 2)
+
+_OPS = ("+", "-", "*")
+_CALLS = ("min", "max", "abs")
+
+
+@contextmanager
+def sentinel_alloc():
+    """Allocate output/through matrices filled with SENTINEL instead of
+    zeros, making the write set observable.  A context manager rather
+    than a pytest fixture: hypothesis re-runs the test body, not
+    function-scoped fixtures."""
+
+    def filled(shape, name="", dtype=np.float64):
+        return Matrix(np.full(tuple(shape), SENTINEL, dtype=dtype), name)
+
+    original = Matrix.zeros
+    Matrix.zeros = staticmethod(filled)
+    try:
+        yield
+    finally:
+        Matrix.zeros = original
+
+
+def _run_paths(source, transform_name, inputs, choices=None):
+    """(output bytes, write-set bytes) per leaf path."""
+    program = compile_program(source)
+    transform = program.transform(transform_name)
+    observed = {}
+    for leaf in LEAF_PATHS:
+        config = ChoiceConfig()
+        config.set_tunable(f"{transform_name}.__leaf_path__", leaf)
+        for site, option in (choices or {}).items():
+            config.set_choice(site, Selector.static(option))
+        with sentinel_alloc():
+            result = transform.run(
+                {k: v.copy() for k, v in inputs.items()}, config
+            )
+        outputs = {}
+        writes = {}
+        for name, matrix in result.outputs.items():
+            outputs[name] = matrix.data.tobytes()
+            writes[name] = (matrix.data != SENTINEL).tobytes()
+        observed[leaf] = (outputs, writes)
+    return observed
+
+
+def _assert_paths_agree(observed):
+    reference = observed[0]
+    for leaf in LEAF_PATHS[1:]:
+        assert observed[leaf][0] == reference[0], (
+            f"leaf path {leaf}: outputs differ from interpreter"
+        )
+        assert observed[leaf][1] == reference[1], (
+            f"leaf path {leaf}: write sets differ from interpreter"
+        )
+
+
+# -- random elementwise programs ------------------------------------------
+
+
+@st.composite
+def elementwise_programs(draw):
+    """A random straight-line elementwise 2-D stencil program."""
+    n_reads = draw(st.integers(1, 3))
+    reads = []
+    for idx in range(n_reads):
+        dx = draw(st.integers(0, 2))
+        dy = draw(st.integers(0, 2))
+        reads.append((f"r{idx}", dx, dy))
+    froms = ", ".join(
+        f"A.cell(x+{dx}, y+{dy}) {name}" if dx or dy else f"A.cell(x, y) {name}"
+        for name, dx, dy in reads
+    )
+
+    def expr(depth):
+        if depth == 0 or draw(st.booleans()):
+            leaf = draw(
+                st.one_of(
+                    st.sampled_from([name for name, _, _ in reads]),
+                    st.floats(-2, 2, allow_nan=False).map(
+                        lambda f: repr(round(f, 3))
+                    ),
+                )
+            )
+            return leaf
+        kind = draw(st.sampled_from(("binop", "call", "neg")))
+        if kind == "binop":
+            op = draw(st.sampled_from(_OPS))
+            return f"({expr(depth - 1)} {op} {expr(depth - 1)})"
+        if kind == "neg":
+            return f"(-{expr(depth - 1)})"
+        call = draw(st.sampled_from(_CALLS))
+        if call == "abs":
+            return f"abs({expr(depth - 1)})"
+        return f"{call}({expr(depth - 1)}, {expr(depth - 1)})"
+
+    statements = [f"b = {expr(2)};"]
+    if draw(st.booleans()):
+        op = draw(st.sampled_from(("+=", "-=", "*=")))
+        statements.append(f"b {op} {expr(1)};")
+    body = " ".join(statements)
+    source = (
+        "transform Stencil\n"
+        "from A[n+2, m+2]\n"
+        "to B[n, m]\n"
+        "{\n"
+        f"  to (B.cell(x, y) b) from ({froms}) {{ {body} }}\n"
+        "}\n"
+    )
+    return source
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    source=elementwise_programs(),
+    n=st.integers(1, 6),
+    m=st.integers(1, 6),
+    seed=st.integers(0, 2**16),
+)
+def test_random_elementwise_programs_agree(source, n, m, seed):
+    rng = np.random.default_rng(seed)
+    inputs = {"A": rng.uniform(-4.0, 4.0, (n + 2, m + 2))}
+    observed = _run_paths(source, "Stencil", inputs)
+    _assert_paths_agree(observed)
+
+
+# -- the RollingSum choice space ------------------------------------------
+
+ROLLINGSUM = """
+transform RollingSum
+from A[n]
+to B[n]
+{
+  to (B.cell(i) b) from (A.region(0, i+1) in) { b = sum(in); }
+  to (B.cell(i) b) from (A.cell(i) a, B.cell(i-1) leftSum) { b = a + leftSum; }
+}
+"""
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    option=st.integers(0, 1),
+    n=st.integers(1, 24),
+    seed=st.integers(0, 2**16),
+)
+def test_rollingsum_choices_agree(option, n, seed):
+    """Both algorithmic choices (region reduction and sequential chain)
+    agree across all leaf paths at every size."""
+    rng = np.random.default_rng(seed)
+    inputs = {"A": rng.uniform(-1.0, 1.0, n)}
+    observed = _run_paths(
+        ROLLINGSUM,
+        "RollingSum",
+        inputs,
+        choices={"RollingSum.B.0": 0, "RollingSum.B.1": option},
+    )
+    _assert_paths_agree(observed)
+
+
+# -- windowed reads (region bindings at varying offsets) -------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    lo=st.integers(0, 2),
+    width=st.integers(1, 3),
+    n=st.integers(4, 10),
+    seed=st.integers(0, 2**16),
+)
+def test_window_programs_agree(lo, width, n, seed):
+    """Region-reduction windows (closure path; vector demotes) stay
+    bit-identical under every leaf path."""
+    hi = lo + width
+    source = (
+        "transform Window\n"
+        f"from A[n + {hi}]\n"
+        "to B[n]\n"
+        "{\n"
+        f"  to (B.cell(i) b) from (A.region(i + {lo}, i + {hi}) a)"
+        " { b = sum(a); }\n"
+        "}\n"
+    )
+    rng = np.random.default_rng(seed)
+    inputs = {"A": rng.uniform(-2.0, 2.0, n + hi)}
+    observed = _run_paths(source, "Window", inputs)
+    _assert_paths_agree(observed)
