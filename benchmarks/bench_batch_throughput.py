@@ -1,0 +1,201 @@
+"""Batch-engine throughput benchmark: stacked execution vs per-call runs.
+
+Wall-clock requests/sec of :class:`repro.batch.BatchEngine` serving a
+same-bucket elementwise workload (many small identical-shape requests)
+at batch sizes 1 → 10^4, against the per-call baseline of running each
+request through ``CompiledTransform.run`` individually.  This is the
+many-small-problems grain the batch engine exists for: one stacked
+NumPy sweep amortizes per-call planning, option selection, geometry
+lookup, and task recording across the whole bucket.
+
+Every batched run is checked bit-for-bit against the per-call outputs.
+Results go to ``benchmarks/results/batch_throughput.txt`` (human) and
+``benchmarks/results/BENCH_batch_throughput.json`` (machine-readable;
+CI uploads it as an artifact).
+
+Script mode: ``python benchmarks/bench_batch_throughput.py [--quick]``.
+``--quick`` shrinks batch sizes/repeats and exits nonzero unless
+batch=256 beats the per-call baseline — the CI throughput-smoke gate.
+The full run additionally reports the acceptance target: >= 10x
+requests/sec over per-call at batch=1024.
+"""
+
+import argparse
+import gc
+import statistics
+import sys
+import time
+
+import numpy as np
+
+from harness import fmt_row, write_json, write_report
+
+from repro.batch import BatchEngine
+from repro.compiler import compile_program
+
+ELEMENTWISE = """
+transform Elementwise
+from A[n+1, m+1]
+to B[n, m]
+{
+  to (B.cell(x, y) b)
+  from (A.cell(x, y) a, A.cell(x+1, y+1) d) {
+    b = a * 0.5 + d * 0.25 + 1.0;
+  }
+}
+"""
+
+#: Per-request problem size (each request is a (SIDE x SIDE) stencil).
+SIDE = 24
+
+
+def _requests(count: int, rng) -> list:
+    return [
+        {"A": rng.uniform(-4.0, 4.0, (SIDE + 1, SIDE + 1))}
+        for _ in range(count)
+    ]
+
+
+def _per_call_rate(transform, requests, repeats: int):
+    """Requests/sec running each request through transform.run."""
+    times = []
+    outputs = None
+    for _ in range(repeats):
+        gc.collect()  # keep cyclic-GC pauses out of the timed region
+        start = time.perf_counter()
+        outputs = [
+            transform.run(inputs).output().tobytes() for inputs in requests
+        ]
+        times.append(time.perf_counter() - start)
+    return len(requests) / statistics.median(times), outputs
+
+
+def _batched_rate(transform, requests, repeats: int):
+    """Requests/sec through one submit/gather cycle."""
+    times = []
+    outputs = None
+    for _ in range(repeats):
+        engine = BatchEngine()
+        gc.collect()  # keep cyclic-GC pauses out of the timed region
+        start = time.perf_counter()
+        for inputs in requests:
+            engine.submit(transform, inputs)
+        results = engine.gather()
+        times.append(time.perf_counter() - start)
+        outputs = [result.output().tobytes() for result in results]
+        assert all(result.stacked for result in results)
+    return len(requests) / statistics.median(times), outputs
+
+
+def run_benchmark(quick: bool = False):
+    rng = np.random.default_rng(7)
+    batch_sizes = [1, 16, 256, 1024] if quick else [1, 10, 100, 1000, 10000]
+    repeats = 3 if quick else 5
+
+    program = compile_program(ELEMENTWISE)
+    transform = program.transform("Elementwise")
+
+    rows = []
+    for size in batch_sizes:
+        requests = _requests(size, rng)
+        per_call, baseline_outputs = _per_call_rate(
+            transform, requests, repeats
+        )
+        batched, batched_outputs = _batched_rate(
+            transform, requests, repeats
+        )
+        if batched_outputs != baseline_outputs:
+            raise AssertionError(
+                f"batch={size}: batched outputs differ from per-call runs"
+            )
+        rows.append(
+            {
+                "batch": size,
+                "per_call_rps": per_call,
+                "batched_rps": batched,
+                "speedup": batched / per_call,
+            }
+        )
+
+    payload = {
+        "quick": quick,
+        "request_shape": [SIDE + 1, SIDE + 1],
+        "repeats": repeats,
+        "batches": rows,
+    }
+    write_json("BENCH_batch_throughput", payload)
+
+    widths = [10, 16, 16, 10]
+    lines = [
+        f"Batch throughput: requests/sec, {SIDE}x{SIDE} elementwise "
+        f"stencil, one bucket",
+        fmt_row(["batch", "per-call r/s", "batched r/s", "speedup"], widths),
+    ]
+    for row in rows:
+        lines.append(
+            fmt_row(
+                [
+                    str(row["batch"]),
+                    f"{row['per_call_rps']:.0f}",
+                    f"{row['batched_rps']:.0f}",
+                    f"{row['speedup']:.1f}x",
+                ],
+                widths,
+            )
+        )
+    lines.append(
+        "(per-call = one CompiledTransform.run per request; batched = "
+        "one submit/gather cycle, stacked sweeps)"
+    )
+    write_report("batch_throughput", lines)
+    return payload
+
+
+def test_batch_throughput(benchmark):
+    payload = benchmark.pedantic(
+        run_benchmark, args=(True,), rounds=1, iterations=1
+    )
+    by_batch = {row["batch"]: row for row in payload["batches"]}
+    # Generous margins: CI boxes are noisy.  The acceptance target
+    # (>= 10x at batch=1024) is asserted here too.
+    assert by_batch[256]["speedup"] > 1.0
+    assert by_batch[1024]["speedup"] >= 10.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small batch sizes + enforce the CI gate (batch=256 beats "
+        "per-call; batch=1024 >= 10x)",
+    )
+    args = parser.parse_args(argv)
+    payload = run_benchmark(quick=args.quick)
+    if args.quick:
+        by_batch = {row["batch"]: row for row in payload["batches"]}
+        smoke = by_batch[256]["speedup"]
+        target = by_batch[1024]["speedup"]
+        if smoke <= 1.0:
+            print(
+                f"FAIL: batch=256 is {smoke:.2f}x the per-call baseline "
+                f"(need > 1x)",
+                file=sys.stderr,
+            )
+            return 1
+        if target < 10.0:
+            print(
+                f"FAIL: batch=1024 is {target:.2f}x the per-call baseline "
+                f"(acceptance target >= 10x)",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"throughput-smoke OK: batch=256 {smoke:.1f}x, "
+            f"batch=1024 {target:.1f}x per-call"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,6 +44,7 @@ CODE_TABLE: Dict[str, Tuple[str, str, str]] = {
     "PB405": (WARNING, "hygiene", "rule is priority-shadowed everywhere"),
     "PB501": (INFO, "leafpaths", "rule qualifies for vectorized leaf execution"),
     "PB502": (INFO, "leafpaths", "rule is not vectorizable (closure path applies)"),
+    "PB503": (INFO, "leafpaths", "transform batch-axis (stacking) eligibility"),
 }
 
 

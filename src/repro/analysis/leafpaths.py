@@ -1,4 +1,4 @@
-"""Leaf-path eligibility report (pass family 5: PB501, PB502).
+"""Leaf-path eligibility report (pass family 5: PB501, PB502, PB503).
 
 Informational pass over the choice grid: for every (segment, option)
 site with a DSL instance rule, report whether the engine's vectorized
@@ -7,8 +7,16 @@ it is not, the exact reason the planner rejected it.  The verdicts come
 from the same cached planner the executor consults, so ``repro check``
 describes precisely what ``__leaf_path__ = 2`` would do at run time.
 
-Both codes are INFO severity: rejection is not a defect (the closure
-path still applies), and eligibility is an optimization opportunity.
+PB503 is the batch-axis companion, one per transform: whether the batch
+execution engine (:mod:`repro.batch`) can run buckets of this transform
+as stacked sweeps — under every configuration, only some, or none.  The
+verdict comes from :func:`repro.batch.stacked.batch_eligibility`, the
+same predicate the engine's bucket planner applies, so the diagnostic
+can never disagree with runtime stacking behavior.
+
+All three codes are INFO severity: rejection is not a defect (the
+closure path / per-request fallback still applies), and eligibility is
+an optimization opportunity.
 """
 
 from __future__ import annotations
@@ -86,7 +94,44 @@ def check_leaf_paths(compiled, budget=None, path: str = "") -> List[Diagnostic]:
                         path=path,
                     )
                 )
+    diagnostics.append(_batch_diagnostic(compiled, path))
     return diagnostics
+
+
+def _batch_diagnostic(compiled, path: str) -> Diagnostic:
+    """The per-transform PB503 stacking verdict."""
+    # Local import: repro.batch sits on top of the analysis layer.
+    from repro.batch.stacked import batch_eligibility
+
+    status, detail = batch_eligibility(compiled)
+    if status == "full":
+        message = "batch-stackable under every configuration"
+        hint = (
+            "repro.batch runs whole buckets of this transform as "
+            "stacked sweeps along a leading request axis"
+        )
+    elif status == "partial":
+        message = f"batch-stackable under some configurations ({detail})"
+        hint = (
+            "buckets whose configuration selects a blocked option fall "
+            "back to per-request execution (identical results)"
+        )
+    else:
+        message = f"not batch-stackable: {detail}"
+        hint = (
+            "buckets of this transform run per-request through the "
+            "serial engine (identical results, lower throughput)"
+        )
+    return Diagnostic(
+        code="PB503",
+        severity=INFO,
+        message=message,
+        transform=compiled.ir.name,
+        line=compiled.ir.line,
+        column=compiled.ir.column,
+        hint=hint,
+        path=path,
+    )
 
 
 def _free_vars(compiled, segment, rule) -> Tuple[str, ...]:

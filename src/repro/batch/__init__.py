@@ -1,0 +1,49 @@
+"""Batched many-small-problems execution (``repro.batch``).
+
+Production traffic for a PetaBricks-style system is not one big matmul
+— it is streams of tiny heterogeneous requests, a grain at which
+per-call planning amortizes badly.  This package turns the library
+into something a request firehose can hit:
+
+* :mod:`repro.batch.request` — requests, results, and the bucket-key
+  grouper (same program + transform + exact shapes + config → one
+  bucket sharing all compile-time caches).
+* :mod:`repro.batch.stacked` — the stacked execution path: a bucket
+  runs as batched NumPy steps over a leading request axis, planned by
+  the batch-axis extension of :mod:`repro.engine_fast.vectorize`.
+* :mod:`repro.batch.engine` — :class:`BatchEngine` with the async
+  ``submit()``/``gather()`` API, per-request error isolation, serial
+  fallback for non-stackable work, and throughput counters.
+
+The ``repro batch`` CLI subcommand feeds a JSONL request stream into a
+:class:`BatchEngine`; the PB503 diagnostic (``repro check``) reports
+per-transform stackability via :func:`~repro.batch.stacked.batch_eligibility`.
+"""
+
+from repro.batch.engine import BatchEngine
+from repro.batch.request import (
+    BatchRequest,
+    BatchResult,
+    bucket_key,
+    config_digest,
+    request_shapes,
+)
+from repro.batch.stacked import (
+    StackedPlan,
+    batch_eligibility,
+    plan_stacked,
+    run_stacked,
+)
+
+__all__ = [
+    "BatchEngine",
+    "BatchRequest",
+    "BatchResult",
+    "StackedPlan",
+    "batch_eligibility",
+    "bucket_key",
+    "config_digest",
+    "plan_stacked",
+    "request_shapes",
+    "run_stacked",
+]

@@ -1,0 +1,242 @@
+"""The batch execution engine: submit/gather over bucketed requests.
+
+:class:`BatchEngine` accepts many small execution requests, groups them
+into buckets of provably-identical work (:mod:`repro.batch.request`),
+and serves each bucket either *stacked* — one batched NumPy sweep over
+a leading request axis (:mod:`repro.batch.stacked`) — or *serially*,
+one ``CompiledTransform.run`` per request, when the bucket's transform
+or configuration is not stackable.  Every program is batchable; only
+the throughput differs.
+
+Semantics:
+
+* ``submit`` is asynchronous: it records the request and returns an id
+  immediately; nothing executes until ``gather``.
+* ``gather`` executes all pending requests and returns their results
+  **in submission order**, regardless of bucket completion order
+  (buckets drain in deterministic scrambled order — see
+  :class:`repro.runtime.batchqueue.BucketQueue`).
+* Errors are isolated per request: a stacked sweep that raises (e.g.
+  one lane divides by zero) demotes its chunk to serial execution, so
+  each request gets exactly the result or exception the serial engine
+  gives it.  One bad request never poisons its bucket.
+
+Counters on the optional :class:`~repro.observe.trace.TraceSink`:
+``batch.requests``, ``batch.buckets``, ``batch.stacked_steps``,
+``batch.stacked_requests``, ``batch.fallbacks``, plus a
+``batch.requests_per_sec`` histogram (wall-clock, histogram-only — the
+event stream stays deterministic).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.batch.request import (
+    ArrayLike,
+    BatchRequest,
+    BatchResult,
+    BucketKey,
+    bucket_key,
+    config_digest,
+    input_arrays,
+)
+from repro.batch.stacked import StackedPlan, plan_stacked, run_stacked
+from repro.compiler.codegen import CompiledTransform
+from repro.compiler.config import ChoiceConfig
+from repro.runtime.batchqueue import BucketQueue
+from repro.runtime.matrix import Matrix
+
+
+class BatchEngine:
+    """Bucketing submit/gather executor for many small requests.
+
+    ``max_stack`` caps how many requests share one stacked sweep; a
+    bucket larger than that runs as several chunks (bounding peak
+    memory: one chunk's arrays are ``max_stack`` × the serial
+    footprint).
+
+    Config digests are memoized per config *object*, so a config must
+    not be mutated between submitting it and gathering — mutating a
+    shared config mid-batch would silently group requests under the
+    stale content anyway.
+    """
+
+    def __init__(self, sink=None, max_stack: int = 1024) -> None:
+        if max_stack < 1:
+            raise ValueError("max_stack must be >= 1")
+        self.sink = sink
+        self.max_stack = max_stack
+        self._pending: List[BatchRequest] = []
+        self._results: Dict[int, BatchResult] = {}
+        self._tokens: Dict[int, str] = {}
+        self._token_refs: List[CompiledTransform] = []  # keep ids alive
+        self._plans: Dict[BucketKey, Tuple[Optional[StackedPlan], str]] = {}
+        # id(config) -> (config, digest); the config reference pins the
+        # id so a collected object can't alias a live one.
+        self._digests: Dict[int, Tuple[ChoiceConfig, str]] = {}
+        self._next_id = 0
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(
+        self,
+        transform: CompiledTransform,
+        inputs: Union[Mapping[str, ArrayLike], Sequence[ArrayLike], None],
+        config: Optional[ChoiceConfig] = None,
+        sizes: Optional[Mapping[str, int]] = None,
+    ) -> int:
+        """Queue one request; returns its id (also its gather position)."""
+        request_id = self._next_id
+        self._next_id += 1
+        try:
+            arrays = input_arrays(transform, inputs)
+            shapes = tuple(array.shape for array in arrays)
+        except Exception:
+            # malformed: serial fallback reports the error
+            arrays = None
+            shapes = None
+        self._pending.append(
+            BatchRequest(
+                request_id=request_id,
+                transform=transform,
+                inputs=inputs,
+                config=config,
+                sizes=sizes,
+                shapes=shapes,
+                arrays=arrays,
+            )
+        )
+        return request_id
+
+    def gather(self) -> List[BatchResult]:
+        """Execute everything pending; results in submission order."""
+        pending, self._pending = self._pending, []
+        if not pending:
+            return []
+        started = time.perf_counter()
+        queue: BucketQueue[BatchRequest] = BucketQueue()
+        for request in pending:
+            queue.add(self._key(request), request)
+        for key, requests in queue.drain():
+            if self.sink is not None:
+                self.sink.count("batch.buckets")
+            self._run_bucket(key, requests)
+        elapsed = time.perf_counter() - started
+        if self.sink is not None:
+            self.sink.count("batch.requests", len(pending))
+            if elapsed > 0:
+                self.sink.observe(
+                    "batch.requests_per_sec", len(pending) / elapsed
+                )
+        return [
+            self._results.pop(request.request_id) for request in pending
+        ]
+
+    def run(
+        self,
+        requests: Sequence[
+            Tuple[CompiledTransform, Union[Mapping, Sequence, None]]
+        ],
+        config: Optional[ChoiceConfig] = None,
+    ) -> List[BatchResult]:
+        """Convenience: submit ``(transform, inputs)`` pairs and gather."""
+        for transform, inputs in requests:
+            self.submit(transform, inputs, config)
+        return self.gather()
+
+    # -- bucketing ----------------------------------------------------------
+
+    def _key(self, request: BatchRequest) -> BucketKey:
+        token = self._tokens.get(id(request.transform.program))
+        if token is None:
+            token = f"p{len(self._token_refs)}"
+            self._tokens[id(request.transform.program)] = token
+            self._token_refs.append(request.transform)
+        return bucket_key(token, request, self._digest(request.config))
+
+    def _digest(self, config: Optional[ChoiceConfig]) -> str:
+        if config is None:
+            return "default"
+        cached = self._digests.get(id(config))
+        if cached is None:
+            cached = (config, config_digest(config))
+            self._digests[id(config)] = cached
+        return cached[1]
+
+    def _run_bucket(
+        self, key: BucketKey, requests: List[BatchRequest]
+    ) -> None:
+        first = requests[0]
+        plan = None
+        if first.shapes is not None:
+            cached = self._plans.get(key)
+            if cached is None:
+                cached = plan_stacked(
+                    first.transform, first.shapes, first.config, first.sizes
+                )
+                self._plans[key] = cached
+            plan, _reason = cached
+        if plan is None:
+            for request in requests:
+                self._run_serial(request, fallback=True)
+            return
+        for start in range(0, len(requests), self.max_stack):
+            self._run_chunk(plan, requests[start : start + self.max_stack])
+
+    def _run_chunk(
+        self, plan: StackedPlan, chunk: List[BatchRequest]
+    ) -> None:
+        transform = chunk[0].transform
+        declared = [mat.name for mat in transform.ir.inputs]
+        try:
+            stacked_inputs = {
+                name: np.stack([request.arrays[pos] for request in chunk])
+                for pos, name in enumerate(declared)
+            }
+            outputs = run_stacked(
+                transform, plan, stacked_inputs, len(chunk), sink=self.sink
+            )
+        except Exception:
+            # Demote the whole chunk: each request re-runs serially and
+            # owns its exact serial result or error.
+            for request in chunk:
+                self._run_serial(request, fallback=True)
+            return
+        if self.sink is not None:
+            self.sink.count("batch.stacked_requests", len(chunk))
+        for lane, request in enumerate(chunk):
+            self._results[request.request_id] = BatchResult(
+                request_id=request.request_id,
+                outputs={
+                    name: Matrix(storage.data[lane].copy(), name)
+                    for name, storage in outputs.items()
+                },
+                stacked=True,
+                meta={"sizes": dict(plan.env)},
+            )
+
+    def _run_serial(self, request: BatchRequest, fallback: bool) -> None:
+        if fallback and self.sink is not None:
+            self.sink.count("batch.fallbacks")
+        try:
+            result = request.transform.run(
+                request.inputs, request.config, sizes=request.sizes
+            )
+            outcome = BatchResult(
+                request_id=request.request_id,
+                outputs=result.outputs,
+                stacked=False,
+                meta={"sizes": result.sizes},
+            )
+        except Exception as error:
+            outcome = BatchResult(
+                request_id=request.request_id,
+                outputs=None,
+                error=error,
+                stacked=False,
+            )
+        self._results[request.request_id] = outcome

@@ -1,0 +1,251 @@
+"""Stacked execution: one bucket of same-shaped requests, one sweep.
+
+``plan_stacked`` walks a transform's choice-grid schedule exactly the
+way the serial engine does — same size binding, same order/size guards,
+same option selection, same cached geometry — and asks the batch-axis
+vector planner (:func:`repro.engine_fast.vectorize.plan_vector_leaf`
+with ``batch=True``) for every nonempty segment the configuration
+selects.  If every segment qualifies, the whole transform runs as a
+sequence of batched NumPy steps over arrays carrying a leading
+request axis; otherwise the plan reports the first blocking reason and
+the engine falls back to per-request serial execution.
+
+Eligibility for stacking is strictly narrower than PB501 vector
+eligibility: a segment whose selected option carries a where-clause
+fallback, a native body, or a whole-matrix rule is rejected even though
+the serial engine handles it fine — those constructs take per-instance
+control-flow decisions that may differ between batch lanes.  The
+correctness contract is unchanged either way: stacked outputs are
+byte-identical to per-request serial outputs (the batch axis is pure
+broadcast; see :mod:`repro.engine_fast.vectorize`), and any error a
+stacked run raises demotes its bucket to serial execution, which
+reproduces each request's exact serial outcome.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.compiler.codegen import CompiledTransform
+from repro.compiler.config import ChoiceConfig
+from repro.compiler.ir import ROLE_OUTPUT
+from repro.engine_fast.vectorize import VectorPlan
+from repro.runtime.matrix import Matrix
+
+
+@dataclass
+class StackedStep:
+    """One data-parallel segment application, batched."""
+
+    segment_key: str
+    rule_label: str
+    plan: VectorPlan
+    #: ``(lo, count)`` pairs per free variable, flattened — the trailing
+    #: arguments of the plan's step function.
+    free_args: Tuple[int, ...]
+    #: Concrete chain-variable value lists (empty tuple list = one step).
+    chain_steps: Tuple[Tuple[int, ...], ...]
+
+
+@dataclass
+class StackedPlan:
+    """Everything needed to run a bucket: shared env, tunables, steps."""
+
+    env: Dict[str, int]
+    problem_size: int
+    tunables: Dict[str, int]
+    #: (name, shape, is_output) per allocated matrix, schedule order.
+    allocations: Tuple[Tuple[str, Tuple[int, ...], bool], ...]
+    steps: Tuple[StackedStep, ...]
+
+
+def plan_stacked(
+    transform: CompiledTransform,
+    shapes: Sequence[Tuple[int, ...]],
+    config: Optional[ChoiceConfig],
+    explicit_sizes=None,
+) -> Tuple[Optional[StackedPlan], str]:
+    """Plan one bucket, or explain why it must run serially.
+
+    Returns ``(plan, "")`` when every nonempty scheduled segment under
+    ``config`` admits a batched vector step, else ``(None, reason)``.
+    Planning failures include anything the serial engine would raise at
+    this (shapes, config) point — guard violations, bad option indices —
+    because the serial fallback reproduces those errors per request.
+    """
+    config = config or ChoiceConfig()
+    try:
+        return _plan(transform, shapes, config, explicit_sizes)
+    except Exception as error:  # serial fallback reproduces the error
+        return None, str(error)
+
+
+def _plan(transform, shapes, config, explicit_sizes):
+    env = transform.bind_sizes_from_shapes(shapes, explicit_sizes)
+    for guard in transform.grid.order_guards:
+        if guard.evaluate(env) < 0:
+            return None, f"order guard {guard} fails at {dict(env)}"
+
+    allocations: List[Tuple[str, Tuple[int, ...], bool]] = []
+    cells = 0
+    for mat, shape in zip(transform.ir.inputs, shapes):
+        cells += int(np.prod(shape, dtype=np.int64)) if shape else 1
+    for mat in transform.ir.outputs + transform.ir.throughs:
+        shape = tuple(dim.eval_floor(env) for dim in mat.dims)
+        allocations.append((mat.name, shape, mat.role == ROLE_OUTPUT))
+        cells += int(np.prod(shape, dtype=np.int64)) if shape else 1
+    problem_size = cells
+    tunables = transform.tunables_at(config, problem_size)
+
+    steps: List[StackedStep] = []
+    for node in transform.depgraph.schedule_order:
+        segment = transform._segments.get(node)
+        if segment is None:
+            continue  # an input matrix
+        bounds = segment.box.concrete(env)
+        volume = 1
+        for lo, hi in bounds:
+            volume *= max(0, hi - lo)
+        if volume == 0:
+            continue
+        option = transform._select_option(config, segment, problem_size)
+        rule = transform.ir.rules[option.primary]
+        if option.fallback is not None:
+            return None, (
+                f"{segment.key}: selected option has a where-clause "
+                f"fallback (per-lane control flow)"
+            )
+        if not rule.is_instance_rule or rule.native_body is not None:
+            return None, f"{segment.key}: selected rule is not a DSL instance rule"
+        if rule.residual_where:
+            return None, f"{segment.key}: selected rule has a where clause"
+        transform._check_size_guards(rule, env)
+        plan, reason = transform._vector_plan(segment, rule, False, batch=True)
+        if plan is None:
+            return None, f"{segment.key}: {reason}"
+        geometry = transform.geometry_for(segment, rule, env, bounds)
+        free_args: List[int] = []
+        for var in plan.free_vars:
+            lo, hi = geometry.var_ranges[var]
+            free_args.extend((lo, hi - lo))
+        chain_steps = (
+            tuple(itertools.product(*geometry.chain_value_lists))
+            if geometry.chain_vars
+            else ((),)
+        )
+        steps.append(
+            StackedStep(
+                segment_key=segment.key,
+                rule_label=rule.label,
+                plan=plan,
+                free_args=tuple(free_args),
+                chain_steps=chain_steps,
+            )
+        )
+    return (
+        StackedPlan(
+            env=env,
+            problem_size=problem_size,
+            tunables=tunables,
+            allocations=tuple(allocations),
+            steps=tuple(steps),
+        ),
+        "",
+    )
+
+
+def run_stacked(
+    transform: CompiledTransform,
+    plan: StackedPlan,
+    stacked_inputs: Dict[str, np.ndarray],
+    batch: int,
+    sink=None,
+) -> Dict[str, Matrix]:
+    """Execute one planned bucket over ``batch`` stacked requests.
+
+    ``stacked_inputs`` maps each declared input to an array of shape
+    ``(batch,) + serial_shape``.  Outputs come back batched the same
+    way; the engine slices lane ``i`` out for request ``i``.  Output
+    and through storage is allocated via ``Matrix.zeros`` so unwritten
+    cells match serial allocation bit-for-bit (the differential suite
+    monkeypatches allocation to sentinel-fill and compares write sets).
+    """
+    arrays: Dict[str, np.ndarray] = dict(stacked_inputs)
+    outputs: Dict[str, Matrix] = {}
+    for name, shape, is_output in plan.allocations:
+        storage = Matrix.zeros(
+            (batch,) + shape, name=f"{transform.name}.{name}"
+        )
+        arrays[name] = storage.data
+        if is_output:
+            outputs[name] = storage
+    for step in plan.steps:
+        step_fn = step.plan.maker(
+            plan.env,
+            plan.tunables,
+            {name: arrays[name] for name in step.plan.matrices},
+        )
+        for chain_values in step.chain_steps:
+            step_fn(*chain_values, *step.free_args)
+            if sink is not None:
+                sink.count("batch.stacked_steps")
+    return outputs
+
+
+def batch_eligibility(
+    transform: CompiledTransform,
+) -> Tuple[str, str]:
+    """Static per-transform batch-axis eligibility, for PB503.
+
+    Returns ``(status, detail)`` with status one of:
+
+    * ``"full"`` — every (segment, option) site stacks; any
+      configuration of this transform batches without fallback.
+    * ``"partial"`` — every segment has at least one stackable option,
+      so *some* configurations batch; ``detail`` names the first
+      blocked site.
+    * ``"none"`` — some segment has no stackable option; every bucket
+      of this transform falls back to per-request execution.  ``detail``
+      carries the blocking reason.
+    """
+    any_blocked = ""
+    for segment in transform.grid.all_segments():
+        segment_ok = False
+        segment_reason = ""
+        for option in segment.options:
+            ok, reason = _option_status(transform, segment, option)
+            if ok:
+                segment_ok = True
+            else:
+                if not segment_reason:
+                    segment_reason = reason
+                if not any_blocked:
+                    any_blocked = f"{segment.key}: {reason}"
+        if not segment_ok:
+            return "none", f"{segment.key}: {segment_reason}"
+    if any_blocked:
+        return "partial", any_blocked
+    return "full", ""
+
+
+def _option_status(transform, segment, option) -> Tuple[bool, str]:
+    rule = transform.ir.rules[option.primary]
+    if option.fallback is not None:
+        return False, "option has a where-clause fallback"
+    if rule.native_body is not None:
+        return False, "rule has a native body"
+    if not rule.is_instance_rule:
+        return False, "rule is not an instance rule"
+    if rule.residual_where:
+        return False, "rule has a where clause"
+    try:
+        plan, reason = transform._vector_plan(segment, rule, False, batch=True)
+    except Exception as error:
+        return False, str(error)
+    if plan is None:
+        return False, reason
+    return True, ""

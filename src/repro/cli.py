@@ -28,6 +28,18 @@ input matrix, in declaration order) or ``--random-input N`` (uniform
 random data for every declared input).  ``tune`` uses the transform's
 ``generator`` declaration when present, random data otherwise.
 
+``batch`` serves a JSONL request stream through the batch execution
+engine (:mod:`repro.batch`)::
+
+    python -m repro batch program.pbcc requests.jsonl -o results.jsonl
+
+Each request line is ``{"transform": NAME, "inputs": {...} | [...]}``
+plus optional ``"config"`` (an inline configuration object) and
+``"sizes"``; requests sharing a transform, exact input shapes, and
+configuration run stacked along a batch axis, everything else falls
+back to per-request execution with identical results.  One JSONL result
+line comes back per request, in submission order.
+
 ``tune --jobs N`` evaluates candidate batches on ``N`` worker processes;
 because every measurement is a pure function of ``(seed, configuration
 signature, size, trial)`` the tuned configuration and history are
@@ -328,6 +340,81 @@ def cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_batch(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.batch import BatchEngine
+
+    program = _load_program(args.source)
+    default_config = ChoiceConfig.load(args.config) if args.config else None
+    sink = TraceSink(capture_events=False)
+    engine = BatchEngine(sink=sink, max_stack=args.max_stack)
+
+    if args.requests == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        with open(args.requests, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            payload = json.loads(line)
+            transform = program.transform(payload["transform"])
+        except Exception as exc:
+            print(f"error: request line {lineno}: {exc}", file=sys.stderr)
+            return 2
+        config = default_config
+        if payload.get("config") is not None:
+            config = ChoiceConfig.from_json(json.dumps(payload["config"]))
+        engine.submit(
+            transform, payload.get("inputs"), config, payload.get("sizes")
+        )
+
+    results = engine.gather()
+    failed = 0
+    out = open(args.output, "w", encoding="utf-8") if args.output else sys.stdout
+    try:
+        for result in results:
+            if result.ok:
+                record = {
+                    "id": result.request_id,
+                    "ok": True,
+                    "stacked": result.stacked,
+                    "outputs": {
+                        name: matrix.data.tolist()
+                        for name, matrix in result.outputs.items()
+                    },
+                }
+            else:
+                failed += 1
+                record = {
+                    "id": result.request_id,
+                    "ok": False,
+                    "error": (
+                        f"{type(result.error).__name__}: {result.error}"
+                    ),
+                }
+            out.write(json.dumps(record, sort_keys=True) + "\n")
+    finally:
+        if args.output:
+            out.close()
+
+    report = sys.stderr if not args.output else sys.stdout
+    rate = sink.histograms.get("batch.requests_per_sec")
+    print(
+        f"-- {sink.counter('batch.requests')} requests in "
+        f"{sink.counter('batch.buckets')} buckets: "
+        f"{sink.counter('batch.stacked_requests')} stacked, "
+        f"{sink.counter('batch.fallbacks')} fallbacks, "
+        f"{failed} errors"
+        + (f", {rate.mean:.0f} requests/sec" if rate else ""),
+        file=report,
+    )
+    return 1 if (failed and args.strict) else 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     config = ChoiceConfig.load(args.config)
     print("choice sites:")
@@ -467,6 +554,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the candidate-timeline JSONL trace to PATH",
     )
     p_tune.set_defaults(func=cmd_tune)
+
+    p_batch = sub.add_parser(
+        "batch", help="serve a JSONL request stream through the batch engine"
+    )
+    p_batch.add_argument("source")
+    p_batch.add_argument(
+        "requests",
+        help="JSONL request file, one request per line ('-' for stdin)",
+    )
+    p_batch.add_argument(
+        "--config", help="default choice configuration JSON (per-request "
+        "inline configs override it)",
+    )
+    p_batch.add_argument(
+        "--max-stack", type=int, default=1024, metavar="N",
+        help="max requests per stacked sweep (default: %(default)s)",
+    )
+    p_batch.add_argument(
+        "-o", "--output",
+        help="JSONL results file (omit to stream results to stdout)",
+    )
+    p_batch.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 when any request errored",
+    )
+    p_batch.set_defaults(func=cmd_batch)
 
     p_report = sub.add_parser("report", help="pretty-print a configuration")
     p_report.add_argument("config")

@@ -241,7 +241,7 @@ class CompiledTransform:
             Tuple[str, int], Tuple[Dict[str, int], List[str]]
         ] = {}
         self._vector_plans: Dict[
-            Tuple[str, int, bool], Tuple[Optional[VectorPlan], str]
+            Tuple[str, int, bool, bool], Tuple[Optional[VectorPlan], str]
         ] = {}
 
     # -- public API ------------------------------------------------------------
@@ -331,6 +331,31 @@ class CompiledTransform:
             self._size_cache.clear()
         self._size_cache[key] = dict(env)
         return env
+
+    def bind_sizes_from_shapes(
+        self,
+        shapes: Sequence[Tuple[int, ...]],
+        explicit: Optional[Mapping[str, int]] = None,
+    ) -> Dict[str, int]:
+        """Size-variable binding from input *shapes* alone.
+
+        Public handle for the batch request grouper (:mod:`repro.batch`):
+        one bucket of same-shaped requests binds sizes once, through the
+        same ``_size_cache`` the serial engine fills — the cache key is a
+        function of shapes only, so serial and batched lookups share
+        entries.  ``shapes`` follow the declared input order.
+        """
+        declared = self.ir.inputs
+        if len(shapes) != len(declared):
+            raise ExecutionError(
+                f"{self.name}: expected {len(declared)} input shapes, "
+                f"got {len(shapes)}"
+            )
+        stubs = {
+            mat.name: _ShapeStub(tuple(int(d) for d in shape))
+            for mat, shape in zip(declared, shapes)
+        }
+        return self._bind_sizes(stubs, explicit)
 
     def _bind_sizes_uncached(
         self,
@@ -573,12 +598,25 @@ class CompiledTransform:
         env: Dict[str, int],
         segment_bounds: Tuple[Tuple[int, int], ...],
     ) -> Geometry:
+        return self.geometry_for(
+            segment, rule, env, segment_bounds, sink=state.recorder.sink
+        )
+
+    def geometry_for(
+        self,
+        segment: Segment,
+        rule: RuleIR,
+        env: Dict[str, int],
+        segment_bounds: Tuple[Tuple[int, int], ...],
+        sink=None,
+    ) -> Geometry:
         """Iteration geometry, cached per (segment, rule, size-env) —
         ``segment_bounds`` is itself a function of ``env``, so it does
-        not enter the key."""
+        not enter the key.  Public handle: the batch execution engine
+        (:mod:`repro.batch`) plans against the same cache, so one bucket
+        of requests re-solves nothing the serial engine already solved."""
         key = geometry_key(segment.key, rule.rule_id, env)
         geometry = self._geom_cache.get(key)
-        sink = state.recorder.sink
         if geometry is not None:
             if sink is not None:
                 sink.count("exec.geom_cache_hits")
@@ -618,12 +656,20 @@ class CompiledTransform:
         return cached
 
     def _vector_plan(
-        self, segment: Segment, rule: RuleIR, has_fallback: bool
+        self,
+        segment: Segment,
+        rule: RuleIR,
+        has_fallback: bool,
+        batch: bool = False,
     ) -> Tuple[Optional[VectorPlan], str]:
         """The (cached) vector leaf plan or rejection reason for this
         (segment, rule) site; also the backing store for the PB501/PB502
-        diagnostics (see :func:`repro.analysis.races.vector_leaf_status`)."""
-        key = (segment.key, rule.rule_id, bool(has_fallback))
+        diagnostics (see :func:`repro.analysis.races.vector_leaf_status`).
+
+        ``batch=True`` compiles/caches the batch-axis variant of the
+        same plan (leading stacked-request axis on every matrix), used
+        by :mod:`repro.batch` and the PB503 diagnostic."""
+        key = (segment.key, rule.rule_id, bool(has_fallback), bool(batch))
         cached = self._vector_plans.get(key)
         if cached is None:
             from repro.engine_fast.vectorize import plan_vector_leaf
@@ -636,7 +682,12 @@ class CompiledTransform:
                 cached = (None, str(error))
             else:
                 cached = plan_vector_leaf(
-                    self.ir, rule, directions, var_order, has_fallback
+                    self.ir,
+                    rule,
+                    directions,
+                    var_order,
+                    has_fallback,
+                    batch=batch,
                 )
             self._vector_plans[key] = cached
         return cached
@@ -644,12 +695,17 @@ class CompiledTransform:
     def _tunable_values(self, state: _EngineState) -> Dict[str, int]:
         """User tunables at the current problem size, computed once per
         segment application (not once per cell)."""
-        config = state.config
-        size = state.problem_size
+        return self.tunables_at(state.config, state.problem_size)
+
+    def tunables_at(
+        self, config: ChoiceConfig, problem_size: int
+    ) -> Dict[str, int]:
+        """Resolved user tunables at a problem size (public handle —
+        the batch planner resolves them once per bucket)."""
         return {
             t.name: config.tunable_at(
                 f"{self.name}.{t.name}",
-                size,
+                problem_size,
                 t.default if t.default is not None else t.lo,
             )
             for t in self.ir.tunables
@@ -1218,6 +1274,20 @@ def specialize(
 # ---------------------------------------------------------------------------
 # helpers
 # ---------------------------------------------------------------------------
+
+
+class _ShapeStub:
+    """Duck-typed stand-in for a MatrixView in size binding: shape/ndim
+    are all ``_bind_sizes`` reads."""
+
+    __slots__ = ("shape",)
+
+    def __init__(self, shape: Tuple[int, ...]) -> None:
+        self.shape = shape
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
 
 
 def _as_view(value: ArrayLike) -> MatrixView:

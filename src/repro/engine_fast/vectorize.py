@@ -36,6 +36,18 @@ ternaries, region reductions, and ``/=`` (whose scalar path raises
 ``/`` by zero still raises the interpreter's ``EvalError``, but a failing
 step leaves different partial state than the cell-by-cell loop — error
 paths abort the run either way.
+
+Batch axis (``repro.batch``): with ``batch=True`` the same lowering is
+planned one axis wider — every matrix operand carries a leading *batch*
+dimension stacking B same-shaped requests, so one slice expression
+serves the whole bucket.  The batch axis is a pure broadcast axis: index
+expressions, strides, and bounds checks are functions of the (shared)
+size environment only, so the batched step computes, per batch lane,
+exactly the bytes the unbatched step computes — elementwise IEEE ops
+have no cross-lane interaction.  ``_vdiv``'s zero check spans the whole
+stack; a division by zero anywhere demotes the *bucket* to per-request
+execution (see :mod:`repro.batch.engine`), which reproduces the failing
+request's exact serial error without poisoning its neighbours.
 """
 
 from __future__ import annotations
@@ -139,6 +151,8 @@ class VectorPlan:
     matrices: Tuple[str, ...]
     maker: Callable
     source: str
+    #: planned for arrays with a leading batch axis (``repro.batch``)
+    batch: bool = False
 
 
 class _NotVectorizable(Exception):
@@ -152,9 +166,11 @@ class _VectorLowerer:
         rule: RuleIR,
         chain_vars: Sequence[str],
         free_vars: Sequence[str],
+        batch: bool = False,
     ) -> None:
         self.transform = transform
         self.rule = rule
+        self.batch = batch
         self.chain_vars = tuple(chain_vars)
         self.free_vars = tuple(free_vars)
         self.free_set = set(free_vars)
@@ -280,17 +296,39 @@ class _VectorLowerer:
                     f"write coordinates of {name!r} do not cover "
                     f"parallel variable(s) {', '.join(missing)}"
                 )
+            if self.batch:
+                index_parts.insert(0, "_ALL")
             self.line(f"_b_{name} = _m_{mat}[{', '.join(index_parts)}]")
             if present:
                 wanted = [v for v in self.free_vars if v in present]
                 perm = tuple(present.index(v) for v in wanted)
                 if perm != tuple(range(len(perm))):
-                    self.line(f"_b_{name} = _b_{name}.transpose({perm})")
-                if len(present) != len(self.free_vars):
-                    expander = ", ".join(
-                        "_ALL" if v in present else "None"
-                        for v in self.free_vars
-                    )
+                    if self.batch:
+                        # Axis 0 is the batch axis; kept axes shift by 1.
+                        shifted = (0,) + tuple(p + 1 for p in perm)
+                        self.line(
+                            f"_b_{name} = _b_{name}.transpose({shifted})"
+                        )
+                    else:
+                        self.line(
+                            f"_b_{name} = _b_{name}.transpose({perm})"
+                        )
+            if len(present) != len(self.free_vars):
+                expander = ", ".join(
+                    "_ALL" if v in present else "None"
+                    for v in self.free_vars
+                )
+                if self.batch:
+                    # Without free axes a batched operand is shape (B,):
+                    # right-aligned broadcasting would bind B to the
+                    # innermost free axis, so the expander is mandatory
+                    # (the batch axis stays leftmost, missing free axes
+                    # become explicit broadcast axes).
+                    self.line(f"_b_{name} = _b_{name}[_ALL, {expander}, ]")
+                elif present:
+                    # Unbatched scalar reads (present empty) broadcast
+                    # as 0-d arrays without help, matching the original
+                    # generated source byte-for-byte.
                     self.line(f"_b_{name} = _b_{name}[{expander}, ]")
 
     def _axis_ref(self, var: str) -> str:
@@ -419,10 +457,12 @@ class _VectorLowerer:
             out.append(f"    _u_{name} = _tunables[{name!r}]")
         for name in sorted(self.used_matrices):
             out.append(f"    _m_{name} = _arrays[{name!r}]")
+        axis_shift = 1 if self.batch else 0
         for matrix in sorted(self.used_dims):
             for dim in sorted(self.used_dims[matrix]):
                 out.append(
-                    f"    _d_{matrix}_{dim} = _m_{matrix}.shape[{dim}]"
+                    f"    _d_{matrix}_{dim} = "
+                    f"_m_{matrix}.shape[{dim + axis_shift}]"
                 )
         params = [f"_s_{v}" for v in self.chain_vars]
         for var in self.free_vars:
@@ -439,6 +479,7 @@ def plan_vector_leaf(
     directions: Dict[str, int],
     var_order: Sequence[str],
     has_fallback: bool = False,
+    batch: bool = False,
 ) -> Tuple[Optional[VectorPlan], str]:
     """Compile a vector leaf for ``rule``, or explain why it cannot be.
 
@@ -446,6 +487,11 @@ def plan_vector_leaf(
     analysis for the (segment, rule) pair (``_var_directions``); the
     canonical query is :func:`repro.analysis.races.vector_leaf_status`.
     Returns ``(plan, "")`` on success, else ``(None, reason)``.
+
+    With ``batch=True`` the maker expects every matrix in ``arrays`` to
+    carry a leading batch axis of one common extent; eligibility is
+    unchanged (the batch axis adds no dependence), so a rule is
+    batch-stackable exactly when it is vectorizable.
     """
     if rule.native_body is not None or not rule.body:
         return None, "native (Python) rule body"
@@ -460,7 +506,7 @@ def plan_vector_leaf(
             None,
             "no data-parallel variables; instances form a sequential chain",
         )
-    lowerer = _VectorLowerer(transform, rule, chain_vars, free_vars)
+    lowerer = _VectorLowerer(transform, rule, chain_vars, free_vars, batch)
     try:
         lowerer.emit_regions()
         lowerer.emit_body()
@@ -469,9 +515,10 @@ def plan_vector_leaf(
     except _NotVectorizable as reason:
         return None, str(reason)
     namespace = _base_namespace()
+    tag = "vector-batch" if batch else "vector"
     exec(  # noqa: S102 - compiling our own generated source
         compile(
-            source, f"<vector {transform.name}.{rule.label}>", "exec"
+            source, f"<{tag} {transform.name}.{rule.label}>", "exec"
         ),
         namespace,
     )
@@ -482,5 +529,6 @@ def plan_vector_leaf(
         matrices=tuple(sorted(lowerer.used_matrices)),
         maker=namespace["_maker"],
         source=source,
+        batch=batch,
     )
     return plan, ""

@@ -30,10 +30,13 @@ interesting transition is captured three ways:
   ``exec.closure_calls``, ``exec.vectorized_blocks``,
   ``exec.vectorized_cells``, ``exec.vector_fallbacks``, and
   ``exec.geom_cache_hits`` / ``exec.geom_cache_misses`` when a sink is
-  passed to ``CompiledTransform.run``).
+  passed to ``CompiledTransform.run``; the batch execution engine adds
+  ``batch.requests``, ``batch.buckets``, ``batch.stacked_steps``,
+  ``batch.stacked_requests``, and ``batch.fallbacks``).
 * **histograms** — power-of-two bucketed distributions
   (``scheduler.deque_depth``, ``scheduler.task_duration``,
-  ``tuner.pool.batch_size``, ``tuner.pool.batch_latency_ms``).
+  ``tuner.pool.batch_size``, ``tuner.pool.batch_latency_ms``,
+  ``batch.requests_per_sec``).
 
 The per-batch latency histogram is the one deliberately wall-clock
 (hence nondeterministic) metric; it never enters the event stream, so

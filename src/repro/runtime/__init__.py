@@ -13,8 +13,11 @@ The runtime owns everything that happens after compilation:
 * :mod:`repro.runtime.machine` — architecture profiles (core count,
   relative cycle cost, spawn/steal overheads) standing in for the paper's
   Mobile / Xeon / Niagara testbeds.
+* :mod:`repro.runtime.batchqueue` — the deterministic bucket queue the
+  batch execution engine (:mod:`repro.batch`) drains.
 """
 
+from repro.runtime.batchqueue import BucketQueue
 from repro.runtime.machine import MACHINES, Machine
 from repro.runtime.matrix import Matrix, MatrixView
 from repro.runtime.scheduler import ScheduleResult, WorkStealingScheduler
@@ -23,6 +26,7 @@ from repro.runtime.task import Task, TaskGraph, TaskRecorder
 __all__ = [
     "MACHINES",
     "Machine",
+    "BucketQueue",
     "Matrix",
     "MatrixView",
     "ScheduleResult",

@@ -443,3 +443,87 @@ def test_report_ordering_and_summary():
     assert [d.code for d in report] == ["PB101", "PB402"]
     assert report.exit_code() == 1
     assert "1 error(s), 1 warning(s)" in report.summary_line()
+
+
+# ---------------------------------------------------------------------------
+# PB503: per-transform batch-axis (stacking) eligibility
+# ---------------------------------------------------------------------------
+
+STACK_FULL = """transform Scale
+from A[n, m]
+to B[n, m]
+{
+  to (B.cell(x, y) b) from (A.cell(x, y) a) { b = a * 2.0; }
+}
+"""
+
+STACK_PARTIAL = """transform Clamp
+from A[n]
+to B[n]
+{
+  to (B.cell(i) b) from (A.cell(i) a) where i % 2 == 0 { b = a; }
+  to (B.cell(i) b) from (A.cell(i) a) { b = 2 * a; }
+}
+"""
+
+STACK_NONE = """transform RollingSum
+from A[n]
+to B[n]
+{
+  to (B.cell(i) b) from (A.region(0, i+1) in) { b = sum(in); }
+  to (B.cell(i) b) from (A.cell(i) a, B.cell(i-1) leftSum) { b = a + leftSum; }
+}
+"""
+
+#: fixture -> the exact PB503 message the report must contain.
+PB503_GOLDEN = {
+    "stack_full": (
+        STACK_FULL,
+        "batch-stackable under every configuration",
+    ),
+    "stack_partial": (
+        STACK_PARTIAL,
+        "batch-stackable under some configurations "
+        "(B.0: option has a where-clause fallback)",
+    ),
+    "stack_none": (
+        STACK_NONE,
+        "not batch-stackable: B.0: binding 'in' is a region view "
+        "(only cell reads/writes vectorize)",
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(PB503_GOLDEN))
+def test_pb503_golden(name):
+    source, message = PB503_GOLDEN[name]
+    report = check_source(source, path=name)
+    found = [d for d in report if d.code == "PB503"]
+    assert len(found) == 1, "exactly one PB503 per transform"
+    (diag,) = found
+    assert diag.message == message
+    assert diag.severity == "info"
+    assert diag.line == 1 and diag.column == 1
+    assert diag.hint
+
+
+def test_pb503_matches_engine_behavior():
+    """The diagnostic verdict and the batch engine's actual execution
+    path can never disagree: full -> stacked, none -> serial fallback."""
+    from repro.batch import BatchEngine
+    from repro.batch.stacked import batch_eligibility
+
+    rng = np.random.default_rng(7)
+    for source, expect_stacked in ((STACK_FULL, True), (STACK_NONE, False)):
+        program = compile_program(source)
+        transform = next(iter(program.transforms.values()))
+        status, _ = batch_eligibility(transform)
+        assert (status == "full") is expect_stacked
+        engine = BatchEngine()
+        shape = tuple(
+            2 for _ in transform.ir.inputs[0].dims
+        )
+        engine.submit(transform, [rng.uniform(-1, 1, shape)])
+        (result,) = engine.gather()
+        assert result.ok
+        assert result.stacked is expect_stacked

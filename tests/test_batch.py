@@ -1,0 +1,208 @@
+"""Seeded stress test for the batch execution engine.
+
+Pushes 10³+ heterogeneous requests (two programs, many shapes, several
+configurations) through one submit/gather cycle and checks the
+engine-level invariants:
+
+* gather() returns exactly one result per request, **in submission
+  order**, even though buckets complete in scrambled (hash) order;
+* the bucket count equals the number of distinct (transform, shapes,
+  config) combinations actually submitted;
+* every stackable request is served stacked, every non-stackable one
+  falls back, and the counters account for all of them;
+* results are correct (checked against closed-form expectations — the
+  differential suite covers byte-parity against the serial engine);
+* ``max_stack`` chunking and repeat gathers behave.
+"""
+
+import numpy as np
+import pytest
+
+from repro.batch import BatchEngine, config_digest
+from repro.compiler import ChoiceConfig, Selector, compile_program
+from repro.observe import TraceSink
+from repro.runtime.batchqueue import BucketQueue, scramble
+
+SCALE = """
+transform Scale
+from A[n, m]
+to B[n, m]
+{
+  to (B.cell(x, y) b) from (A.cell(x, y) a) { b = a * 2.0 + 1.0; }
+}
+"""
+
+ROLLINGSUM = """
+transform RollingSum
+from A[n]
+to B[n]
+{
+  to (B.cell(i) b) from (A.region(0, i+1) in) { b = sum(in); }
+  to (B.cell(i) b) from (A.cell(i) a, B.cell(i-1) leftSum) { b = a + leftSum; }
+}
+"""
+
+SEED = 20090615
+
+
+def _configs():
+    """Three distinct-content configurations for the Scale transform."""
+    configs = []
+    for leaf in (0, 1, 2):
+        config = ChoiceConfig()
+        config.set_tunable("Scale.__leaf_path__", leaf)
+        configs.append(config)
+    return configs
+
+
+@pytest.fixture(scope="module")
+def stress_run():
+    """One 1000+-request submit/gather cycle, shared by the invariant
+    tests below (the engine is deterministic, so sharing is safe)."""
+    program = compile_program(SCALE + ROLLINGSUM)
+    scale = program.transform("Scale")
+    rolling = program.transform("RollingSum")
+    rolling_config = ChoiceConfig()
+    rolling_config.set_choice("RollingSum.B.0", Selector.static(0))
+    rolling_config.set_choice("RollingSum.B.1", Selector.static(1))
+
+    rng = np.random.default_rng(SEED)
+    shapes = [(2, 2), (2, 3), (3, 2), (4, 4), (1, 5)]
+    configs = _configs()
+    sink = TraceSink(capture_events=False)
+    engine = BatchEngine(sink=sink, max_stack=64)
+
+    requests = []  # (kind, inputs, expected array)
+    for index in range(1100):
+        if index % 5 == 4:  # every 5th request: the fallback transform
+            n = int(rng.integers(1, 8))
+            a = rng.uniform(-1.0, 1.0, n)
+            engine.submit(rolling, {"A": a}, rolling_config)
+            requests.append(("rolling", a, np.cumsum(a)))
+        else:
+            shape = shapes[int(rng.integers(0, len(shapes)))]
+            config = configs[int(rng.integers(0, len(configs)))]
+            a = rng.uniform(-4.0, 4.0, shape)
+            engine.submit(scale, {"A": a}, config)
+            requests.append(("scale", (a, config), a * 2.0 + 1.0))
+
+    results = engine.gather()
+    return engine, sink, requests, results
+
+
+def test_submission_order_and_identity(stress_run):
+    _, _, requests, results = stress_run
+    assert len(results) == len(requests) >= 1000
+    for position, result in enumerate(results):
+        assert result.request_id == position
+        assert result.ok, result.error
+
+
+def test_results_are_correct(stress_run):
+    _, _, requests, results = stress_run
+    for (kind, _, expected), result in zip(requests, results):
+        np.testing.assert_array_equal(result.output(), expected)
+        assert result.stacked is (kind == "scale")
+
+
+def test_bucket_count_matches_distinct_work(stress_run):
+    _, sink, requests, _ = stress_run
+    scale_buckets = {
+        (inputs[0].shape, config_digest(inputs[1]))
+        for kind, inputs, _ in requests
+        if kind == "scale"
+    }
+    rolling_buckets = {
+        a.shape for kind, a, _ in requests if kind == "rolling"
+    }
+    expected = len(scale_buckets) + len(rolling_buckets)
+    assert sink.counter("batch.buckets") == expected
+
+
+def test_counters_account_for_every_request(stress_run):
+    _, sink, requests, _ = stress_run
+    n_scale = sum(1 for kind, _, _ in requests if kind == "scale")
+    n_rolling = len(requests) - n_scale
+    assert sink.counter("batch.requests") == len(requests)
+    assert sink.counter("batch.stacked_requests") == n_scale
+    assert sink.counter("batch.fallbacks") == n_rolling
+    assert sink.counter("batch.stacked_steps") > 0
+    hist = sink.histograms.get("batch.requests_per_sec")
+    assert hist is not None and hist.count == 1
+
+
+def test_repeat_gather_is_empty(stress_run):
+    engine, _, _, _ = stress_run
+    assert engine.gather() == []
+
+
+def test_max_stack_chunking_is_invisible():
+    """Chunked stacked sweeps (max_stack smaller than the bucket) give
+    byte-identical results to one whole-bucket sweep."""
+    program = compile_program(SCALE)
+    scale = program.transform("Scale")
+    rng = np.random.default_rng(SEED)
+    arrays = [rng.uniform(-4.0, 4.0, (3, 3)) for _ in range(50)]
+
+    outcomes = []
+    for max_stack in (7, 1024):
+        engine = BatchEngine(max_stack=max_stack)
+        for a in arrays:
+            engine.submit(scale, {"A": a})
+        outcomes.append(
+            [r.output().tobytes() for r in engine.gather()]
+        )
+    assert outcomes[0] == outcomes[1]
+
+
+# -- BucketQueue: deterministic out-of-order completion ---------------------
+
+
+def test_bucket_queue_scrambles_deterministically():
+    keys = [f"bucket{i}" for i in range(12)]
+    first = BucketQueue()
+    second = BucketQueue()
+    for position, key in enumerate(keys):
+        first.add(key, position)
+        second.add(key, position)
+    drained_first = [key for key, _ in first.drain()]
+    drained_second = [key for key, _ in second.drain()]
+    assert drained_first == drained_second  # deterministic
+    assert drained_first != keys  # and genuinely out of insertion order
+    assert sorted(drained_first) == sorted(keys)
+    assert drained_first == sorted(keys, key=scramble)
+    assert len(first) == 0  # drained
+
+
+def test_bucket_queue_preserves_order_within_buckets():
+    queue = BucketQueue()
+    for item in range(30):
+        queue.add(f"k{item % 3}", item)
+    assert len(queue) == 30
+    assert queue.bucket_count == 3
+    for key, items in queue.drain():
+        assert items == sorted(items)
+
+
+def test_gather_order_survives_scrambled_buckets():
+    """The engine's submission-order guarantee is exercised for real:
+    the bucket drain order differs from submission order, yet results
+    come back position-aligned."""
+    program = compile_program(SCALE)
+    scale = program.transform("Scale")
+    rng = np.random.default_rng(1)
+    shapes = [(1, 1), (2, 2), (3, 3), (4, 4), (5, 5)]
+
+    sink = TraceSink(capture_events=False)
+    engine = BatchEngine(sink=sink)
+    expected = []
+    for index in range(40):
+        shape = shapes[index % len(shapes)]
+        a = rng.uniform(-1, 1, shape)
+        engine.submit(scale, {"A": a})
+        expected.append(a * 2.0 + 1.0)
+    results = engine.gather()
+    assert sink.counter("batch.buckets") == len(shapes)
+    for index, result in enumerate(results):
+        assert result.request_id == index
+        np.testing.assert_array_equal(result.output(), expected[index])
