@@ -1,0 +1,215 @@
+"""Serve-daemon latency benchmark: warm registry hits vs fresh CLI runs.
+
+The daemon's pitch is amortization: a fresh ``repro run`` process pays
+interpreter start, import, parse, compile, and config handling on every
+invocation, while a warm ``repro serve`` registry hit pays one HTTP/JSON
+round trip into a resident :class:`CompiledTransform` with a
+pre-digested config.  This benchmark measures both paths end to end —
+subprocess wall time for the CLI, client round-trip time for the daemon
+— on the same program, input, and machine profile, and checks the
+responses are byte-identical.
+
+Results go to ``benchmarks/results/serve_latency.txt`` (human) and
+``benchmarks/results/BENCH_serve_latency.json`` (machine-readable; CI
+uploads it as an artifact).
+
+Script mode: ``python benchmarks/bench_serve_latency.py [--quick]``.
+``--quick`` shrinks repeat counts and exits nonzero unless the warm
+registry-hit p50 is >= 5x faster than a fresh ``repro run`` process —
+the CI serve-latency gate (also the acceptance target for the full run).
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+from harness import fmt_row, write_json, write_report
+
+from repro.compiler import ChoiceConfig
+from repro.serve import ANY_BUCKET, ServeApp, ServeClient, ServeDaemon
+
+SRC_DIR = pathlib.Path(__file__).parent.parent / "src"
+
+STENCIL = """
+transform Blur
+from A[n+2, m+2]
+to B[n, m]
+{
+  to (B.cell(x, y) b)
+  from (A.cell(x, y) nw, A.cell(x+1, y+1) c, A.cell(x+2, y+2) se) {
+    b = c * 0.5 + nw * 0.25 + se * 0.25;
+  }
+}
+"""
+
+#: Input side length (the request is one (SIDE+2)^2 -> SIDE^2 stencil).
+SIDE = 32
+
+#: The acceptance target: warm registry-hit p50 >= 5x a fresh CLI run.
+TARGET_SPEEDUP = 5.0
+
+
+def _fresh_cli_times(source_path, input_path, output_path, repeats):
+    """Wall-clock p50 of full ``repro run`` process invocations."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR)
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        "run",
+        str(source_path),
+        "-t",
+        "Blur",
+        "--input",
+        str(input_path),
+        "--output",
+        str(output_path),
+    ]
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        subprocess.run(command, env=env, check=True, capture_output=True)
+        times.append(time.perf_counter() - start)
+    return times
+
+
+def _warm_serve_times(client, phash, inputs, repeats):
+    """Round-trip p50 of ``/run`` requests against a warm registry."""
+    payload_inputs = {"A": inputs.tolist()}
+    # Warm-up: first request compiles nothing (that happened at
+    # registration) but touches every cache; keep it out of the timing.
+    first = client.run(phash, "Blur", payload_inputs)
+    assert first["meta"]["registry_hit"] is True
+    times = []
+    response = first
+    for _ in range(repeats):
+        start = time.perf_counter()
+        response = client.run(phash, "Blur", payload_inputs)
+        times.append(time.perf_counter() - start)
+    return times, response
+
+
+def run_benchmark(quick: bool = False):
+    rng = np.random.default_rng(11)
+    fresh_repeats = 3 if quick else 7
+    warm_repeats = 30 if quick else 200
+
+    inputs = rng.uniform(-4.0, 4.0, (SIDE + 2, SIDE + 2))
+
+    daemon = ServeDaemon(ServeApp(), port=0).start_background()
+    try:
+        client = ServeClient(port=daemon.port, timeout=60.0)
+        phash = client.compile(STENCIL)["program"]
+        daemon.app.publish_config(
+            phash, daemon.app.machine, ANY_BUCKET, ChoiceConfig()
+        )
+
+        with tempfile.TemporaryDirectory(prefix="serve-bench-") as workdir:
+            work = pathlib.Path(workdir)
+            source_path = work / "blur.pbcc"
+            source_path.write_text(STENCIL)
+            input_path = work / "in.npy"
+            np.save(input_path, inputs)
+            output_path = work / "out.npy"
+
+            fresh = _fresh_cli_times(
+                source_path, input_path, output_path, fresh_repeats
+            )
+            warm, response = _warm_serve_times(
+                client, phash, inputs, warm_repeats
+            )
+
+            direct_bytes = np.load(output_path).tobytes()
+            served_bytes = np.asarray(
+                response["outputs"]["B"], dtype=np.float64
+            ).tobytes()
+            if served_bytes != direct_bytes:
+                raise AssertionError(
+                    "served response differs from the direct CLI output"
+                )
+    finally:
+        daemon.stop()
+
+    fresh_p50 = statistics.median(fresh) * 1000.0
+    warm_p50 = statistics.median(warm) * 1000.0
+    payload = {
+        "quick": quick,
+        "input_shape": [SIDE + 2, SIDE + 2],
+        "fresh_repeats": fresh_repeats,
+        "warm_repeats": warm_repeats,
+        "fresh_cli_p50_ms": fresh_p50,
+        "warm_serve_p50_ms": warm_p50,
+        "warm_serve_max_ms": max(warm) * 1000.0,
+        "speedup": fresh_p50 / warm_p50,
+        "target_speedup": TARGET_SPEEDUP,
+        "byte_identical": True,
+    }
+    write_json("BENCH_serve_latency", payload)
+
+    widths = [26, 12, 10]
+    lines = [
+        f"Serve latency: {SIDE}x{SIDE} stencil, one request per "
+        f"invocation, byte-identical responses",
+        fmt_row(["path", "p50 (ms)", "speedup"], widths),
+        fmt_row(["fresh `repro run` process", f"{fresh_p50:.1f}", "1.0x"], widths),
+        fmt_row(
+            [
+                "warm serve registry hit",
+                f"{warm_p50:.1f}",
+                f"{payload['speedup']:.1f}x",
+            ],
+            widths,
+        ),
+        f"(acceptance target: warm p50 >= {TARGET_SPEEDUP:.0f}x fresh; "
+        "fresh pays interpreter start + parse + compile every call)",
+    ]
+    write_report("serve_latency", lines)
+    return payload
+
+
+def test_serve_latency(benchmark):
+    payload = benchmark.pedantic(
+        run_benchmark, args=(True,), rounds=1, iterations=1
+    )
+    assert payload["byte_identical"] is True
+    assert payload["speedup"] >= TARGET_SPEEDUP
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="fewer repeats + enforce the CI gate (warm p50 >= "
+        f"{TARGET_SPEEDUP:.0f}x fresh CLI)",
+    )
+    args = parser.parse_args(argv)
+    payload = run_benchmark(quick=args.quick)
+    if args.quick:
+        speedup = payload["speedup"]
+        if speedup < TARGET_SPEEDUP:
+            print(
+                f"FAIL: warm serve p50 is {speedup:.2f}x a fresh `repro "
+                f"run` (need >= {TARGET_SPEEDUP:.0f}x)",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"serve-latency OK: warm p50 {payload['warm_serve_p50_ms']:.1f}ms "
+            f"vs fresh {payload['fresh_cli_p50_ms']:.1f}ms "
+            f"({speedup:.1f}x, byte-identical)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

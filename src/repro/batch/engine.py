@@ -31,6 +31,7 @@ event stream stays deterministic).
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -59,25 +60,34 @@ class BatchEngine:
     memory: one chunk's arrays are ``max_stack`` × the serial
     footprint).
 
-    Config digests are memoized per config *object*, so a config must
-    not be mutated between submitting it and gathering — mutating a
-    shared config mid-batch would silently group requests under the
-    stale content anyway.
+    The engine is safe to keep alive indefinitely (the serve daemon
+    does): configs are frozen at submit — each request carries a private
+    copy plus its content digest, so mutating the caller's config object
+    after ``submit`` affects neither bucketing nor execution, and the
+    engine holds no per-config-object state between gathers.  The
+    stacked-plan cache is a bounded LRU (``plan_cache_size`` buckets).
     """
 
-    def __init__(self, sink=None, max_stack: int = 1024) -> None:
+    def __init__(
+        self,
+        sink=None,
+        max_stack: int = 1024,
+        plan_cache_size: int = 256,
+    ) -> None:
         if max_stack < 1:
             raise ValueError("max_stack must be >= 1")
+        if plan_cache_size < 1:
+            raise ValueError("plan_cache_size must be >= 1")
         self.sink = sink
         self.max_stack = max_stack
+        self.plan_cache_size = plan_cache_size
         self._pending: List[BatchRequest] = []
         self._results: Dict[int, BatchResult] = {}
         self._tokens: Dict[int, str] = {}
         self._token_refs: List[CompiledTransform] = []  # keep ids alive
-        self._plans: Dict[BucketKey, Tuple[Optional[StackedPlan], str]] = {}
-        # id(config) -> (config, digest); the config reference pins the
-        # id so a collected object can't alias a live one.
-        self._digests: Dict[int, Tuple[ChoiceConfig, str]] = {}
+        self._plans: "OrderedDict[BucketKey, Tuple[Optional[StackedPlan], str]]" = (
+            OrderedDict()
+        )
         self._next_id = 0
 
     # -- submission ---------------------------------------------------------
@@ -88,10 +98,25 @@ class BatchEngine:
         inputs: Union[Mapping[str, ArrayLike], Sequence[ArrayLike], None],
         config: Optional[ChoiceConfig] = None,
         sizes: Optional[Mapping[str, int]] = None,
+        digest: Optional[str] = None,
     ) -> int:
-        """Queue one request; returns its id (also its gather position)."""
+        """Queue one request; returns its id (also its gather position).
+
+        The config is frozen here: the request keeps a private copy and
+        its content digest, so two submits separated by a mutation land
+        in different buckets and run with the configs they were
+        submitted with.  ``digest`` lets a caller that guarantees the
+        config is immutable (the serve registry versions its configs
+        and never mutates them) pass the precomputed digest and skip
+        both the copy and the serialization — the zero-serialization
+        hot path.
+        """
         request_id = self._next_id
         self._next_id += 1
+        if digest is None:
+            digest = config_digest(config)
+            if config is not None:
+                config = config.copy()
         try:
             arrays = input_arrays(transform, inputs)
             shapes = tuple(array.shape for array in arrays)
@@ -106,6 +131,7 @@ class BatchEngine:
                 inputs=inputs,
                 config=config,
                 sizes=sizes,
+                digest=digest,
                 shapes=shapes,
                 arrays=arrays,
             )
@@ -156,16 +182,7 @@ class BatchEngine:
             token = f"p{len(self._token_refs)}"
             self._tokens[id(request.transform.program)] = token
             self._token_refs.append(request.transform)
-        return bucket_key(token, request, self._digest(request.config))
-
-    def _digest(self, config: Optional[ChoiceConfig]) -> str:
-        if config is None:
-            return "default"
-        cached = self._digests.get(id(config))
-        if cached is None:
-            cached = (config, config_digest(config))
-            self._digests[id(config)] = cached
-        return cached[1]
+        return bucket_key(token, request)
 
     def _run_bucket(
         self, key: BucketKey, requests: List[BatchRequest]
@@ -179,6 +196,10 @@ class BatchEngine:
                     first.transform, first.shapes, first.config, first.sizes
                 )
                 self._plans[key] = cached
+                if len(self._plans) > self.plan_cache_size:
+                    self._plans.popitem(last=False)
+            else:
+                self._plans.move_to_end(key)
             plan, _reason = cached
         if plan is None:
             for request in requests:

@@ -42,6 +42,11 @@ class BatchRequest:
     inputs: Union[Mapping[str, ArrayLike], Sequence[ArrayLike], None]
     config: Optional[ChoiceConfig]
     sizes: Optional[Mapping[str, int]] = None
+    #: The config-content digest, snapshotted when the request is
+    #: submitted.  Bucketing reads this field — never the live config
+    #: object — so mutating a config after ``submit`` can neither
+    #: corrupt grouping nor pin the object in an engine-lifetime memo.
+    digest: str = "default"
     #: None when the request cannot be shape-analyzed (wrong input
     #: count / missing name); such requests bucket alone and run
     #: serially, reproducing the engine's exact error.
@@ -131,17 +136,13 @@ def config_digest(config: Optional[ChoiceConfig]) -> str:
     ).hexdigest()
 
 
-def bucket_key(
-    program_token: str,
-    request: BatchRequest,
-    digest: Optional[str] = None,
-) -> BucketKey:
+def bucket_key(program_token: str, request: BatchRequest) -> BucketKey:
     """The grouping key; malformed requests get a singleton key so the
     serial fallback reports their error without touching a live bucket.
 
-    ``digest`` lets the caller pass a precomputed (memoized) config
-    digest — serializing the config per request dominates grouping cost
-    otherwise."""
+    The config component is ``request.digest``, snapshotted at submit —
+    grouping never re-serializes the config and never dereferences the
+    live object."""
     if request.shapes is None:
         return (
             program_token,
@@ -159,6 +160,6 @@ def bucket_key(
         program_token,
         request.transform.name,
         request.shapes,
-        config_digest(request.config) if digest is None else digest,
+        request.digest,
         sizes,
     )

@@ -355,6 +355,11 @@ def cmd_batch(args: argparse.Namespace) -> int:
     else:
         with open(args.requests, "r", encoding="utf-8") as handle:
             lines = handle.read().splitlines()
+    # Under --strict an unparseable line (bad JSON, unknown transform)
+    # fails the whole invocation immediately, naming the offending line;
+    # without --strict it degrades to a per-line error record so the
+    # rest of the stream still runs.
+    entries = []  # ("result", request_id) | ("malformed", lineno, message)
     for lineno, line in enumerate(lines, start=1):
         line = line.strip()
         if not line or line.startswith("#"):
@@ -363,39 +368,43 @@ def cmd_batch(args: argparse.Namespace) -> int:
             payload = json.loads(line)
             transform = program.transform(payload["transform"])
         except Exception as exc:
-            print(f"error: request line {lineno}: {exc}", file=sys.stderr)
-            return 2
+            if args.strict:
+                print(
+                    f"error: request line {lineno}: {exc}", file=sys.stderr
+                )
+                return 2
+            entries.append(
+                ("malformed", lineno, f"{type(exc).__name__}: {exc}")
+            )
+            continue
         config = default_config
         if payload.get("config") is not None:
             config = ChoiceConfig.from_json(json.dumps(payload["config"]))
-        engine.submit(
-            transform, payload.get("inputs"), config, payload.get("sizes")
+        entries.append(
+            (
+                "result",
+                engine.submit(
+                    transform,
+                    payload.get("inputs"),
+                    config,
+                    payload.get("sizes"),
+                ),
+            )
         )
 
-    results = engine.gather()
+    from repro.serve.records import malformed_record, result_record
+
+    results = {result.request_id: result for result in engine.gather()}
     failed = 0
     out = open(args.output, "w", encoding="utf-8") if args.output else sys.stdout
     try:
-        for result in results:
-            if result.ok:
-                record = {
-                    "id": result.request_id,
-                    "ok": True,
-                    "stacked": result.stacked,
-                    "outputs": {
-                        name: matrix.data.tolist()
-                        for name, matrix in result.outputs.items()
-                    },
-                }
-            else:
+        for entry in entries:
+            if entry[0] == "malformed":
                 failed += 1
-                record = {
-                    "id": result.request_id,
-                    "ok": False,
-                    "error": (
-                        f"{type(result.error).__name__}: {result.error}"
-                    ),
-                }
+                record = malformed_record(entry[1], entry[2])
+            else:
+                record = result_record(results[entry[1]])
+                failed += 0 if record["ok"] else 1
             out.write(json.dumps(record, sort_keys=True) + "\n")
     finally:
         if args.output:
@@ -413,6 +422,224 @@ def cmd_batch(args: argparse.Namespace) -> int:
         file=report,
     )
     return 1 if (failed and args.strict) else 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServeApp, ServeDaemon
+
+    app = ServeApp(
+        store_dir=args.store,
+        machine=args.machine,
+        tune_workers=args.tune_workers,
+    )
+    for path in args.preload or []:
+        with open(path, "r", encoding="utf-8") as handle:
+            info = app.compile({"source": handle.read()})
+        print(f"preloaded {path}: program {info['program']}")
+    daemon = ServeDaemon(app, host=args.host, port=args.port)
+    recovered = app.recovered
+    store_note = f", store {args.store}" if args.store else ", no store"
+    print(
+        f"repro serve: http://{args.host}:{daemon.port}"
+        f" (machine {args.machine}{store_note}, recovered "
+        f"{recovered['programs']} programs / {recovered['configs']} configs)",
+        flush=True,
+    )
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        daemon.server.server_close()
+        app.close()
+    print("repro serve: stopped")
+    return 0
+
+
+def _client_source(client, path: str) -> str:
+    """Register a source file with the daemon; returns the program hash."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return client.ensure_program(handle.read())
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve.client import ServeClient, ServeClientError
+
+    client = ServeClient(args.host, args.port, timeout=args.timeout)
+    try:
+        if args.client_command == "health":
+            print(json.dumps(client.health(), indent=2, sort_keys=True))
+            return 0
+        if args.client_command == "stats":
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+        if args.client_command == "shutdown":
+            client.shutdown()
+            print("daemon stopping")
+            return 0
+        if args.client_command == "compile":
+            with open(args.source, "r", encoding="utf-8") as handle:
+                info = client.compile(handle.read())
+            cached = " (cached)" if info["cached"] else ""
+            print(f"program {info['program']}{cached}")
+            for name in info["transforms"]:
+                print(f"  transform {name}")
+            return 0
+        if args.client_command == "check":
+            report = client.check(_client_source(client, args.source))
+            print(json.dumps(report, indent=2, sort_keys=True))
+            return 0 if report["clean"] else 1
+        if args.client_command == "run":
+            return _client_run(client, args)
+        if args.client_command == "batch":
+            return _client_batch(client, args)
+        if args.client_command == "tune":
+            return _client_tune(client, args)
+        raise AssertionError(f"unhandled {args.client_command!r}")
+    except ServeClientError as exc:
+        print(f"error: {exc.message}", file=sys.stderr)
+        return 2
+    except (ConnectionError, TimeoutError) as exc:
+        print(
+            f"error: cannot reach daemon at {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _client_run(client, args: argparse.Namespace) -> int:
+    phash = _client_source(client, args.source)
+    if args.input:
+        inputs = [_load_input(path).tolist() for path in args.input]
+    elif args.random_input is not None:
+        # Random generation needs the transform's declared shapes, so the
+        # convenience path compiles locally; served execution is unchanged.
+        program = _load_program(args.source)
+        rng = random.Random(args.seed)
+        inputs = [
+            array.tolist()
+            for array in _random_inputs(
+                program, args.transform, args.random_input
+            )(args.random_input, rng)
+        ]
+    else:
+        inputs = None
+    config = None
+    if args.config:
+        import json
+
+        with open(args.config, "r", encoding="utf-8") as handle:
+            config = json.loads(handle.read())
+    response = client.run(
+        phash,
+        args.transform,
+        inputs,
+        sizes=_parse_sizes(args) or None,
+        machine=args.machine,
+        config=config,
+    )
+    outputs = response["outputs"]
+    for name, data in outputs.items():
+        array = np.asarray(data, dtype=np.float64)
+        if args.output:
+            path = (
+                f"{args.output}.{name}.npy"
+                if len(outputs) > 1
+                else args.output
+            )
+            np.save(path, array)
+            print(f"{name}: saved to {path} (shape {array.shape})")
+        else:
+            preview = np.array2string(array, threshold=20, precision=6)
+            print(f"{name} (shape {array.shape}):\n{preview}")
+    meta = response["meta"]
+    version = meta["version"] if meta["version"] is not None else "-"
+    print(
+        f"-- served: program {phash[:12]} bucket {meta['bucket']} "
+        f"machine {meta['machine']} config v{version} "
+        f"(registry {'hit' if meta['registry_hit'] else 'miss'})"
+    )
+    return 0
+
+
+def _client_batch(client, args: argparse.Namespace) -> int:
+    import json
+
+    phash = _client_source(client, args.source)
+    if args.requests == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        with open(args.requests, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    config = None
+    if args.config:
+        with open(args.config, "r", encoding="utf-8") as handle:
+            config = json.loads(handle.read())
+    try:
+        response = client.batch(
+            phash,
+            lines,
+            strict=args.strict,
+            machine=args.machine,
+            config=config,
+        )
+    except Exception as exc:
+        from repro.serve.client import ServeClientError
+
+        if isinstance(exc, ServeClientError) and exc.status == 400:
+            print(f"error: {exc.message}", file=sys.stderr)
+            return 2
+        raise
+    out = (
+        open(args.output, "w", encoding="utf-8") if args.output else sys.stdout
+    )
+    try:
+        for record in response["results"]:
+            out.write(json.dumps(record, sort_keys=True) + "\n")
+    finally:
+        if args.output:
+            out.close()
+    failed = response["failed"]
+    report = sys.stderr if not args.output else sys.stdout
+    print(
+        f"-- served {len(response['results'])} requests, {failed} errors "
+        f"(machine {response['machine']})",
+        file=report,
+    )
+    return 1 if (failed and args.strict) else 0
+
+
+def _client_tune(client, args: argparse.Namespace) -> int:
+    phash = _client_source(client, args.source)
+    submitted = client.tune(
+        phash,
+        args.transform,
+        machine=args.machine,
+        min_size=args.min_size,
+        max_size=args.max_size,
+        population=args.population,
+        jobs=args.jobs,
+        bucket=args.bucket,
+    )
+    print(f"tune job {submitted['job']} queued")
+    if not args.wait:
+        return 0
+    job = client.wait_job(submitted["job"], timeout=args.timeout)
+    if job["state"] == "failed":
+        print(f"tune job failed:\n{job.get('error', '')}", file=sys.stderr)
+        return 1
+    result = job["result"]
+    print(
+        f"tune job done: version {result['version']} "
+        f"(digest {result['digest']}, best simulated time "
+        f"{result['best_time']:.1f}) registered for "
+        f"({result['program'][:12]}, {result['machine']}, "
+        f"{result['bucket']})"
+    )
+    return 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -580,6 +807,123 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 when any request errored",
     )
     p_batch.set_defaults(func=cmd_batch)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="start the compile-and-serve daemon (HTTP/JSON, see "
+             "repro client)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=7209,
+        help="listening port (0 = ephemeral; default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--store", metavar="DIR",
+        help="artifact store directory (programs + tuned configs survive "
+             "restarts; omit for in-memory only)",
+    )
+    p_serve.add_argument(
+        "--machine", choices=sorted(MACHINES), default="xeon8",
+        help="default machine profile for registry keys and tuning",
+    )
+    p_serve.add_argument(
+        "--tune-workers", type=int, default=1, metavar="N",
+        help="background tuning worker threads (default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--preload", action="append", metavar="FILE",
+        help="compile a program at startup (repeatable)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_client = sub.add_parser(
+        "client", help="thin client for a running repro serve daemon"
+    )
+    p_client.add_argument("--host", default="127.0.0.1")
+    p_client.add_argument("--port", type=int, default=7209)
+    p_client.add_argument(
+        "--timeout", type=float, default=120.0, metavar="SECONDS",
+        help="per-request (and --wait) timeout (default: %(default)s)",
+    )
+    client_sub = p_client.add_subparsers(dest="client_command", required=True)
+
+    client_sub.add_parser("health", help="daemon liveness + registry sizes")
+    client_sub.add_parser("stats", help="counters, histograms, registry")
+    client_sub.add_parser("shutdown", help="stop the daemon cleanly")
+
+    c_compile = client_sub.add_parser(
+        "compile", help="register a program (compile-once)"
+    )
+    c_compile.add_argument("source")
+
+    c_check = client_sub.add_parser(
+        "check", help="static-verifier diagnostics for a registered program"
+    )
+    c_check.add_argument("source")
+
+    c_run = client_sub.add_parser(
+        "run", help="run a transform on the daemon (registry config)"
+    )
+    c_run.add_argument("source")
+    c_run.add_argument("-t", "--transform", required=True)
+    c_run.add_argument(
+        "--input", action="append", help=".npy/.txt file per input matrix"
+    )
+    c_run.add_argument("--random-input", type=int, metavar="N")
+    c_run.add_argument(
+        "--size", action="append", metavar="VAR=VALUE",
+        help="bind a free size variable",
+    )
+    c_run.add_argument(
+        "--config", help="inline config JSON file (overrides the registry)"
+    )
+    c_run.add_argument(
+        "--machine", help="machine profile for the registry lookup"
+    )
+    c_run.add_argument("--output", help="save outputs as .npy")
+    c_run.add_argument("--seed", type=int, default=0)
+
+    c_batch = client_sub.add_parser(
+        "batch", help="serve a JSONL request stream through the daemon"
+    )
+    c_batch.add_argument("source")
+    c_batch.add_argument(
+        "requests", help="JSONL request file ('-' for stdin)"
+    )
+    c_batch.add_argument(
+        "--config", help="default config JSON file for the whole stream"
+    )
+    c_batch.add_argument("--machine")
+    c_batch.add_argument("-o", "--output", help="JSONL results file")
+    c_batch.add_argument(
+        "--strict", action="store_true",
+        help="fail the whole request on an unparseable line / any error",
+    )
+
+    c_tune = client_sub.add_parser(
+        "tune", help="enqueue a background tuning job on the daemon"
+    )
+    c_tune.add_argument("source")
+    c_tune.add_argument("-t", "--transform", required=True)
+    c_tune.add_argument("--machine")
+    c_tune.add_argument("--min-size", type=int, default=16)
+    c_tune.add_argument("--max-size", type=int, default=64)
+    c_tune.add_argument("--population", type=int, default=6)
+    c_tune.add_argument(
+        "--jobs", type=int, default=1,
+        help="measurement worker processes inside the tune job",
+    )
+    c_tune.add_argument(
+        "--bucket", default="any",
+        help="registry size bucket to publish under (default: %(default)s)",
+    )
+    c_tune.add_argument(
+        "--wait", action="store_true",
+        help="block until the job finishes and print the published version",
+    )
+
+    p_client.set_defaults(func=cmd_client)
 
     p_report = sub.add_parser("report", help="pretty-print a configuration")
     p_report.add_argument("config")

@@ -18,12 +18,13 @@ from repro.observe.stress import (
     check_invariants,
     random_task_graph,
 )
-from repro.observe.trace import Histogram, TraceSink, load_jsonl
+from repro.observe.trace import Histogram, ThreadSafeSink, TraceSink, load_jsonl
 
 __all__ = [
     "SHAPES",
     "Histogram",
     "InvariantReport",
+    "ThreadSafeSink",
     "TraceSink",
     "augmented_span",
     "check_invariants",

@@ -32,11 +32,18 @@ interesting transition is captured three ways:
   ``exec.geom_cache_hits`` / ``exec.geom_cache_misses`` when a sink is
   passed to ``CompiledTransform.run``; the batch execution engine adds
   ``batch.requests``, ``batch.buckets``, ``batch.stacked_steps``,
-  ``batch.stacked_requests``, and ``batch.fallbacks``).
+  ``batch.stacked_requests``, and ``batch.fallbacks``; the serve
+  daemon adds ``serve.requests``, ``serve.compiles`` /
+  ``serve.program_hits`` (cold-start vs warm program accounting),
+  ``serve.config_hits`` / ``serve.config_misses`` (registry lookups),
+  ``serve.version_bumps``, ``serve.runs``, ``serve.batches``,
+  ``serve.batch_requests``, and ``serve.tune_jobs``).
 * **histograms** — power-of-two bucketed distributions
   (``scheduler.deque_depth``, ``scheduler.task_duration``,
   ``tuner.pool.batch_size``, ``tuner.pool.batch_latency_ms``,
-  ``batch.requests_per_sec``).
+  ``batch.requests_per_sec``; the serve daemon adds per-endpoint
+  request-latency histograms ``serve.request_ms``, ``serve.run_ms``,
+  ``serve.batch_ms``, and ``serve.compile_ms``).
 
 The per-batch latency histogram is the one deliberately wall-clock
 (hence nondeterministic) metric; it never enters the event stream, so
@@ -174,6 +181,34 @@ class TraceSink:
                 handle.write(line + "\n")
                 lines += 1
         return lines
+
+
+class ThreadSafeSink(TraceSink):
+    """A :class:`TraceSink` whose recording methods are guarded by one
+    lock, for producers that emit from several threads at once (the
+    serve daemon's request handlers and job workers).  Single-threaded
+    producers should keep using :class:`TraceSink` — the bare dict
+    updates there are cheaper and deterministic ordering is theirs to
+    guarantee anyway.
+    """
+
+    def __init__(self, capture_events: bool = False) -> None:
+        super().__init__(capture_events=capture_events)
+        import threading
+
+        self._lock = threading.Lock()
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        with self._lock:
+            super().emit(kind, **fields)
+
+    def count(self, name: str, delta: int = 1) -> None:
+        with self._lock:
+            super().count(name, delta)
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            super().observe(name, value)
 
 
 def load_jsonl(path: str) -> List[Dict[str, Any]]:

@@ -1,0 +1,57 @@
+"""Tuning-as-a-service (``repro serve``): the compile-and-serve daemon.
+
+The paper's model is compile-once, tune-per-machine, run-many; this
+package makes that resident.  A long-lived daemon compiles each program
+once, keeps hot :class:`~repro.compiler.codegen.CompiledTransform`\\ s
+and tuned :class:`~repro.compiler.config.ChoiceConfig`\\ s in a
+versioned in-memory registry keyed by ``(program blake2b hash, machine
+profile, input-size bucket)``, and answers run / batch / tune / check
+requests over an HTTP/JSON API (stdlib only), with an on-disk artifact
+store behind it for restart recovery.
+
+* :mod:`repro.serve.registry` — the versioned registry (O(1) lock-free
+  hot-path lookup, atomic version bumps).
+* :mod:`repro.serve.store` — the durable artifact store (atomic writes,
+  corrupt-artifact-tolerant recovery).
+* :mod:`repro.serve.app` — endpoint logic, transport-independent.
+* :mod:`repro.serve.jobs` — background workers for tuning requests.
+* :mod:`repro.serve.daemon` — the stdlib HTTP front end.
+* :mod:`repro.serve.client` — the thin client behind ``repro client``.
+* :mod:`repro.serve.records` — the canonical result records shared with
+  ``repro batch`` (bit-parity between served and direct execution).
+"""
+
+from repro.serve.app import ServeApp, ServeError
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.daemon import DEFAULT_PORT, ServeDaemon
+from repro.serve.jobs import Job, JobQueue
+from repro.serve.records import malformed_record, result_record
+from repro.serve.registry import (
+    ANY_BUCKET,
+    ConfigEntry,
+    ServeRegistry,
+    bucket_for,
+    program_digest,
+    size_bucket,
+)
+from repro.serve.store import ArtifactStore
+
+__all__ = [
+    "ANY_BUCKET",
+    "ArtifactStore",
+    "ConfigEntry",
+    "DEFAULT_PORT",
+    "Job",
+    "JobQueue",
+    "ServeApp",
+    "ServeClient",
+    "ServeClientError",
+    "ServeDaemon",
+    "ServeError",
+    "ServeRegistry",
+    "bucket_for",
+    "malformed_record",
+    "program_digest",
+    "result_record",
+    "size_bucket",
+]

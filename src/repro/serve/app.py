@@ -1,0 +1,486 @@
+"""Transport-independent serve-daemon logic.
+
+:class:`ServeApp` implements every endpoint as a plain
+``payload dict → response dict`` method, so the HTTP layer
+(:mod:`repro.serve.daemon`) is pure marshaling and the test suite can
+drive the daemon — including its concurrency — without sockets.
+
+The contract (see README "Serving" for the client view):
+
+===========  ======  ====================================================
+endpoint     method  semantics
+===========  ======  ====================================================
+/health      GET     liveness + registry sizes
+/compile     POST    ``{source}`` → compile-once registration
+/run         POST    ``{program, transform, inputs, sizes?, machine?,
+                     config?}`` → outputs (registry config on the hot
+                     path; inline ``config`` overrides)
+/batch       POST    ``{program, lines, strict?, config?}`` → the exact
+                     records ``repro batch`` would emit for those lines
+/tune        POST    enqueue a background tuning job → ``{job}``
+/jobs/<id>   GET     job state; ``done`` carries the published version
+/check       POST    ``{program}`` → static-verifier diagnostics
+/stats       GET     counters, histograms, registry + job snapshots
+/shutdown    POST    clean stop (drain jobs, flush artifacts)
+===========  ======  ====================================================
+
+Hot path (``/run`` and ``/batch`` with a registered config): program
+lookup and config lookup are dict reads of immutable entries, execution
+reuses the resident :class:`CompiledTransform` and the per-program
+:class:`BatchEngine` — **zero program parsing and zero config
+serialization per request** (the config digest was computed once at
+publish).  Cold paths (first compile, inline configs, tuning) pay their
+costs once and register the result.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.analysis.check import check_source
+from repro.autotuner import GeneticTuner
+from repro.autotuner.parallel import EvaluatorSpec, ParallelEvaluator
+from repro.compiler import ChoiceConfig
+from repro.observe import ThreadSafeSink
+from repro.runtime import MACHINES
+
+from repro.serve.jobs import Job, JobQueue
+from repro.serve.records import malformed_record, result_record
+from repro.serve.registry import (
+    ANY_BUCKET,
+    ConfigEntry,
+    ProgramEntry,
+    ServeRegistry,
+    bucket_for,
+)
+from repro.serve.store import ArtifactStore
+
+
+class ServeError(Exception):
+    """An error with an HTTP status; the daemon maps it to a JSON body."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class ServeApp:
+    """The daemon's brain: registry + artifact store + job queue."""
+
+    def __init__(
+        self,
+        store_dir: Optional[str] = None,
+        sink=None,
+        machine: str = "xeon8",
+        tune_workers: int = 1,
+    ) -> None:
+        if machine not in MACHINES:
+            raise ValueError(f"unknown machine profile {machine!r}")
+        self.sink = sink if sink is not None else ThreadSafeSink()
+        self.machine = machine
+        self.registry = ServeRegistry(sink=self.sink)
+        self.store = ArtifactStore(store_dir) if store_dir else None
+        self.jobs = JobQueue(self._run_job, workers=tune_workers)
+        self.recovered = (
+            self.store.recover_into(self.registry)
+            if self.store is not None
+            else {"programs": 0, "configs": 0, "skipped": 0}
+        )
+        self._closed = threading.Event()
+
+    # -- endpoints ----------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return {
+            "ok": True,
+            "programs": len(self.registry.programs()),
+            "entries": len(self.registry.entries()),
+            "machine": self.machine,
+            "recovered": self.recovered,
+        }
+
+    def compile(self, payload: Mapping[str, Any]) -> Dict[str, Any]:
+        source = payload.get("source")
+        if not isinstance(source, str) or not source.strip():
+            raise ServeError(400, "compile needs a non-empty 'source'")
+        started = time.perf_counter()
+        try:
+            entry, cached = self.registry.register_program(source)
+        except Exception as exc:
+            raise ServeError(400, f"compile failed: {exc}")
+        if self.store is not None and not cached:
+            self.store.save_program(
+                entry.phash, source, {"transforms": entry.transforms()}
+            )
+        self._observe("serve.compile_ms", started)
+        self.sink.count("serve.requests")
+        return {
+            "program": entry.phash,
+            "transforms": entry.transforms(),
+            "cached": cached,
+        }
+
+    def run(self, payload: Mapping[str, Any]) -> Dict[str, Any]:
+        started = time.perf_counter()
+        entry = self._program(payload)
+        transform = self._transform(entry, payload)
+        machine = self._machine(payload)
+        inputs = self._inputs(payload.get("inputs"))
+        sizes = payload.get("sizes") or None
+        arrays = (
+            list(inputs.values()) if isinstance(inputs, dict) else inputs
+        ) or []
+        bucket = bucket_for([a.shape for a in arrays], sizes)
+
+        config, version, hit = self._resolve_config(
+            payload, entry.phash, machine, bucket
+        )
+        try:
+            result = transform.run(inputs, config, sizes=sizes)
+        except Exception as exc:
+            raise ServeError(400, f"{type(exc).__name__}: {exc}")
+        self._observe("serve.run_ms", started)
+        self.sink.count("serve.requests")
+        self.sink.count("serve.runs")
+        return {
+            "outputs": {
+                name: matrix.data.tolist()
+                for name, matrix in result.outputs.items()
+            },
+            "meta": {
+                "bucket": bucket,
+                "machine": machine,
+                "version": version,
+                "registry_hit": hit,
+                "rule_applications": result.rule_applications,
+                "tasks": len(result.graph),
+                "sizes": result.sizes,
+            },
+        }
+
+    def batch(self, payload: Mapping[str, Any]) -> Dict[str, Any]:
+        started = time.perf_counter()
+        entry = self._program(payload)
+        machine = self._machine(payload)
+        strict = bool(payload.get("strict"))
+        lines = payload.get("lines")
+        if not isinstance(lines, list):
+            raise ServeError(400, "batch needs 'lines': a list of JSONL strings")
+        default_config: Optional[ChoiceConfig] = None
+        if payload.get("config") is not None:
+            default_config = self._parse_config(payload["config"])
+
+        # Parse outside the engine lock; only submit/gather hold it.
+        entries: List[Tuple] = []  # ("submit", t, inputs, cfg, sizes, digest)
+        for lineno, line in enumerate(lines, start=1):
+            line = line.strip() if isinstance(line, str) else json.dumps(line)
+            if not line or line.startswith("#"):
+                continue
+            try:
+                request = json.loads(line)
+                transform = entry.program.transform(request["transform"])
+            except Exception as exc:
+                if strict:
+                    raise ServeError(400, f"request line {lineno}: {exc}")
+                entries.append(
+                    (
+                        "malformed",
+                        lineno,
+                        f"{type(exc).__name__}: {exc}",
+                    )
+                )
+                continue
+            digest = None
+            if request.get("config") is not None:
+                config: Optional[ChoiceConfig] = self._parse_config(
+                    request["config"]
+                )
+            elif default_config is not None:
+                config = default_config
+            else:
+                registered = self.registry.lookup(
+                    entry.phash,
+                    machine,
+                    self._request_bucket(transform, request),
+                )
+                config = registered.config if registered else None
+                if registered is not None:
+                    # Registry configs are immutable: reuse the digest
+                    # computed at publish (zero serialization).
+                    digest = registered.digest
+            entries.append(
+                (
+                    "submit",
+                    transform,
+                    request.get("inputs"),
+                    config,
+                    request.get("sizes"),
+                    digest,
+                )
+            )
+
+        with entry.engine_lock:
+            submitted: List[int] = []  # engine ids, in submission order
+            for item in entries:
+                if item[0] != "submit":
+                    continue
+                _, transform, inputs, config, sizes, digest = item
+                submitted.append(
+                    entry.engine.submit(
+                        transform, inputs, config, sizes, digest=digest
+                    )
+                )
+            results = {
+                result.request_id: result
+                for result in entry.engine.gather()
+            }
+
+        # Records in line order; submitted requests are renumbered from
+        # 0 so a long-lived engine emits the ids a fresh CLI run would.
+        records: List[Dict[str, Any]] = []
+        position = 0
+        for item in entries:
+            if item[0] == "malformed":
+                records.append(malformed_record(item[1], item[2]))
+            else:
+                records.append(
+                    result_record(results[submitted[position]], position)
+                )
+                position += 1
+
+        failed = sum(1 for record in records if not record["ok"])
+        self._observe("serve.batch_ms", started)
+        self.sink.count("serve.requests")
+        self.sink.count("serve.batches")
+        self.sink.count("serve.batch_requests", len(records))
+        return {
+            "results": records,
+            "failed": failed,
+            "machine": machine,
+        }
+
+    def tune(self, payload: Mapping[str, Any]) -> Dict[str, Any]:
+        entry = self._program(payload)
+        transform = self._transform(entry, payload)
+        machine = self._machine(payload)
+        job_payload = {
+            "program": entry.phash,
+            "transform": transform.name,
+            "machine": machine,
+            "bucket": str(payload.get("bucket") or ANY_BUCKET),
+            "min_size": int(payload.get("min_size", 16)),
+            "max_size": int(payload.get("max_size", 64)),
+            "population": int(payload.get("population", 6)),
+            "jobs": int(payload.get("jobs", 1)),
+        }
+        job_id = self.jobs.submit("tune", job_payload)
+        self.sink.count("serve.requests")
+        self.sink.count("serve.tune_jobs")
+        return {"job": job_id, "state": "queued"}
+
+    def program_info(self, phash: str) -> Dict[str, Any]:
+        """``GET /programs/<hash>``: the client's ensure-program probe."""
+        entry = self._program({"program": phash})
+        return {"program": entry.phash, "transforms": entry.transforms()}
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        try:
+            return self.jobs.get(job_id)
+        except KeyError as exc:
+            raise ServeError(404, str(exc))
+
+    def check(self, payload: Mapping[str, Any]) -> Dict[str, Any]:
+        entry = self._program(payload)
+        report = check_source(entry.source, path=entry.phash)
+        self.sink.count("serve.requests")
+        return {
+            "clean": report.clean,
+            "summary": report.summary_line(),
+            "diagnostics": [d.to_dict() for d in report.sorted()],
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "counters": dict(sorted(self.sink.counters.items())),
+            "histograms": {
+                name: hist.summary()
+                for name, hist in sorted(self.sink.histograms.items())
+            },
+            "programs": self.registry.programs(),
+            "entries": self.registry.entries(),
+            "jobs": self.jobs.jobs(),
+        }
+
+    def close(self) -> None:
+        """Drain job workers; artifacts are already durable (atomic
+        per-publish writes), so close is idempotent and fast."""
+        if not self._closed.is_set():
+            self._closed.set()
+            self.jobs.close()
+
+    # -- tuning worker ------------------------------------------------------
+
+    def _run_job(self, job: Job) -> Dict[str, Any]:
+        if job.kind != "tune":
+            raise ValueError(f"unknown job kind {job.kind!r}")
+        payload = job.payload
+        entry = self.registry.program(payload["program"])
+        spec = EvaluatorSpec.make(
+            "repro.autotuner.parallel:evaluator_from_source",
+            entry.source,
+            payload["transform"],
+            payload["machine"],
+            max_size=payload["max_size"],
+        )
+        evaluator = ParallelEvaluator.from_spec(spec, jobs=payload["jobs"])
+        try:
+            result = GeneticTuner(
+                evaluator,
+                min_size=payload["min_size"],
+                max_size=payload["max_size"],
+                population_size=payload["population"],
+                refine_passes=0,
+            ).tune()
+        finally:
+            evaluator.close()
+        published = self.publish_config(
+            payload["program"],
+            payload["machine"],
+            payload["bucket"],
+            result.config,
+            origin="tune",
+            meta={
+                "transform": payload["transform"],
+                "best_time": result.best_time,
+            },
+        )
+        return {
+            "program": payload["program"],
+            "transform": payload["transform"],
+            "machine": payload["machine"],
+            "bucket": payload["bucket"],
+            "version": published.version,
+            "digest": published.digest,
+            "best_time": result.best_time,
+        }
+
+    def publish_config(
+        self,
+        phash: str,
+        machine: str,
+        bucket: str,
+        config: ChoiceConfig,
+        origin: str = "publish",
+        meta: Optional[Mapping[str, Any]] = None,
+    ) -> ConfigEntry:
+        """Version-bump the registry and persist the artifact — the one
+        write path shared by tune jobs, recovery reseeding, and tests."""
+        published = self.registry.publish(
+            phash, machine, bucket, config, origin=origin, meta=meta
+        )
+        if self.store is not None:
+            self.store.save_config(
+                phash,
+                machine,
+                bucket,
+                config,
+                meta={
+                    "version": published.version,
+                    "digest": published.digest,
+                    "origin": origin,
+                    **dict(meta or {}),
+                },
+            )
+        return published
+
+    # -- shared request plumbing --------------------------------------------
+
+    def _program(self, payload: Mapping[str, Any]) -> ProgramEntry:
+        phash = payload.get("program")
+        if not isinstance(phash, str):
+            raise ServeError(400, "missing 'program' hash")
+        try:
+            return self.registry.program(phash)
+        except KeyError as exc:
+            raise ServeError(404, str(exc))
+
+    def _transform(self, entry: ProgramEntry, payload: Mapping[str, Any]):
+        name = payload.get("transform")
+        if not isinstance(name, str):
+            raise ServeError(400, "missing 'transform' name")
+        try:
+            return entry.program.transform(name)
+        except Exception as exc:
+            raise ServeError(404, str(exc))
+
+    def _machine(self, payload: Mapping[str, Any]) -> str:
+        machine = payload.get("machine") or self.machine
+        if machine not in MACHINES:
+            raise ServeError(400, f"unknown machine profile {machine!r}")
+        return machine
+
+    @staticmethod
+    def _inputs(
+        raw: Union[Mapping[str, Any], Sequence[Any], None]
+    ) -> Union[Dict[str, np.ndarray], List[np.ndarray], None]:
+        """JSON input payloads as float64 arrays (converted once; the
+        engine's asarray on an ndarray is then a no-op)."""
+        if raw is None:
+            return None
+        try:
+            if isinstance(raw, Mapping):
+                return {
+                    name: np.asarray(value, dtype=np.float64)
+                    for name, value in raw.items()
+                }
+            if isinstance(raw, (list, tuple)):
+                return [
+                    np.asarray(value, dtype=np.float64) for value in raw
+                ]
+        except Exception as exc:
+            raise ServeError(400, f"bad input arrays: {exc}")
+        raise ServeError(400, "inputs must be an object, a list, or null")
+
+    def _parse_config(self, raw: Any) -> ChoiceConfig:
+        try:
+            return ChoiceConfig.from_json(json.dumps(raw))
+        except Exception as exc:
+            raise ServeError(400, f"bad config: {exc}")
+
+    def _resolve_config(
+        self, payload: Mapping[str, Any], phash: str, machine: str, bucket: str
+    ) -> Tuple[Optional[ChoiceConfig], Optional[int], bool]:
+        """(config, registry version, registry hit) for one request —
+        an inline config wins and is never registered."""
+        if payload.get("config") is not None:
+            return self._parse_config(payload["config"]), None, False
+        entry = self.registry.lookup(phash, machine, bucket)
+        if entry is None:
+            return None, None, False
+        return entry.config, entry.version, True
+
+    def _request_bucket(self, transform, request: Mapping[str, Any]) -> str:
+        raw = request.get("inputs")
+        values = (
+            list(raw.values())
+            if isinstance(raw, Mapping)
+            else (raw if isinstance(raw, (list, tuple)) else [])
+        )
+        shapes = []
+        for value in values:
+            try:
+                shapes.append(np.asarray(value, dtype=np.float64).shape)
+            except Exception:
+                shapes.append(())
+        return bucket_for(shapes, request.get("sizes"))
+
+    def _observe(self, name: str, started: float) -> None:
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        self.sink.observe(name, elapsed_ms)
+        self.sink.observe("serve.request_ms", elapsed_ms)

@@ -1,0 +1,162 @@
+"""Thin client for the serve daemon — stdlib ``http.client`` only.
+
+:class:`ServeClient` is the programmatic API; the ``repro client`` CLI
+subcommand (:mod:`repro.cli`) wraps it.  The client is deliberately
+dumb: it hashes program source locally (the same blake2b the daemon
+uses) so the warm path is a single ``/run`` or ``/batch`` round trip,
+and transparently registers the source on an unknown-program 404 — the
+compile-once handshake costs one extra request, once.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.serve.daemon import DEFAULT_PORT
+from repro.serve.registry import program_digest
+
+
+class ServeClientError(Exception):
+    """A non-2xx daemon response (carries the HTTP status)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"[{status}] {message}")
+        self.status = status
+        self.message = message
+
+
+class ServeClient:
+    """One daemon address; connections are per-request (keep-alive adds
+    statefulness the thin client doesn't need)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        timeout: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport ----------------------------------------------------------
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Mapping[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            data = json.loads(response.read() or b"{}")
+            if response.status >= 300:
+                raise ServeClientError(
+                    response.status, data.get("error", "unknown error")
+                )
+            return data
+        finally:
+            connection.close()
+
+    # -- endpoints ----------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self.request("GET", "/health")
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request("GET", "/stats")
+
+    def compile(self, source: str) -> Dict[str, Any]:
+        return self.request("POST", "/compile", {"source": source})
+
+    def ensure_program(self, source: str) -> str:
+        """The compile-once handshake: return the program hash, sending
+        the source over the wire only if the daemon doesn't know it."""
+        phash = program_digest(source)
+        try:
+            self.request("GET", f"/programs/{phash}")
+            return phash
+        except ServeClientError as exc:
+            if exc.status != 404:
+                raise
+        return self.compile(source)["program"]
+
+    def run(
+        self,
+        program: str,
+        transform: str,
+        inputs: Union[Mapping[str, Any], Sequence[Any], None],
+        sizes: Optional[Mapping[str, int]] = None,
+        machine: Optional[str] = None,
+        config: Optional[Mapping[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "program": program,
+            "transform": transform,
+            "inputs": inputs,
+        }
+        if sizes:
+            payload["sizes"] = dict(sizes)
+        if machine:
+            payload["machine"] = machine
+        if config is not None:
+            payload["config"] = dict(config)
+        return self.request("POST", "/run", payload)
+
+    def batch(
+        self,
+        program: str,
+        lines: Sequence[str],
+        strict: bool = False,
+        machine: Optional[str] = None,
+        config: Optional[Mapping[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "program": program,
+            "lines": list(lines),
+            "strict": strict,
+        }
+        if machine:
+            payload["machine"] = machine
+        if config is not None:
+            payload["config"] = dict(config)
+        return self.request("POST", "/batch", payload)
+
+    def tune(self, program: str, transform: str, **options: Any) -> Dict[str, Any]:
+        payload = {"program": program, "transform": transform, **options}
+        return self.request("POST", "/tune", payload)
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self.request("GET", f"/jobs/{job_id}")
+
+    def wait_job(self, job_id: str, timeout: float = 300.0) -> Dict[str, Any]:
+        import time
+
+        deadline = time.monotonic() + timeout
+        while True:
+            snapshot = self.job(job_id)
+            if snapshot["state"] in ("done", "failed"):
+                return snapshot
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {snapshot['state']} "
+                    f"after {timeout:.0f}s"
+                )
+            time.sleep(0.1)
+
+    def check(self, program: str) -> Dict[str, Any]:
+        return self.request("POST", "/check", {"program": program})
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.request("POST", "/shutdown")

@@ -1,0 +1,152 @@
+"""HTTP/JSON front end for :class:`~repro.serve.app.ServeApp`.
+
+Pure marshaling over the stdlib: a :class:`ThreadingHTTPServer` (one
+thread per connection, no new dependencies) that parses JSON bodies,
+dispatches to the app method for the route, and serializes the response.
+All domain errors arrive as :class:`~repro.serve.app.ServeError` and map
+to ``{"error": message}`` bodies at the error's status; anything else is
+a 500 with the exception text.
+
+``POST /shutdown`` answers first, then stops the server from a helper
+thread (``shutdown()`` deadlocks when called from a handler thread), so
+clients always get the acknowledgement.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.serve.app import ServeApp, ServeError
+
+#: Default daemon port (spells "PB" on a phone keypad, near enough).
+DEFAULT_PORT = 7209
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve"
+    app: ServeApp  # injected by ServeDaemon via the handler subclass
+
+    # -- routing ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        try:
+            if self.path == "/health":
+                self._reply(200, self.app.health())
+            elif self.path == "/stats":
+                self._reply(200, self.app.stats())
+            elif self.path.startswith("/jobs/"):
+                self._reply(200, self.app.job(self.path[len("/jobs/"):]))
+            elif self.path.startswith("/programs/"):
+                self._reply(
+                    200,
+                    self.app.program_info(self.path[len("/programs/"):]),
+                )
+            else:
+                self._reply(404, {"error": f"no route {self.path!r}"})
+        except ServeError as exc:
+            self._reply(exc.status, {"error": exc.message})
+        except Exception as exc:  # never kill the connection thread
+            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        try:
+            payload = self._payload()
+            if self.path == "/compile":
+                self._reply(200, self.app.compile(payload))
+            elif self.path == "/run":
+                self._reply(200, self.app.run(payload))
+            elif self.path == "/batch":
+                self._reply(200, self.app.batch(payload))
+            elif self.path == "/tune":
+                self._reply(200, self.app.tune(payload))
+            elif self.path == "/check":
+                self._reply(200, self.app.check(payload))
+            elif self.path == "/shutdown":
+                self._reply(200, {"ok": True, "state": "stopping"})
+                threading.Thread(
+                    target=self.server.shutdown, daemon=True
+                ).start()
+            else:
+                self._reply(404, {"error": f"no route {self.path!r}"})
+        except ServeError as exc:
+            self._reply(exc.status, {"error": exc.message})
+        except Exception as exc:
+            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _payload(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length == 0:
+            return {}
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw)
+        except ValueError as exc:
+            raise ServeError(400, f"bad JSON body: {exc}")
+        if not isinstance(payload, dict):
+            raise ServeError(400, "JSON body must be an object")
+        return payload
+
+    def _reply(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt: str, *args: Any) -> None:
+        """Per-request access logging is the sink's job (counters and
+        latency histograms); keep stderr quiet."""
+
+
+class ServeDaemon:
+    """One app bound to one listening socket.
+
+    ``port=0`` binds an ephemeral port (tests and the latency benchmark
+    use this); read it back from :attr:`port`.
+    """
+
+    def __init__(
+        self, app: ServeApp, host: str = "127.0.0.1", port: int = DEFAULT_PORT
+    ) -> None:
+        self.app = app
+        handler = type("_BoundHandler", (_Handler,), {"app": app})
+        self.server = ThreadingHTTPServer((host, port), handler)
+        self.server.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.server.server_address[:2]
+
+    @property
+    def port(self) -> int:
+        return self.server.server_address[1]
+
+    def serve_forever(self) -> None:
+        """Block until ``/shutdown`` (or ``stop()``); then drain jobs."""
+        try:
+            self.server.serve_forever(poll_interval=0.1)
+        finally:
+            self.server.server_close()
+            self.app.close()
+
+    def start_background(self) -> "ServeDaemon":
+        """Run the accept loop on a daemon thread (tests, benchmarks)."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self.server.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

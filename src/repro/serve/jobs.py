@@ -1,0 +1,137 @@
+"""Background job queue for the serve daemon's tuning requests.
+
+``POST /tune`` must not block the request handler for the minutes a
+genetic-tuning run takes, so tune requests enqueue here and run on
+daemon worker threads (each of which may itself fan measurements over
+the fault-tolerant :class:`~repro.autotuner.parallel.ParallelEvaluator`
+process pool).  Jobs move ``queued → running → done | failed``; the
+runner's return value becomes ``job.result``, its exception becomes
+``job.error``.  State transitions happen under one lock and
+:meth:`JobQueue.get` returns plain snapshots, so handlers polling
+``GET /jobs/<id>`` never see a torn job.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+
+@dataclass
+class Job:
+    """One queued unit of background work."""
+
+    job_id: str
+    kind: str
+    payload: Dict[str, Any]
+    state: str = "queued"  # queued | running | done | failed
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+
+    def snapshot(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "job": self.job_id,
+            "kind": self.kind,
+            "state": self.state,
+        }
+        if self.result is not None:
+            record["result"] = self.result
+        if self.error is not None:
+            record["error"] = self.error
+        return record
+
+
+class JobQueue:
+    """FIFO background workers over a runner callback.
+
+    ``runner(job)`` executes one job and returns its result dict.  A
+    raising runner marks the job ``failed`` with the exception text —
+    one bad tune request never kills a worker thread.
+    """
+
+    def __init__(
+        self, runner: Callable[[Job], Dict[str, Any]], workers: int = 1
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._runner = runner
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
+        self._next = 0
+        self._threads: List[threading.Thread] = []
+        for index in range(workers):
+            thread = threading.Thread(
+                target=self._worker, name=f"serve-job-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def submit(self, kind: str, payload: Dict[str, Any]) -> str:
+        with self._lock:
+            self._next += 1
+            job_id = f"j{self._next}"
+            self._jobs[job_id] = Job(job_id, kind, dict(payload))
+        self._queue.put(job_id)
+        return job_id
+
+    def get(self, job_id: str) -> Dict[str, Any]:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise KeyError(f"unknown job {job_id!r}")
+            return job.snapshot()
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [
+                self._jobs[job_id].snapshot()
+                for job_id in sorted(
+                    self._jobs, key=lambda j: int(j[1:])
+                )
+            ]
+
+    def wait(self, job_id: str, timeout: float = 60.0) -> Dict[str, Any]:
+        """Poll until the job leaves the queue/running states (testing
+        and client convenience; the HTTP API itself never blocks)."""
+        import time
+
+        deadline = time.monotonic() + timeout
+        while True:
+            snapshot = self.get(job_id)
+            if snapshot["state"] in ("done", "failed"):
+                return snapshot
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"job {job_id} still {snapshot['state']}")
+            time.sleep(0.02)
+
+    def close(self) -> None:
+        """Stop accepting work and let workers drain their sentinel."""
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+
+    # -- worker loop --------------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            job_id = self._queue.get()
+            if job_id is None:
+                return
+            with self._lock:
+                job = self._jobs[job_id]
+                job.state = "running"
+            try:
+                result = self._runner(job)
+            except Exception:
+                with self._lock:
+                    job.state = "failed"
+                    job.error = traceback.format_exc(limit=8)
+            else:
+                with self._lock:
+                    job.state = "done"
+                    job.result = result

@@ -1,0 +1,49 @@
+"""Canonical JSON result records shared by ``repro batch`` and the
+serve daemon.
+
+Both the direct CLI and the daemon's ``/batch`` endpoint must emit the
+*same bytes* for the same requests — the bit-parity acceptance check of
+the serve layer — so the record shape lives here and is built in exactly
+one place.  Records serialize with ``json.dumps(record, sort_keys=True)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.batch.request import BatchResult
+
+
+def result_record(
+    result: BatchResult, record_id: Optional[int] = None
+) -> Dict[str, Any]:
+    """One JSONL-able record for a batch result.
+
+    ``record_id`` overrides the engine-assigned request id — the daemon
+    passes the position within the incoming request list so a long-lived
+    engine (whose internal ids keep growing across calls) still emits
+    the ids a fresh ``repro batch`` process would.
+    """
+    record_id = result.request_id if record_id is None else record_id
+    if result.ok:
+        assert result.outputs is not None
+        return {
+            "id": record_id,
+            "ok": True,
+            "stacked": result.stacked,
+            "outputs": {
+                name: matrix.data.tolist()
+                for name, matrix in result.outputs.items()
+            },
+        }
+    return {
+        "id": record_id,
+        "ok": False,
+        "error": f"{type(result.error).__name__}: {result.error}",
+    }
+
+
+def malformed_record(lineno: int, message: str) -> Dict[str, Any]:
+    """The record a malformed (unparseable / unknown-transform) request
+    line degrades to when ``--strict`` is off."""
+    return {"id": None, "line": lineno, "ok": False, "error": message}

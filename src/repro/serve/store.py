@@ -1,0 +1,172 @@
+"""On-disk artifact store behind the serve registry.
+
+Layout (everything human-readable JSON / DSL text)::
+
+    <root>/
+      programs/<hash>.pbcc            # program source, verbatim
+      programs/<hash>.meta.json       # transforms, registration info
+      configs/<hash>/<machine>/<bucket>.json       # ChoiceConfig JSON
+      configs/<hash>/<machine>/<bucket>.meta.json  # version, digest, origin
+
+Writes are atomic (temp file + ``os.replace``) so a killed daemon never
+leaves a half-written artifact; a truncated/corrupt artifact is skipped
+(and counted) during recovery instead of poisoning startup.  Recovery
+(:meth:`ArtifactStore.recover_into`) replays programs first, then config
+entries at their **persisted** versions — a restarted daemon resumes the
+version sequence instead of resetting it, so clients comparing versions
+across a restart never see them move backwards.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.compiler import ChoiceConfig
+
+from repro.serve.registry import ServeRegistry
+
+
+def _atomic_write(path: str, text: str) -> None:
+    directory = os.path.dirname(path)
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+class ArtifactStore:
+    """Durable programs + configs under one root directory."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(self.programs_dir, exist_ok=True)
+        os.makedirs(self.configs_dir, exist_ok=True)
+
+    @property
+    def programs_dir(self) -> str:
+        return os.path.join(self.root, "programs")
+
+    @property
+    def configs_dir(self) -> str:
+        return os.path.join(self.root, "configs")
+
+    # -- programs -----------------------------------------------------------
+
+    def save_program(
+        self, phash: str, source: str, meta: Optional[Dict] = None
+    ) -> None:
+        _atomic_write(
+            os.path.join(self.programs_dir, f"{phash}.pbcc"), source
+        )
+        _atomic_write(
+            os.path.join(self.programs_dir, f"{phash}.meta.json"),
+            json.dumps(dict(meta or {}), indent=2, sort_keys=True) + "\n",
+        )
+
+    def load_programs(self) -> Iterator[Tuple[str, str]]:
+        """Yield ``(hash, source)`` for every stored program."""
+        if not os.path.isdir(self.programs_dir):
+            return
+        for name in sorted(os.listdir(self.programs_dir)):
+            if not name.endswith(".pbcc"):
+                continue
+            path = os.path.join(self.programs_dir, name)
+            with open(path, "r", encoding="utf-8") as handle:
+                yield name[: -len(".pbcc")], handle.read()
+
+    # -- configs ------------------------------------------------------------
+
+    def _config_paths(
+        self, phash: str, machine: str, bucket: str
+    ) -> Tuple[str, str]:
+        base = os.path.join(self.configs_dir, phash, machine, bucket)
+        return base + ".json", base + ".meta.json"
+
+    def save_config(
+        self,
+        phash: str,
+        machine: str,
+        bucket: str,
+        config: ChoiceConfig,
+        meta: Dict,
+    ) -> None:
+        """Persist one config entry; ``meta`` must carry ``version``."""
+        config_path, meta_path = self._config_paths(phash, machine, bucket)
+        _atomic_write(config_path, config.to_json())
+        _atomic_write(
+            meta_path, json.dumps(meta, indent=2, sort_keys=True) + "\n"
+        )
+
+    def load_configs(
+        self,
+    ) -> Iterator[Tuple[str, str, str, Optional[ChoiceConfig], Dict]]:
+        """Yield ``(hash, machine, bucket, config, meta)`` per entry.
+        A corrupt artifact yields ``config=None`` instead of raising, so
+        recovery can count the skip without poisoning boot."""
+        if not os.path.isdir(self.configs_dir):
+            return
+        for phash in sorted(os.listdir(self.configs_dir)):
+            program_dir = os.path.join(self.configs_dir, phash)
+            if not os.path.isdir(program_dir):
+                continue
+            for machine in sorted(os.listdir(program_dir)):
+                machine_dir = os.path.join(program_dir, machine)
+                if not os.path.isdir(machine_dir):
+                    continue
+                for name in sorted(os.listdir(machine_dir)):
+                    if not name.endswith(".json") or name.endswith(
+                        ".meta.json"
+                    ):
+                        continue
+                    bucket = name[: -len(".json")]
+                    config_path, meta_path = self._config_paths(
+                        phash, machine, bucket
+                    )
+                    try:
+                        with open(config_path, encoding="utf-8") as handle:
+                            config = ChoiceConfig.from_json(handle.read())
+                        meta: Dict = {}
+                        if os.path.exists(meta_path):
+                            with open(meta_path, encoding="utf-8") as handle:
+                                meta = json.load(handle)
+                    except (OSError, ValueError, KeyError, TypeError):
+                        yield phash, machine, bucket, None, {}
+                        continue
+                    yield phash, machine, bucket, config, meta
+
+    # -- recovery -----------------------------------------------------------
+
+    def recover_into(self, registry: ServeRegistry) -> Dict[str, int]:
+        """Rebuild a registry from disk: recompile every stored program,
+        re-register every config at its persisted version."""
+        programs = configs = skipped = 0
+        for phash, source in self.load_programs():
+            try:
+                registry.register_program(source)
+                programs += 1
+            except Exception:
+                skipped += 1
+        for phash, machine, bucket, config, meta in self.load_configs():
+            if config is None or phash not in registry.programs():
+                skipped += 1
+                continue
+            registry.publish(
+                phash,
+                machine,
+                bucket,
+                config,
+                origin="store",
+                meta=meta,
+                version=int(meta.get("version", 1)),
+            )
+            configs += 1
+        return {"programs": programs, "configs": configs, "skipped": skipped}

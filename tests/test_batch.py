@@ -155,6 +155,99 @@ def test_max_stack_chunking_is_invisible():
     assert outcomes[0] == outcomes[1]
 
 
+# -- config freezing and engine-lifetime memory -----------------------------
+
+
+def test_mutated_config_lands_in_a_new_bucket():
+    """Regression: a config mutated between two submits must bucket the
+    second request under the *new* content (the old id-keyed digest memo
+    silently reused the stale digest)."""
+    program = compile_program(SCALE)
+    scale = program.transform("Scale")
+    sink = TraceSink(capture_events=False)
+    engine = BatchEngine(sink=sink)
+    a = np.ones((2, 2))
+
+    config = ChoiceConfig()
+    config.set_tunable("Scale.__leaf_path__", 1)
+    engine.submit(scale, {"A": a}, config)
+    config.set_tunable("Scale.__leaf_path__", 2)  # mutate after submit
+    engine.submit(scale, {"A": a}, config)
+
+    results = engine.gather()
+    assert all(result.ok for result in results)
+    assert sink.counter("batch.buckets") == 2
+
+
+def test_submit_freezes_config_content():
+    """Execution uses the config as submitted: mutating it afterwards
+    (here: forcing an out-of-range leaf path would break nothing, so we
+    flip a choice selector that changes nothing numerically but would
+    change the digest) does not leak into the already-queued request."""
+    program = compile_program(SCALE)
+    scale = program.transform("Scale")
+    engine = BatchEngine()
+    a = np.arange(4.0).reshape(2, 2)
+    config = ChoiceConfig()
+    config.set_tunable("Scale.__leaf_path__", 1)
+    engine.submit(scale, {"A": a}, config)
+    config.tunables.clear()  # caller reuses the object for something else
+    (result,) = engine.gather()
+    np.testing.assert_array_equal(result.output(), a * 2.0 + 1.0)
+
+
+def test_soak_digest_path_is_bounded():
+    """10k requests with 10k distinct config objects against ONE engine:
+    no config object may stay pinned after its gather, and the plan
+    cache must stay bounded — the serve-daemon lifetime invariant."""
+    import gc
+    import weakref
+
+    program = compile_program(SCALE)
+    scale = program.transform("Scale")
+    engine = BatchEngine(max_stack=256, plan_cache_size=32)
+    a = np.ones((2, 2))
+
+    refs = []
+    for round_number in range(100):
+        for index in range(100):
+            config = ChoiceConfig()
+            config.set_tunable("Scale.__seq_cutoff__", index)
+            refs.append(weakref.ref(config))
+            engine.submit(scale, {"A": a}, config)
+            del config
+        results = engine.gather()
+        assert all(result.ok for result in results)
+        del results
+
+    gc.collect()
+    assert all(ref() is None for ref in refs), "engine pinned configs"
+    assert len(engine._plans) <= 32
+    assert not hasattr(engine, "_digests")
+
+
+def test_precomputed_digest_skips_copy():
+    """The serve hot path: a caller-owned immutable config submitted
+    with its precomputed digest is used by reference (no copy, no
+    serialization) and still buckets by the given digest."""
+    program = compile_program(SCALE)
+    scale = program.transform("Scale")
+    sink = TraceSink(capture_events=False)
+    engine = BatchEngine(sink=sink)
+    a = np.ones((2, 2))
+    config = ChoiceConfig()
+    config.set_tunable("Scale.__leaf_path__", 1)
+    digest = config_digest(config)
+    engine.submit(scale, {"A": a}, config, digest=digest)
+    engine.submit(scale, {"A": a}, config, digest=digest)
+    assert all(
+        request.config is config for request in engine._pending
+    )
+    results = engine.gather()
+    assert all(result.ok for result in results)
+    assert sink.counter("batch.buckets") == 1
+
+
 # -- BucketQueue: deterministic out-of-order completion ---------------------
 
 
