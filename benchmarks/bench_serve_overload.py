@@ -1,0 +1,284 @@
+"""Serve-daemon overload benchmark: a burst at 4x the concurrency limit.
+
+The admission-control pitch is that overload degrades *explicitly*: a
+burst beyond capacity gets immediate structured sheds (429/503 with a
+machine-readable reason and a ``Retry-After`` hint) instead of silent
+queueing, and a client that honors the hint recovers to byte-identical
+responses once the burst passes.  This benchmark fires a burst of
+``4 * max_concurrency`` concurrent ``/run`` requests at a small daemon
+whose handlers are artificially slowed (injected ``slow-handler``, so
+the burst genuinely overlaps), twice:
+
+* **shed phase** — no client retries: every request must resolve to
+  either 200 or a structured shed.  Zero 500s, zero hangs, at least one
+  shed (the burst must actually overload), every shed carrying a
+  ``Retry-After``.
+* **retry phase** — retrying clients honoring ``Retry-After``: every
+  request must land, and every response must be byte-identical to the
+  uncontended response for the same payload.
+
+Results go to ``benchmarks/results/serve_overload.txt`` (human) and
+``benchmarks/results/BENCH_serve_overload.json`` (machine-readable; CI
+uploads it as an artifact).
+
+Script mode: ``python benchmarks/bench_serve_overload.py [--quick]``.
+``--quick`` exits nonzero unless the overload gate holds — the CI
+overload-burst gate.
+"""
+
+import argparse
+import json
+import sys
+import threading
+import time
+
+from harness import fmt_row, write_json, write_report
+
+from repro.faults import FaultInjector
+from repro.observe.trace import ThreadSafeSink
+from repro.serve import (
+    ResilienceConfig,
+    RetryPolicy,
+    ServeApp,
+    ServeClient,
+    ServeClientError,
+    ServeDaemon,
+)
+
+SCALE = """
+transform Scale
+from A[n, m]
+to B[n, m]
+{
+  to (B.cell(x, y) b) from (A.cell(x, y) a) { b = a * 2.0 + 1.0; }
+}
+"""
+
+#: The small daemon under test.
+MAX_CONCURRENCY = 4
+
+#: Burst size: 4x the concurrency limit (the acceptance condition).
+BURST = 4 * MAX_CONCURRENCY
+
+#: Statuses a burst outcome may legally have.
+OK_STATUSES = frozenset({200})
+SHED_STATUSES = frozenset({429, 503})
+
+
+def _burst(daemon, phash, retry, client_sink=None, join_timeout=60.0):
+    """Fire BURST concurrent /run requests; returns (outcomes, hung).
+
+    Outcome per request index: ``("ok", canonical_bytes)`` or
+    ``("shed", status, reason, retry_after)`` or ``("bad", detail)``.
+    """
+    outcomes = [None] * BURST
+
+    def fire(index):
+        client = ServeClient(
+            port=daemon.port, timeout=30.0, retry=retry, sink=client_sink
+        )
+        try:
+            response = client.run(
+                phash,
+                "Scale",
+                {"A": [[float(index)]]},
+                rid=f"b{index}",
+            )
+            outcomes[index] = (
+                "ok", json.dumps(response, sort_keys=True)
+            )
+        except ServeClientError as exc:
+            if exc.status in SHED_STATUSES:
+                outcomes[index] = (
+                    "shed", exc.status, exc.reason, exc.retry_after
+                )
+            else:
+                outcomes[index] = ("bad", f"status {exc.status}: {exc}")
+        except Exception as exc:
+            outcomes[index] = ("bad", f"{type(exc).__name__}: {exc}")
+
+    threads = [
+        threading.Thread(target=fire, args=(i,), name=f"burst-{i}")
+        for i in range(BURST)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=join_timeout)
+    hung = [t.name for t in threads if t.is_alive()]
+    elapsed = time.perf_counter() - started
+    return outcomes, hung, elapsed
+
+
+def run_benchmark(quick: bool = False):
+    del quick  # the burst is already CI-sized; the gate is identical
+    injector = FaultInjector.parse("slow-handler:1,hang=0.05")
+    resilience = ResilienceConfig(
+        max_concurrency=MAX_CONCURRENCY,
+        max_queue=MAX_CONCURRENCY,
+        queue_timeout_s=10.0,
+        retry_after_s=0.02,
+    )
+    sink = ThreadSafeSink()
+    app = ServeApp(sink=sink, resilience=resilience, injector=injector)
+    daemon = ServeDaemon(app, port=0).start_background()
+    violations = []
+    try:
+        quiet = ServeClient(port=daemon.port, timeout=30.0)
+        phash = quiet.compile(SCALE)["program"]
+        # Uncontended canonical bytes per payload (no rid: unslowed).
+        expected = [
+            json.dumps(
+                quiet.run(phash, "Scale", {"A": [[float(i)]]}),
+                sort_keys=True,
+            )
+            for i in range(BURST)
+        ]
+
+        # Phase 1: burst with no retries — explicit sheds, nothing else.
+        shed_outcomes, hung, shed_elapsed = _burst(
+            daemon, phash, RetryPolicy(retries=0)
+        )
+        oks = sheds = 0
+        for index, outcome in enumerate(shed_outcomes):
+            if outcome is None:
+                violations.append(f"shed-phase {index}: no outcome")
+            elif outcome[0] == "ok":
+                oks += 1
+                if outcome[1] != expected[index]:
+                    violations.append(
+                        f"shed-phase {index}: bytes diverged under load"
+                    )
+            elif outcome[0] == "shed":
+                sheds += 1
+                _tag, _status, reason, retry_after = outcome
+                if reason not in ("capacity", "queue_timeout"):
+                    violations.append(
+                        f"shed-phase {index}: bad reason {reason!r}"
+                    )
+                if retry_after is None:
+                    violations.append(
+                        f"shed-phase {index}: shed without Retry-After"
+                    )
+            else:
+                violations.append(f"shed-phase {index}: {outcome[1]}")
+        if hung:
+            violations.append(f"shed-phase hung threads: {hung}")
+        if sheds == 0:
+            violations.append(
+                "shed-phase: burst never shed — overload not exercised"
+            )
+
+        # Phase 2: same burst, retrying clients — total recovery to
+        # byte-identical responses.
+        client_sink = ThreadSafeSink()
+        retry_outcomes, hung2, retry_elapsed = _burst(
+            daemon,
+            phash,
+            RetryPolicy(retries=8, backoff_s=0.02, max_backoff_s=0.5),
+            client_sink=client_sink,
+        )
+        recovered = 0
+        for index, outcome in enumerate(retry_outcomes):
+            if outcome is None:
+                violations.append(f"retry-phase {index}: no outcome")
+            elif outcome[0] == "ok":
+                if outcome[1] == expected[index]:
+                    recovered += 1
+                else:
+                    violations.append(
+                        f"retry-phase {index}: bytes diverged after retry"
+                    )
+            else:
+                violations.append(f"retry-phase {index}: {outcome[1:]}")
+        if hung2:
+            violations.append(f"retry-phase hung threads: {hung2}")
+    finally:
+        daemon.stop()
+
+    counters = dict(sink.counters)
+    payload = {
+        "burst": BURST,
+        "max_concurrency": MAX_CONCURRENCY,
+        "shed_phase": {
+            "ok": oks,
+            "shed": sheds,
+            "elapsed_s": shed_elapsed,
+        },
+        "retry_phase": {
+            "recovered": recovered,
+            "elapsed_s": retry_elapsed,
+            "retry_attempts": dict(client_sink.counters).get(
+                "serve.retry.attempts", 0
+            ),
+        },
+        "server_sheds": {
+            name: value
+            for name, value in sorted(counters.items())
+            if name.startswith("serve.shed.")
+        },
+        "violations": violations,
+        "ok": not violations,
+    }
+    write_json("BENCH_serve_overload", payload)
+
+    widths = [30, 10, 10, 12]
+    lines = [
+        f"Serve overload: burst of {BURST} concurrent /run at "
+        f"max_concurrency={MAX_CONCURRENCY} (slow-handler injected)",
+        fmt_row(["phase", "ok", "shed", "elapsed"], widths),
+        fmt_row(
+            ["no retries (shed phase)", str(oks), str(sheds),
+             f"{shed_elapsed:.2f}s"],
+            widths,
+        ),
+        fmt_row(
+            ["retries honor Retry-After", str(recovered), "0",
+             f"{retry_elapsed:.2f}s"],
+            widths,
+        ),
+        "(gate: zero 500s, zero hangs, every shed structured with "
+        "Retry-After, retry phase recovers all requests byte-identically)",
+    ]
+    if violations:
+        lines.append(f"VIOLATIONS: {violations}")
+    write_report("serve_overload", lines)
+    return payload
+
+
+def test_serve_overload(benchmark):
+    payload = benchmark.pedantic(
+        run_benchmark, args=(True,), rounds=1, iterations=1
+    )
+    assert payload["ok"], payload["violations"]
+    assert payload["retry_phase"]["recovered"] == BURST
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="enforce the CI overload gate (zero hangs / zero 500s / "
+        "shed-then-retry byte parity)",
+    )
+    args = parser.parse_args(argv)
+    payload = run_benchmark(quick=args.quick)
+    if not payload["ok"]:
+        print(
+            f"FAIL: overload gate violated: {payload['violations']}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"serve-overload OK: burst {BURST}, "
+        f"{payload['shed_phase']['shed']} structured sheds, "
+        f"{payload['retry_phase']['recovered']}/{BURST} recovered "
+        "byte-identically on retry"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,7 +23,9 @@ Semantics:
 
 Counters on the optional :class:`~repro.observe.trace.TraceSink`:
 ``batch.requests``, ``batch.buckets``, ``batch.stacked_steps``,
-``batch.stacked_requests``, ``batch.fallbacks``, plus a
+``batch.stacked_requests``, ``batch.fallbacks``,
+``batch.deadline_skips`` (requests resolved to a structured
+deadline-exceeded error by an expired ``gather`` budget), plus a
 ``batch.requests_per_sec`` histogram (wall-clock, histogram-only — the
 event stream stays deterministic).
 """
@@ -138,8 +140,17 @@ class BatchEngine:
         )
         return request_id
 
-    def gather(self) -> List[BatchResult]:
-        """Execute everything pending; results in submission order."""
+    def gather(self, deadline=None) -> List[BatchResult]:
+        """Execute everything pending; results in submission order.
+
+        ``deadline`` is an optional budget object (duck-typed: the serve
+        layer passes :class:`repro.serve.resilience.Deadline`) exposing
+        ``expired()`` and ``error()``.  It is checked at bucket, chunk,
+        and serial-request boundaries: once expired, every not-yet-
+        started request resolves to a well-formed ``error()`` result
+        while requests already inside a stacked chunk complete normally
+        — an expired budget never abandons half-written results.
+        """
         pending, self._pending = self._pending, []
         if not pending:
             return []
@@ -148,9 +159,12 @@ class BatchEngine:
         for request in pending:
             queue.add(self._key(request), request)
         for key, requests in queue.drain():
+            if deadline is not None and deadline.expired():
+                self._expire(requests, deadline)
+                continue
             if self.sink is not None:
                 self.sink.count("batch.buckets")
-            self._run_bucket(key, requests)
+            self._run_bucket(key, requests, deadline)
         elapsed = time.perf_counter() - started
         if self.sink is not None:
             self.sink.count("batch.requests", len(pending))
@@ -184,8 +198,20 @@ class BatchEngine:
             self._token_refs.append(request.transform)
         return bucket_key(token, request)
 
+    def _expire(self, requests: List[BatchRequest], deadline) -> None:
+        """Resolve every request to the deadline's structured error."""
+        if self.sink is not None:
+            self.sink.count("batch.deadline_skips", len(requests))
+        for request in requests:
+            self._results[request.request_id] = BatchResult(
+                request_id=request.request_id,
+                outputs=None,
+                error=deadline.error(),
+                stacked=False,
+            )
+
     def _run_bucket(
-        self, key: BucketKey, requests: List[BatchRequest]
+        self, key: BucketKey, requests: List[BatchRequest], deadline=None
     ) -> None:
         first = requests[0]
         plan = None
@@ -203,10 +229,17 @@ class BatchEngine:
             plan, _reason = cached
         if plan is None:
             for request in requests:
+                if deadline is not None and deadline.expired():
+                    self._expire([request], deadline)
+                    continue
                 self._run_serial(request, fallback=True)
             return
         for start in range(0, len(requests), self.max_stack):
-            self._run_chunk(plan, requests[start : start + self.max_stack])
+            chunk = requests[start : start + self.max_stack]
+            if deadline is not None and deadline.expired():
+                self._expire(chunk, deadline)
+                continue
+            self._run_chunk(plan, chunk)
 
     def _run_chunk(
         self, plan: StackedPlan, chunk: List[BatchRequest]

@@ -425,18 +425,53 @@ def cmd_batch(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    from repro.serve import ServeApp, ServeDaemon
+    import signal
+    import threading
 
+    from repro.serve import ResilienceConfig, ServeApp, ServeDaemon
+
+    injector = None
+    if getattr(args, "inject", None):
+        from repro.faults import FaultInjector, FaultSpecError
+
+        try:
+            injector = FaultInjector.parse(args.inject)
+        except FaultSpecError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    resilience = ResilienceConfig(
+        max_concurrency=args.max_concurrency,
+        max_queue=args.max_queue,
+        default_deadline_ms=args.default_deadline_ms,
+        drain_timeout_s=args.drain_timeout,
+    )
     app = ServeApp(
         store_dir=args.store,
         machine=args.machine,
         tune_workers=args.tune_workers,
+        resilience=resilience,
+        injector=injector,
     )
     for path in args.preload or []:
         with open(path, "r", encoding="utf-8") as handle:
             info = app.compile({"source": handle.read()})
         print(f"preloaded {path}: program {info['program']}")
     daemon = ServeDaemon(app, host=args.host, port=args.port)
+
+    def _sigterm(_signum, _frame) -> None:
+        # Graceful drain on SIGTERM: shed new work, let admitted
+        # requests and the running tune job finish (bounded by the hard
+        # drain timeout), then break the accept loop.  shutdown() must
+        # not run on the signal-handler frame, hence the helper thread.
+        app.begin_drain()
+
+        def _drain_then_stop() -> None:
+            app.drain()
+            daemon.server.shutdown()
+
+        threading.Thread(target=_drain_then_stop, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _sigterm)
     recovered = app.recovered
     store_note = f", store {args.store}" if args.store else ", no store"
     print(
@@ -464,12 +499,24 @@ def cmd_client(args: argparse.Namespace) -> int:
     import json
 
     from repro.serve.client import ServeClient, ServeClientError
+    from repro.serve.resilience import RetryPolicy
 
-    client = ServeClient(args.host, args.port, timeout=args.timeout)
+    client = ServeClient(
+        args.host,
+        args.port,
+        timeout=args.timeout,
+        retry=RetryPolicy(
+            retries=args.retries, backoff_s=args.retry_backoff
+        ),
+    )
     try:
         if args.client_command == "health":
             print(json.dumps(client.health(), indent=2, sort_keys=True))
             return 0
+        if args.client_command == "ready":
+            verdict = client.ready()
+            print(json.dumps(verdict, indent=2, sort_keys=True))
+            return 0 if verdict.get("ready") else 1
         if args.client_command == "stats":
             print(json.dumps(client.stats(), indent=2, sort_keys=True))
             return 0
@@ -835,6 +882,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--preload", action="append", metavar="FILE",
         help="compile a program at startup (repeatable)",
     )
+    p_serve.add_argument(
+        "--max-concurrency", type=int, default=8, metavar="N",
+        help="weighted in-flight request limit (a batch weighs its line "
+             "count; default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--max-queue", type=int, default=16, metavar="N",
+        help="bounded accept queue (weighted units) before requests shed "
+             "with 429 (default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--default-deadline-ms", type=float, default=None, metavar="MS",
+        help="server-side default request deadline for /run and /batch "
+             "(requests may override with 'deadline_ms'; default: none)",
+    )
+    p_serve.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="hard bound on graceful drain at /shutdown or SIGTERM "
+             "(default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--inject", metavar="SPEC",
+        help="deterministic serve-side fault injection (dev/test), e.g. "
+             "'conn-drop:0.3,slow-handler:0.2,seed=7' — see repro.faults",
+    )
     p_serve.set_defaults(func=cmd_serve)
 
     p_client = sub.add_parser(
@@ -846,11 +918,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=120.0, metavar="SECONDS",
         help="per-request (and --wait) timeout (default: %(default)s)",
     )
+    p_client.add_argument(
+        "--retries", type=int, default=3, metavar="N",
+        help="retry budget for idempotent requests on connection errors "
+             "and 429/503 sheds (default: %(default)s)",
+    )
+    p_client.add_argument(
+        "--retry-backoff", type=float, default=0.05, metavar="SECONDS",
+        help="base exponential-backoff delay between retries "
+             "(default: %(default)s)",
+    )
     client_sub = p_client.add_subparsers(dest="client_command", required=True)
 
     client_sub.add_parser("health", help="daemon liveness + registry sizes")
+    client_sub.add_parser(
+        "ready",
+        help="readiness probe (exit 1 when draining or saturated)",
+    )
     client_sub.add_parser("stats", help="counters, histograms, registry")
-    client_sub.add_parser("shutdown", help="stop the daemon cleanly")
+    client_sub.add_parser(
+        "shutdown", help="gracefully drain and stop the daemon"
+    )
 
     c_compile = client_sub.add_parser(
         "compile", help="register a program (compile-once)"

@@ -12,6 +12,14 @@ fault-layer sibling of :mod:`repro.observe.stress` — which tunes a real
 transform under an injected fault plan and asserts the recovery
 invariant: the tuned configuration and history are byte-identical to a
 fault-free run (import it directly; it pulls in the autotuner).
+
+:mod:`repro.faults.serve_harness` does the same for the serving stack:
+serve-side fault kinds (``conn-drop``, ``slow-handler``, ``shed-storm``,
+``store-io-fail``, ``drain-race``) injected into a live daemon, with the
+serving invariant — byte-identical response or exactly one well-formed
+structured error, never a hang or a corrupt artifact (import it
+directly; it pulls in the serve stack, and doubles as the CI chaos
+smoke via ``python -m repro.faults.serve_harness``).
 """
 
 from repro.faults.injector import (

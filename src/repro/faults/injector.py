@@ -16,6 +16,8 @@ Spec grammar (the CLI's ``--inject`` argument)::
     OPTION  := 'seed' '=' INT | 'hang' '=' SECONDS
     KIND    := 'worker-crash' | 'worker-hang' | 'transient'
              | 'corrupt-record' | 'cache-corrupt'
+             | 'conn-drop' | 'slow-handler' | 'shed-storm'
+             | 'store-io-fail' | 'drain-race'
 
 ``PROB`` is the per-attempt firing probability.  ``REPEAT`` bounds how
 many attempts of one identity the fault may fire on: it defaults to 1
@@ -45,6 +47,23 @@ The first four are process-boundary faults and fire only in pool
 workers; the serial (in-process) evaluation path injects ``transient``
 faults only — a crash or hang cannot be recovered from in-process, and
 degraded-serial mode exists precisely to escape them.
+
+Serve-side fault kinds (injected into the daemon stack — see
+:mod:`repro.serve` and :mod:`repro.faults.serve_harness`; identities
+key off the request's ``rid`` payload field and the client's retry
+``attempt`` counter, so HTTP fault plans replay identically too):
+
+* ``conn-drop`` — the daemon truncates a response mid-body and closes
+  the connection: exercises client retry on ``IncompleteRead``.
+* ``slow-handler`` — an admitted request sleeps in its handler:
+  exercises deadline budgets and queue backpressure.
+* ``shed-storm`` — admission force-sheds the request with a structured
+  429: exercises Retry-After honoring and shed-then-retry parity.
+* ``store-io-fail`` — an artifact-store write raises ``OSError``
+  before any byte reaches disk: exercises durable-before-acknowledged
+  publish ordering and restart recovery.
+* ``drain-race`` — an in-flight request flips the daemon to draining
+  mid-dispatch: exercises graceful-drain semantics under race.
 """
 
 from __future__ import annotations
@@ -61,6 +80,12 @@ KINDS: Tuple[str, ...] = (
     "transient",
     "corrupt-record",
     "cache-corrupt",
+    # serve-side kinds (daemon / transport / artifact store)
+    "conn-drop",
+    "slow-handler",
+    "shed-storm",
+    "store-io-fail",
+    "drain-race",
 )
 
 #: Default decision seed ("FA17" — fault).

@@ -1,0 +1,453 @@
+"""Chaos harness for the serving layer.
+
+The serve-side sibling of :mod:`repro.faults.harness`: where that
+harness injects process faults into the parallel tuning loop, this one
+injects transport / handler / store faults into a *live daemon* (real
+sockets, real handler threads, the retrying :class:`~repro.serve.client.
+ServeClient`) and asserts the serving invariant:
+
+    **under any injected fault schedule, every request either receives
+    the byte-identical fault-free response or exactly one well-formed
+    structured error — never a hang, a duplicate side effect, or a
+    corrupt artifact.**
+
+Determinism end to end: fault decisions are pure functions of
+``(seed, kind, request rid, attempt)``, the client's backoff jitter is
+seeded, and response bodies contain no wall-clock content, so one
+``(schedule, inject spec)`` pair replays identically.
+
+Two checks compose the invariant:
+
+* :func:`check_serve_resilience` — run a fixed request schedule against
+  a fault-free daemon (recording canonical response bytes per request
+  id), then replay the same schedule against a faulted daemon through
+  retrying clients, and classify every outcome as byte-parity, a
+  structured error (known status + machine-readable ``reason``), or a
+  violation.  Ends by verifying no worker or daemon thread is left
+  hanging.
+* :func:`check_store_recovery` — publish a version sequence under
+  ``store-io-fail``, kill the app (no drain — simulated crash), restart
+  over the same artifact directory, and assert the recovered registry
+  holds exactly the acknowledged versions: a failed publish was never
+  acknowledged, an acknowledged publish is never lost, versions never
+  move backwards.
+
+``python -m repro.faults.serve_harness --seeds 1,2,3`` runs every
+serve fault kind (plus a combined plan) under each seed and writes a
+JSON report — the CI chaos smoke step.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.faults.injector import FaultInjector
+from repro.observe.trace import ThreadSafeSink
+from repro.serve.app import ServeApp, ServeError
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.daemon import ServeDaemon
+from repro.serve.resilience import ResilienceConfig, RetryPolicy
+
+#: The serve-side fault kinds this harness covers.
+SERVE_FAULT_KINDS: Tuple[str, ...] = (
+    "conn-drop",
+    "slow-handler",
+    "shed-storm",
+    "store-io-fail",
+    "drain-race",
+)
+
+#: The machine-readable reasons a structured error may carry.
+VALID_REASONS = frozenset(
+    {"capacity", "queue_timeout", "draining", "deadline_exceeded",
+     "store_io"}
+)
+
+#: HTTP statuses a structured (non-parity) outcome may have.  429/503
+#: are sheds, 504 is a deadline — never a 500, never a hang.
+VALID_STATUSES = frozenset({429, 503, 504})
+
+#: The program the schedule exercises (same shape the serve tests use).
+SCALE = """
+transform Scale
+from A[n, m]
+to B[n, m]
+{
+  to (B.cell(x, y) b) from (A.cell(x, y) a) { b = a * 2.0 + 1.0; }
+}
+"""
+
+#: The combined fault plan: every transport/handler kind at once.
+#: ``hang=0.05`` keeps an injected slow handler at 50 ms, and the small
+#: probabilities keep most requests on the parity path so both arms of
+#: the invariant are exercised in one run.
+COMBINED_INJECT = (
+    "conn-drop:0.3,slow-handler:0.3,shed-storm:0.3,drain-race:0.05,"
+    "hang=0.05"
+)
+
+#: Per-kind plans for the single-kind sweeps.
+KIND_INJECTS: Dict[str, str] = {
+    "conn-drop": "conn-drop:0.5",
+    "slow-handler": "slow-handler:0.5,hang=0.05",
+    "shed-storm": "shed-storm:0.5",
+    "drain-race": "drain-race:0.1",
+    "store-io-fail": "store-io-fail:0.5",
+}
+
+
+@dataclass
+class ServeChaosReport:
+    """What one harness run observed (JSON-able via ``to_dict``)."""
+
+    inject: str
+    requests: int = 0
+    parity: int = 0
+    structured_errors: int = 0
+    violations: List[str] = field(default_factory=list)
+    server_counters: Dict[str, int] = field(default_factory=dict)
+    client_counters: Dict[str, int] = field(default_factory=dict)
+    hung_threads: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.hung_threads
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "inject": self.inject,
+            "requests": self.requests,
+            "parity": self.parity,
+            "structured_errors": self.structured_errors,
+            "violations": self.violations,
+            "hung_threads": self.hung_threads,
+            "server_counters": self.server_counters,
+            "client_counters": self.client_counters,
+            "ok": self.ok,
+        }
+
+
+def _schedule(requests: int) -> List[Tuple[str, str, Dict[str, Any]]]:
+    """A deterministic ``(rid, route, payload-args)`` schedule mixing
+    /run and /batch traffic; payloads vary per rid so parity is not
+    trivially satisfied by identical responses."""
+    plan = []
+    for index in range(requests):
+        rid = f"r{index}"
+        if index % 3 == 2:
+            lines = [
+                json.dumps(
+                    {
+                        "transform": "Scale",
+                        "inputs": {"A": [[float(index), float(lane)]]},
+                    }
+                )
+                for lane in range(3)
+            ]
+            plan.append((rid, "batch", {"lines": lines}))
+        else:
+            plan.append(
+                (
+                    rid,
+                    "run",
+                    {
+                        "transform": "Scale",
+                        "inputs": {
+                            "A": [[float(index), float(index) + 0.5]]
+                        },
+                    },
+                )
+            )
+    return plan
+
+
+def _issue(
+    client: ServeClient,
+    phash: str,
+    rid: str,
+    route: str,
+    spec: Dict[str, Any],
+) -> Tuple[str, Any]:
+    """One scheduled request → ``("ok", canonical-bytes)`` or
+    ``("error", (status, reason))`` or ``("crash", repr)``."""
+    try:
+        if route == "run":
+            response = client.run(
+                phash, spec["transform"], spec["inputs"], rid=rid
+            )
+        else:
+            response = client.batch(phash, spec["lines"], rid=rid)
+        return "ok", json.dumps(response, sort_keys=True)
+    except ServeClientError as exc:
+        return "error", (exc.status, exc.reason)
+    except Exception as exc:  # transport giveup or worse
+        return "crash", f"{type(exc).__name__}: {exc}"
+
+
+def _run_schedule(
+    daemon: ServeDaemon,
+    phash: str,
+    plan: Sequence[Tuple[str, str, Dict[str, Any]]],
+    retry: RetryPolicy,
+    client_sink: Optional[ThreadSafeSink] = None,
+    workers: int = 4,
+) -> Dict[str, Tuple[str, Any]]:
+    """Drive the schedule through ``workers`` concurrent retrying
+    clients; returns rid → outcome.  Outcomes are deterministic per rid
+    (fault decisions key off the rid, not the interleaving)."""
+    outcomes: Dict[str, Tuple[str, Any]] = {}
+    lock = threading.Lock()
+    pending = list(plan)
+
+    def worker() -> None:
+        client = ServeClient(
+            port=daemon.port, timeout=30.0, retry=retry, sink=client_sink
+        )
+        while True:
+            with lock:
+                if not pending:
+                    return
+                rid, route, spec = pending.pop(0)
+            outcome = _issue(client, phash, rid, route, spec)
+            with lock:
+                outcomes[rid] = outcome
+
+    threads = [
+        threading.Thread(target=worker, name=f"chaos-client-{i}")
+        for i in range(workers)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120.0)
+    hung = [t.name for t in threads if t.is_alive()]
+    if hung:
+        raise AssertionError(f"chaos clients hung: {hung}")
+    return outcomes
+
+
+def check_serve_resilience(
+    inject: str,
+    requests: int = 24,
+    workers: int = 4,
+    max_concurrency: int = 4,
+) -> ServeChaosReport:
+    """Assert the serving invariant for one fault plan (see module
+    docstring).  Raises ``AssertionError`` on any violation; returns
+    the report on success."""
+    report = ServeChaosReport(inject=inject, requests=requests)
+    plan = _schedule(requests)
+    resilience = ResilienceConfig(
+        max_concurrency=max_concurrency,
+        # Roomy enough that the worker fleet alone can't overflow the
+        # accept queue in the fault-free baseline (batches weigh their
+        # line count); overload-shedding has its own benchmark gate.
+        max_queue=4 * max_concurrency,
+        queue_timeout_s=10.0,
+        drain_timeout_s=2.0,
+        retry_after_s=0.01,
+    )
+    retry = RetryPolicy(retries=4, backoff_s=0.01, max_backoff_s=0.2)
+
+    # Phase 1: fault-free baseline — canonical bytes per rid.
+    baseline_app = ServeApp(resilience=resilience)
+    baseline = ServeDaemon(baseline_app, port=0).start_background()
+    try:
+        client = ServeClient(port=baseline.port, retry=retry)
+        phash = client.compile(SCALE)["program"]
+        expected = _run_schedule(baseline, phash, plan, retry,
+                                 workers=workers)
+    finally:
+        baseline.stop()
+    for rid, (state, value) in sorted(expected.items()):
+        assert state == "ok", (
+            f"fault-free baseline failed for {rid}: {value}"
+        )
+
+    # Phase 2: same schedule against a faulted daemon.
+    injector = FaultInjector.parse(inject)
+    sink = ThreadSafeSink(capture_events=False)
+    client_sink = ThreadSafeSink(capture_events=False)
+    app = ServeApp(sink=sink, resilience=resilience, injector=injector)
+    daemon = ServeDaemon(app, port=0).start_background()
+    try:
+        client = ServeClient(port=daemon.port, retry=retry)
+        assert client.compile(SCALE)["program"] == phash
+        observed = _run_schedule(
+            daemon, phash, plan, retry,
+            client_sink=client_sink, workers=workers,
+        )
+    finally:
+        daemon.stop()
+
+    for rid, _route, _spec in plan:
+        state, value = observed.get(rid, ("crash", "no outcome recorded"))
+        if state == "ok":
+            if value == expected[rid][1]:
+                report.parity += 1
+            else:
+                report.violations.append(
+                    f"{rid}: response diverged from fault-free bytes"
+                )
+        elif state == "error":
+            status, reason = value
+            if status in VALID_STATUSES and reason in VALID_REASONS:
+                report.structured_errors += 1
+            else:
+                report.violations.append(
+                    f"{rid}: unstructured error status={status} "
+                    f"reason={reason!r}"
+                )
+        else:
+            report.violations.append(f"{rid}: {value}")
+
+    report.hung_threads = [
+        thread.name
+        for thread in threading.enumerate()
+        if thread.name.startswith("chaos-client-") and thread.is_alive()
+    ]
+    report.server_counters = dict(sink.counters)
+    report.client_counters = dict(client_sink.counters)
+    assert report.ok, (
+        f"serving invariant violated under {inject!r}: "
+        f"{report.violations or report.hung_threads}"
+    )
+    return report
+
+
+def check_store_recovery(
+    inject: str = KIND_INJECTS["store-io-fail"],
+    publishes: int = 6,
+) -> ServeChaosReport:
+    """Assert durable-before-acknowledged publishing under injected
+    store I/O failures across a simulated crash-and-restart."""
+    from repro.compiler import ChoiceConfig
+
+    report = ServeChaosReport(inject=inject, requests=publishes)
+    injector = FaultInjector.parse(inject)
+    sink = ThreadSafeSink(capture_events=False)
+    with tempfile.TemporaryDirectory() as root:
+        app = ServeApp(store_dir=root, sink=sink, injector=injector)
+        phash = app.compile({"source": SCALE})["program"]
+        acked = 0
+        for index in range(publishes):
+            config = ChoiceConfig()
+            config.set_tunable("Scale.__leaf_path__", index % 2)
+            try:
+                entry = app.publish_config(
+                    phash, "xeon8", "any", config, attempt=0
+                )
+            except ServeError as exc:
+                if exc.code != "store_io":
+                    report.violations.append(
+                        f"publish {index}: unexpected error "
+                        f"{exc.code!r}: {exc.message}"
+                    )
+                    continue
+                report.structured_errors += 1
+                # The retry contract: a second attempt of the same
+                # publish must land durably (at-most-once injection).
+                entry = app.publish_config(
+                    phash, "xeon8", "any", config, attempt=1
+                )
+            acked = entry.version
+            if entry.version != index + 1:
+                report.violations.append(
+                    f"publish {index}: version {entry.version}, "
+                    f"expected {index + 1}"
+                )
+            report.parity += 1
+        # Simulated crash: no drain, no close ordering — just restart
+        # over the same artifact directory.
+        app.close()
+        recovered = ServeApp(store_dir=root)
+        try:
+            version = recovered.registry.current_version(
+                phash, "xeon8", "any"
+            )
+            if version != acked:
+                report.violations.append(
+                    f"recovered version {version} != acknowledged {acked}"
+                )
+        finally:
+            recovered.close()
+    report.server_counters = dict(sink.counters)
+    assert report.ok, (
+        f"store recovery invariant violated under {inject!r}: "
+        f"{report.violations}"
+    )
+    return report
+
+
+def run_serve_chaos(
+    seeds: Sequence[int],
+    requests: int = 24,
+    report_path: Optional[str] = None,
+) -> Dict[str, Any]:
+    """The CI chaos smoke: every fault kind alone, plus the combined
+    plan, under every seed.  Writes a JSON report when asked; raises on
+    the first invariant violation."""
+    runs: List[Dict[str, Any]] = []
+    for seed in seeds:
+        for kind in SERVE_FAULT_KINDS:
+            spec = f"{KIND_INJECTS[kind]},seed={seed}"
+            if kind == "store-io-fail":
+                outcome = check_store_recovery(spec)
+            else:
+                outcome = check_serve_resilience(spec, requests=requests)
+            runs.append({"seed": seed, "kind": kind, **outcome.to_dict()})
+        combined = f"{COMBINED_INJECT},seed={seed}"
+        outcome = check_serve_resilience(combined, requests=requests)
+        runs.append({"seed": seed, "kind": "combined", **outcome.to_dict()})
+    summary = {
+        "seeds": list(seeds),
+        "requests": requests,
+        "runs": runs,
+        "ok": all(run["ok"] for run in runs),
+    }
+    if report_path:
+        with open(report_path, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return summary
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="serve-layer chaos harness (deterministic fault plans "
+        "against a live daemon)"
+    )
+    parser.add_argument(
+        "--seeds", default="1",
+        help="comma-separated injector seeds (default: 1)",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=24,
+        help="schedule length per run (default: 24)",
+    )
+    parser.add_argument(
+        "--report", default=None, help="write a JSON report here"
+    )
+    args = parser.parse_args(argv)
+    seeds = [int(part) for part in args.seeds.split(",") if part.strip()]
+    summary = run_serve_chaos(
+        seeds, requests=args.requests, report_path=args.report
+    )
+    total = len(summary["runs"])
+    parity = sum(run["parity"] for run in summary["runs"])
+    errors = sum(run["structured_errors"] for run in summary["runs"])
+    print(
+        f"serve chaos: {total} runs ok "
+        f"({parity} byte-parity outcomes, {errors} structured errors)"
+    )
+    return 0 if summary["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,12 +32,24 @@ interesting transition is captured three ways:
   ``exec.geom_cache_hits`` / ``exec.geom_cache_misses`` when a sink is
   passed to ``CompiledTransform.run``; the batch execution engine adds
   ``batch.requests``, ``batch.buckets``, ``batch.stacked_steps``,
-  ``batch.stacked_requests``, and ``batch.fallbacks``; the serve
+  ``batch.stacked_requests``, ``batch.fallbacks``, and
+  ``batch.deadline_skips`` (requests resolved to a structured
+  deadline-exceeded error by an expired gather budget); the serve
   daemon adds ``serve.requests``, ``serve.compiles`` /
   ``serve.program_hits`` (cold-start vs warm program accounting),
   ``serve.config_hits`` / ``serve.config_misses`` (registry lookups),
   ``serve.version_bumps``, ``serve.runs``, ``serve.batches``,
-  ``serve.batch_requests``, and ``serve.tune_jobs``).
+  ``serve.batch_requests``, and ``serve.tune_jobs``; the serving
+  resilience layer adds ``serve.shed.capacity`` /
+  ``serve.shed.queue_timeout`` / ``serve.shed.draining`` /
+  ``serve.shed.injected`` (admission sheds by reason),
+  ``serve.deadline.expired`` / ``serve.deadline.batch_requests``,
+  ``serve.drain.begun`` / ``serve.drain.completed`` /
+  ``serve.drain.forced``, ``serve.conn_dropped`` (client hangups while
+  replying), and ``serve.store.write_failures``; the retrying
+  :class:`~repro.serve.client.ServeClient` counts
+  ``serve.retry.attempts`` / ``serve.retry.recoveries`` /
+  ``serve.retry.giveups`` on its own sink).
 * **histograms** — power-of-two bucketed distributions
   (``scheduler.deque_depth``, ``scheduler.task_duration``,
   ``tuner.pool.batch_size``, ``tuner.pool.batch_latency_ms``,

@@ -14,18 +14,38 @@ store behind it for restart recovery.
 * :mod:`repro.serve.store` — the durable artifact store (atomic writes,
   corrupt-artifact-tolerant recovery).
 * :mod:`repro.serve.app` — endpoint logic, transport-independent.
-* :mod:`repro.serve.jobs` — background workers for tuning requests.
-* :mod:`repro.serve.daemon` — the stdlib HTTP front end.
-* :mod:`repro.serve.client` — the thin client behind ``repro client``.
+* :mod:`repro.serve.resilience` — admission control (weighted
+  concurrency limit + bounded accept queue), request deadline budgets,
+  structured load shedding, drain state, and the client retry policy.
+* :mod:`repro.serve.jobs` — background workers for tuning requests
+  (event-based waits, idempotent enqueue, drain-aware).
+* :mod:`repro.serve.daemon` — the stdlib HTTP front end (liveness vs
+  readiness probes, graceful ``/shutdown`` drain, Retry-After headers,
+  dropped-connection tolerance).
+* :mod:`repro.serve.client` — the thin client behind ``repro client``
+  (bounded retries with deterministic backoff, Retry-After honoring,
+  idempotency keys for ``/tune``).
 * :mod:`repro.serve.records` — the canonical result records shared with
-  ``repro batch`` (bit-parity between served and direct execution).
+  ``repro batch`` (bit-parity between served and direct execution) and
+  the structured error-body shape.
 """
 
-from repro.serve.app import ServeApp, ServeError
-from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.app import ServeApp, ServeError, ShedError
+from repro.serve.client import (
+    IDEMPOTENT_POSTS,
+    ServeClient,
+    ServeClientError,
+)
 from repro.serve.daemon import DEFAULT_PORT, ServeDaemon
-from repro.serve.jobs import Job, JobQueue
-from repro.serve.records import malformed_record, result_record
+from repro.serve.jobs import Job, JobQueue, QueueDraining
+from repro.serve.records import error_body, malformed_record, result_record
+from repro.serve.resilience import (
+    AdmissionController,
+    Deadline,
+    DeadlineExceeded,
+    ResilienceConfig,
+    RetryPolicy,
+)
 from repro.serve.registry import (
     ANY_BUCKET,
     ConfigEntry,
@@ -38,18 +58,27 @@ from repro.serve.store import ArtifactStore
 
 __all__ = [
     "ANY_BUCKET",
+    "AdmissionController",
     "ArtifactStore",
     "ConfigEntry",
     "DEFAULT_PORT",
+    "Deadline",
+    "DeadlineExceeded",
+    "IDEMPOTENT_POSTS",
     "Job",
     "JobQueue",
+    "QueueDraining",
+    "ResilienceConfig",
+    "RetryPolicy",
     "ServeApp",
     "ServeClient",
     "ServeClientError",
     "ServeDaemon",
     "ServeError",
     "ServeRegistry",
+    "ShedError",
     "bucket_for",
+    "error_body",
     "malformed_record",
     "program_digest",
     "result_record",

@@ -45,11 +45,12 @@ import numpy as np
 from repro.analysis.check import check_source
 from repro.autotuner import GeneticTuner
 from repro.autotuner.parallel import EvaluatorSpec, ParallelEvaluator
+from repro.batch.request import config_digest
 from repro.compiler import ChoiceConfig
 from repro.observe import ThreadSafeSink
 from repro.runtime import MACHINES
 
-from repro.serve.jobs import Job, JobQueue
+from repro.serve.jobs import Job, JobQueue, QueueDraining
 from repro.serve.records import malformed_record, result_record
 from repro.serve.registry import (
     ANY_BUCKET,
@@ -58,20 +59,30 @@ from repro.serve.registry import (
     ServeRegistry,
     bucket_for,
 )
+from repro.serve.resilience import (
+    AdmissionController,
+    Deadline,
+    ResilienceConfig,
+    ServeError,
+    ShedError,
+)
 from repro.serve.store import ArtifactStore
 
-
-class ServeError(Exception):
-    """An error with an HTTP status; the daemon maps it to a JSON body."""
-
-    def __init__(self, status: int, message: str) -> None:
-        super().__init__(message)
-        self.status = status
-        self.message = message
+__all__ = ["ServeApp", "ServeError", "ShedError"]
 
 
 class ServeApp:
-    """The daemon's brain: registry + artifact store + job queue."""
+    """The daemon's brain: registry + artifact store + job queue, with
+    an :class:`AdmissionController` in front of the work routes.
+
+    ``injector`` (dev/test only) enables the deterministic serve-side
+    fault kinds of :mod:`repro.faults`: ``slow-handler`` and
+    ``drain-race`` fire here at dispatch, ``shed-storm`` forces an
+    admission shed, ``store-io-fail`` fires inside the artifact store
+    (``conn-drop`` is transport-level and lives in the daemon).  Fault
+    identities key off the request's optional ``rid`` payload field so
+    a fault plan replays identically across runs.
+    """
 
     def __init__(
         self,
@@ -79,31 +90,50 @@ class ServeApp:
         sink=None,
         machine: str = "xeon8",
         tune_workers: int = 1,
+        resilience: Optional[ResilienceConfig] = None,
+        injector=None,
     ) -> None:
         if machine not in MACHINES:
             raise ValueError(f"unknown machine profile {machine!r}")
         self.sink = sink if sink is not None else ThreadSafeSink()
         self.machine = machine
+        self.resilience = resilience or ResilienceConfig()
+        self.injector = injector
+        self.admission = AdmissionController(self.resilience, sink=self.sink)
         self.registry = ServeRegistry(sink=self.sink)
-        self.store = ArtifactStore(store_dir) if store_dir else None
+        self.store = (
+            ArtifactStore(store_dir, injector=injector) if store_dir else None
+        )
         self.jobs = JobQueue(self._run_job, workers=tune_workers)
         self.recovered = (
             self.store.recover_into(self.registry)
             if self.store is not None
             else {"programs": 0, "configs": 0, "skipped": 0}
         )
+        self._publish_lock = threading.Lock()
         self._closed = threading.Event()
 
     # -- endpoints ----------------------------------------------------------
 
     def health(self) -> Dict[str, Any]:
+        """Liveness: always answers while the process is up, draining
+        or not (readiness is :meth:`ready_probe`'s job)."""
         return {
             "ok": True,
             "programs": len(self.registry.programs()),
             "entries": len(self.registry.entries()),
             "machine": self.machine,
             "recovered": self.recovered,
+            "draining": self.admission.draining,
         }
+
+    def ready_probe(self) -> Dict[str, Any]:
+        """Readiness: accepting new work (not draining, accept queue
+        below high-water).  The daemon maps ``ready=False`` to 503 so
+        load balancers stop routing here before requests get shed."""
+        verdict = self.admission.ready()
+        verdict["admission"] = self.admission.snapshot()
+        return verdict
 
     def compile(self, payload: Mapping[str, Any]) -> Dict[str, Any]:
         source = payload.get("source")
@@ -114,10 +144,24 @@ class ServeApp:
             entry, cached = self.registry.register_program(source)
         except Exception as exc:
             raise ServeError(400, f"compile failed: {exc}")
-        if self.store is not None and not cached:
-            self.store.save_program(
-                entry.phash, source, {"transforms": entry.transforms()}
-            )
+        if self.store is not None:
+            # Unconditionally (re)persist: content-addressed writes are
+            # idempotent, and acknowledging a compile that isn't on disk
+            # would let a crash forget it — a retried compile after a
+            # store failure must land the artifact even though the
+            # registry already has the program cached.
+            try:
+                self.store.save_program(
+                    entry.phash, source, {"transforms": entry.transforms()}
+                )
+            except OSError as exc:
+                self.sink.count("serve.store.write_failures")
+                raise ServeError(
+                    503,
+                    f"artifact store write failed: {exc}",
+                    code="store_io",
+                    retry_after=self.resilience.retry_after_s,
+                )
         self._observe("serve.compile_ms", started)
         self.sink.count("serve.requests")
         return {
@@ -128,23 +172,39 @@ class ServeApp:
 
     def run(self, payload: Mapping[str, Any]) -> Dict[str, Any]:
         started = time.perf_counter()
-        entry = self._program(payload)
-        transform = self._transform(entry, payload)
-        machine = self._machine(payload)
-        inputs = self._inputs(payload.get("inputs"))
-        sizes = payload.get("sizes") or None
-        arrays = (
-            list(inputs.values()) if isinstance(inputs, dict) else inputs
-        ) or []
-        bucket = bucket_for([a.shape for a in arrays], sizes)
-
-        config, version, hit = self._resolve_config(
-            payload, entry.phash, machine, bucket
+        deadline = Deadline.from_payload(
+            payload, self.resilience.default_deadline_ms
         )
-        try:
-            result = transform.run(inputs, config, sizes=sizes)
-        except Exception as exc:
-            raise ServeError(400, f"{type(exc).__name__}: {exc}")
+        with self.admission.admit(
+            "run",
+            cost=1,
+            deadline=deadline,
+            forced_shed=self._injected_shed("run", payload),
+        ):
+            self._inject_dispatch_faults("run", payload)
+            entry = self._program(payload)
+            transform = self._transform(entry, payload)
+            machine = self._machine(payload)
+            inputs = self._inputs(payload.get("inputs"))
+            sizes = payload.get("sizes") or None
+            arrays = (
+                list(inputs.values()) if isinstance(inputs, dict) else inputs
+            ) or []
+            bucket = bucket_for([a.shape for a in arrays], sizes)
+
+            config, version, hit = self._resolve_config(
+                payload, entry.phash, machine, bucket
+            )
+            if deadline is not None and deadline.expired():
+                # The execution boundary: queueing/admission consumed
+                # the whole budget, so don't start work that nobody is
+                # waiting for.
+                self.sink.count("serve.deadline.expired")
+                raise deadline.serve_error()
+            try:
+                result = transform.run(inputs, config, sizes=sizes)
+            except Exception as exc:
+                raise ServeError(400, f"{type(exc).__name__}: {exc}")
         self._observe("serve.run_ms", started)
         self.sink.count("serve.requests")
         self.sink.count("serve.runs")
@@ -166,12 +226,34 @@ class ServeApp:
 
     def batch(self, payload: Mapping[str, Any]) -> Dict[str, Any]:
         started = time.perf_counter()
-        entry = self._program(payload)
-        machine = self._machine(payload)
-        strict = bool(payload.get("strict"))
         lines = payload.get("lines")
         if not isinstance(lines, list):
             raise ServeError(400, "batch needs 'lines': a list of JSONL strings")
+        deadline = Deadline.from_payload(
+            payload, self.resilience.default_deadline_ms
+        )
+        # Cost-aware admission: a batch weighs its request count, so a
+        # 1024-line batch and 1024 /run calls occupy the limiter alike
+        # (clamped so one maximal batch fills — not exceeds — it).
+        with self.admission.admit(
+            "batch",
+            cost=len(lines),
+            deadline=deadline,
+            forced_shed=self._injected_shed("batch", payload),
+        ):
+            self._inject_dispatch_faults("batch", payload)
+            return self._batch_admitted(payload, lines, deadline, started)
+
+    def _batch_admitted(
+        self,
+        payload: Mapping[str, Any],
+        lines: List[Any],
+        deadline: Optional[Deadline],
+        started: float,
+    ) -> Dict[str, Any]:
+        entry = self._program(payload)
+        machine = self._machine(payload)
+        strict = bool(payload.get("strict"))
         default_config: Optional[ChoiceConfig] = None
         if payload.get("config") is not None:
             default_config = self._parse_config(payload["config"])
@@ -238,7 +320,7 @@ class ServeApp:
                 )
             results = {
                 result.request_id: result
-                for result in entry.engine.gather()
+                for result in entry.engine.gather(deadline=deadline)
             }
 
         # Records in line order; submitted requests are renumbered from
@@ -255,6 +337,14 @@ class ServeApp:
                 position += 1
 
         failed = sum(1 for record in records if not record["ok"])
+        expired = sum(
+            1
+            for record in records
+            if not record["ok"]
+            and str(record.get("error", "")).startswith("DeadlineExceeded")
+        )
+        if expired:
+            self.sink.count("serve.deadline.batch_requests", expired)
         self._observe("serve.batch_ms", started)
         self.sink.count("serve.requests")
         self.sink.count("serve.batches")
@@ -266,23 +356,42 @@ class ServeApp:
         }
 
     def tune(self, payload: Mapping[str, Any]) -> Dict[str, Any]:
-        entry = self._program(payload)
-        transform = self._transform(entry, payload)
-        machine = self._machine(payload)
-        job_payload = {
-            "program": entry.phash,
-            "transform": transform.name,
-            "machine": machine,
-            "bucket": str(payload.get("bucket") or ANY_BUCKET),
-            "min_size": int(payload.get("min_size", 16)),
-            "max_size": int(payload.get("max_size", 64)),
-            "population": int(payload.get("population", 6)),
-            "jobs": int(payload.get("jobs", 1)),
-        }
-        job_id = self.jobs.submit("tune", job_payload)
-        self.sink.count("serve.requests")
-        self.sink.count("serve.tune_jobs")
-        return {"job": job_id, "state": "queued"}
+        with self.admission.admit(
+            "tune",
+            cost=1,
+            forced_shed=self._injected_shed("tune", payload),
+        ):
+            self._inject_dispatch_faults("tune", payload)
+            entry = self._program(payload)
+            transform = self._transform(entry, payload)
+            machine = self._machine(payload)
+            job_payload = {
+                "program": entry.phash,
+                "transform": transform.name,
+                "machine": machine,
+                "bucket": str(payload.get("bucket") or ANY_BUCKET),
+                "min_size": int(payload.get("min_size", 16)),
+                "max_size": int(payload.get("max_size", 64)),
+                "population": int(payload.get("population", 6)),
+                "jobs": int(payload.get("jobs", 1)),
+            }
+            key = payload.get("idempotency_key")
+            try:
+                job_id, deduped = self.jobs.submit(
+                    "tune", job_payload, idempotency_key=key
+                )
+            except QueueDraining:
+                self.sink.count("serve.shed.draining")
+                raise ShedError(
+                    503,
+                    "tune shed: daemon is draining",
+                    code="draining",
+                    retry_after=self.resilience.drain_timeout_s,
+                )
+            self.sink.count("serve.requests")
+            if not deduped:
+                self.sink.count("serve.tune_jobs")
+            return {"job": job_id, "state": "queued", "deduped": deduped}
 
     def program_info(self, phash: str) -> Dict[str, Any]:
         """``GET /programs/<hash>``: the client's ensure-program probe."""
@@ -315,14 +424,101 @@ class ServeApp:
             "programs": self.registry.programs(),
             "entries": self.registry.entries(),
             "jobs": self.jobs.jobs(),
+            "admission": self.admission.snapshot(),
         }
 
+    # -- drain / shutdown ---------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self.admission.draining
+
+    def begin_drain(self) -> bool:
+        """Flip the draining flag (idempotent): new work routes shed
+        with a structured 503 while admitted requests and the currently
+        running tune job finish; queued tune jobs are cancelled."""
+        if not self.admission.begin_drain():
+            return False
+        self.sink.count("serve.drain.begun")
+        self.jobs.drain()
+        return True
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until in-flight requests and the running tune job
+        finish, bounded by the hard drain timeout.  Returns True on a
+        clean drain; a forced drain (timeout hit) is counted too."""
+        if timeout is None:
+            timeout = self.resilience.drain_timeout_s
+        ends_at = time.monotonic() + max(0.0, timeout)
+        clean = self.admission.wait_idle(timeout)
+        clean = (
+            self.jobs.wait_idle(max(0.0, ends_at - time.monotonic()))
+            and clean
+        )
+        self.sink.count(
+            "serve.drain.completed" if clean else "serve.drain.forced"
+        )
+        return clean
+
     def close(self) -> None:
-        """Drain job workers; artifacts are already durable (atomic
-        per-publish writes), so close is idempotent and fast."""
+        """Drain job workers; artifacts are already durable (atomic,
+        fsync'd per-publish writes), so close is idempotent and fast."""
         if not self._closed.is_set():
             self._closed.set()
             self.jobs.close()
+
+    # -- deterministic fault hooks (dev/test; see repro.faults) -------------
+
+    @staticmethod
+    def _fault_identity(route: str, payload: Mapping[str, Any]):
+        rid = payload.get("rid")
+        if rid is None:
+            return None, 0
+        try:
+            attempt = int(payload.get("attempt", 0) or 0)
+        except (TypeError, ValueError):
+            attempt = 0
+        return f"{route}|{rid}", attempt
+
+    def _injected_shed(self, route: str, payload: Mapping[str, Any]) -> bool:
+        """``shed-storm``: force an admission shed for this request."""
+        if self.injector is None:
+            return False
+        identity, attempt = self._fault_identity(route, payload)
+        return identity is not None and self.injector.fires(
+            "shed-storm", identity, attempt
+        )
+
+    def _inject_dispatch_faults(
+        self, route: str, payload: Mapping[str, Any]
+    ) -> None:
+        inj = self.injector
+        if inj is None:
+            return
+        identity, attempt = self._fault_identity(route, payload)
+        if identity is None:
+            return
+        if inj.fires("slow-handler", identity, attempt):
+            # A pathologically slow handler, bounded so an injected
+            # plan can't wedge a test run.
+            time.sleep(min(inj.hang_seconds, 5.0))
+        if inj.fires("drain-race", identity, attempt):
+            # Shutdown racing an in-flight request: this request is
+            # already admitted and must complete; everything after it
+            # sheds.
+            self.begin_drain()
+
+    def injected_conn_drop(
+        self, route: str, payload: Mapping[str, Any]
+    ) -> bool:
+        """``conn-drop``: the daemon truncates this response mid-body
+        (transport fault; the app only decides whether it fires)."""
+        if self.injector is None:
+            return False
+        identity, attempt = self._fault_identity(route, payload)
+        return identity is not None and self.injector.fires(
+            "conn-drop", f"conn|{identity}", attempt
+        )
 
     # -- tuning worker ------------------------------------------------------
 
@@ -378,26 +574,56 @@ class ServeApp:
         config: ChoiceConfig,
         origin: str = "publish",
         meta: Optional[Mapping[str, Any]] = None,
+        attempt: int = 0,
     ) -> ConfigEntry:
         """Version-bump the registry and persist the artifact — the one
-        write path shared by tune jobs, recovery reseeding, and tests."""
-        published = self.registry.publish(
-            phash, machine, bucket, config, origin=origin, meta=meta
-        )
-        if self.store is not None:
-            self.store.save_config(
+        write path shared by tune jobs, recovery reseeding, and tests.
+
+        Durable-before-acknowledged: the version is reserved, the
+        artifact is written (fsync'd) to the store, and only then does
+        the registry bump commit.  A store write failure (including an
+        injected ``store-io-fail``) therefore leaves the registry — and
+        every client that could have observed the version — untouched,
+        so a crash-and-restart can never regress an acknowledged
+        version.  ``attempt`` is the caller's retry counter; a retried
+        publish reserves the same version and lands durably.
+        """
+        with self._publish_lock:
+            version = (
+                self.registry.current_version(phash, machine, bucket) + 1
+            )
+            if self.store is not None:
+                try:
+                    self.store.save_config(
+                        phash,
+                        machine,
+                        bucket,
+                        config,
+                        meta={
+                            "version": version,
+                            "digest": config_digest(config),
+                            "origin": origin,
+                            **dict(meta or {}),
+                        },
+                        attempt=attempt,
+                    )
+                except OSError as exc:
+                    self.sink.count("serve.store.write_failures")
+                    raise ServeError(
+                        503,
+                        f"artifact store write failed: {exc}",
+                        code="store_io",
+                        retry_after=self.resilience.retry_after_s,
+                    )
+            return self.registry.publish(
                 phash,
                 machine,
                 bucket,
                 config,
-                meta={
-                    "version": published.version,
-                    "digest": published.digest,
-                    "origin": origin,
-                    **dict(meta or {}),
-                },
+                origin=origin,
+                meta=meta,
+                version=version,
             )
-        return published
 
     # -- shared request plumbing --------------------------------------------
 

@@ -6,25 +6,80 @@ dumb: it hashes program source locally (the same blake2b the daemon
 uses) so the warm path is a single ``/run`` or ``/batch`` round trip,
 and transparently registers the source on an unknown-program 404 — the
 compile-once handshake costs one extra request, once.
+
+Client-side resilience (the other half of the serving contract):
+
+* **Bounded retries with deterministic backoff** — connection errors
+  (refused, reset, truncated response) and structured 429/503 sheds
+  retry up to :class:`~repro.serve.resilience.RetryPolicy` attempts,
+  sleeping exponential backoff ± seeded jitter between tries.  A shed
+  carrying ``Retry-After`` is honored (capped at the policy maximum)
+  instead of guessing.
+* **Idempotent-only** — retries fire only for routes that are safe to
+  replay.  ``/run``, ``/batch``, and ``/check`` are read-only over
+  immutable versions; ``/compile`` is content-addressed; ``/tune`` is
+  made safe by an ``idempotency_key`` the client auto-generates, so a
+  replayed tune dedupes server-side instead of launching twice.
+* **Fault identity threading** — payloads carry the caller's ``rid``
+  and the client's ``attempt`` counter, so deterministic serve-side
+  fault plans (:mod:`repro.faults`) key off request identity and the
+  chaos harness replays byte-identically.
+
+Retry accounting lands on an optional sink: ``serve.retry.attempts``
+(re-sends), ``serve.retry.recoveries`` (a retry that succeeded),
+``serve.retry.giveups`` (budget exhausted).
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import time
+import uuid
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.serve.daemon import DEFAULT_PORT
 from repro.serve.registry import program_digest
+from repro.serve.resilience import RetryPolicy
+
+#: Routes safe to replay (see module docstring); everything POSTed
+#: outside this set gets exactly one attempt unless it carries an
+#: idempotency key.
+IDEMPOTENT_POSTS = frozenset(
+    {"/compile", "/run", "/batch", "/check", "/shutdown"}
+)
+
+#: Transport-level failures worth a retry: the request may never have
+#: reached the daemon, or the response was cut off mid-body.
+_RETRYABLE_TRANSPORT = (
+    ConnectionError,
+    http.client.HTTPException,
+    TimeoutError,
+)
 
 
 class ServeClientError(Exception):
-    """A non-2xx daemon response (carries the HTTP status)."""
+    """A non-2xx daemon response (carries the HTTP status plus the
+    structured ``reason`` / ``retry_after`` fields when present)."""
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        reason: Optional[str] = None,
+        retry_after: Optional[float] = None,
+    ) -> None:
         super().__init__(f"[{status}] {message}")
         self.status = status
         self.message = message
+        self.reason = reason
+        self.retry_after = retry_after
+
+    @property
+    def shed(self) -> bool:
+        """True when the daemon pushed back (retry later), as opposed
+        to rejecting the request itself."""
+        return self.status in (429, 503)
 
 
 class ServeClient:
@@ -36,10 +91,14 @@ class ServeClient:
         host: str = "127.0.0.1",
         port: int = DEFAULT_PORT,
         timeout: float = 60.0,
+        retry: Optional[RetryPolicy] = None,
+        sink=None,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.sink = sink
 
     # -- transport ----------------------------------------------------------
 
@@ -48,6 +107,59 @@ class ServeClient:
         method: str,
         path: str,
         payload: Optional[Mapping[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """One logical request = up to ``1 + retry.retries`` attempts.
+
+        GETs and idempotent POSTs retry on transport failures and on
+        429/503 sheds; a POST outside :data:`IDEMPOTENT_POSTS` retries
+        only when its payload carries an ``idempotency_key`` (the
+        daemon dedupes the replay).  Non-shed HTTP errors (400/404/...)
+        never retry — they'd fail identically again.
+        """
+        retryable = method == "GET" or path in IDEMPOTENT_POSTS
+        if not retryable and payload is not None:
+            retryable = "idempotency_key" in payload
+        body = dict(payload) if payload is not None else None
+        attempts = 1 + (self.retry.retries if retryable else 0)
+        last_error: Optional[BaseException] = None
+        for attempt in range(attempts):
+            if body is not None and "rid" in body:
+                # Thread the attempt counter through so deterministic
+                # serve-side fault plans key off (rid, attempt).
+                body["attempt"] = attempt
+            if attempt > 0:
+                self._count("serve.retry.attempts")
+            try:
+                result = self._attempt(method, path, body)
+            except _RETRYABLE_TRANSPORT as exc:
+                last_error = exc
+                if attempt + 1 >= attempts:
+                    break
+                time.sleep(self.retry.delay(path, attempt))
+                continue
+            except ServeClientError as exc:
+                if not (exc.shed and attempt + 1 < attempts):
+                    if exc.shed:
+                        self._count("serve.retry.giveups")
+                    raise
+                last_error = exc
+                time.sleep(
+                    self.retry.delay(path, attempt,
+                                     retry_after=exc.retry_after)
+                )
+                continue
+            if attempt > 0:
+                self._count("serve.retry.recoveries")
+            return result
+        self._count("serve.retry.giveups")
+        assert last_error is not None
+        raise last_error
+
+    def _attempt(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Mapping[str, Any]],
     ) -> Dict[str, Any]:
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
@@ -60,19 +172,51 @@ class ServeClient:
                 headers["Content-Type"] = "application/json"
             connection.request(method, path, body=body, headers=headers)
             response = connection.getresponse()
-            data = json.loads(response.read() or b"{}")
+            raw = response.read()
+            try:
+                data = json.loads(raw or b"{}")
+            except ValueError:
+                # A truncated body on a 2xx is a dropped connection in
+                # JSON clothing — classify it as such so it retries.
+                raise http.client.IncompleteRead(raw)
             if response.status >= 300:
+                retry_after: Optional[float] = None
+                header = response.getheader("Retry-After")
+                if header is not None:
+                    try:
+                        retry_after = float(header)
+                    except ValueError:
+                        retry_after = None
+                if isinstance(data, dict):
+                    retry_after = data.get("retry_after", retry_after)
+                    reason = data.get("reason")
+                    message = data.get("error", "unknown error")
+                else:
+                    reason, message = None, "unknown error"
                 raise ServeClientError(
-                    response.status, data.get("error", "unknown error")
+                    response.status, message,
+                    reason=reason, retry_after=retry_after,
                 )
             return data
         finally:
             connection.close()
 
+    def _count(self, name: str) -> None:
+        if self.sink is not None:
+            self.sink.count(name)
+
     # -- endpoints ----------------------------------------------------------
 
     def health(self) -> Dict[str, Any]:
         return self.request("GET", "/health")
+
+    def ready(self) -> Dict[str, Any]:
+        """Readiness verdict; unlike the raw route this never raises on
+        a 503 — ``{"ready": False, ...}`` is an answer, not an error."""
+        try:
+            return self.request("GET", "/ready")
+        except ServeClientError as exc:
+            return {"ready": False, "reason": exc.reason or exc.message}
 
     def stats(self) -> Dict[str, Any]:
         return self.request("GET", "/stats")
@@ -100,6 +244,8 @@ class ServeClient:
         sizes: Optional[Mapping[str, int]] = None,
         machine: Optional[str] = None,
         config: Optional[Mapping[str, Any]] = None,
+        deadline_ms: Optional[float] = None,
+        rid: Optional[str] = None,
     ) -> Dict[str, Any]:
         payload: Dict[str, Any] = {
             "program": program,
@@ -112,6 +258,10 @@ class ServeClient:
             payload["machine"] = machine
         if config is not None:
             payload["config"] = dict(config)
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        if rid is not None:
+            payload["rid"] = rid
         return self.request("POST", "/run", payload)
 
     def batch(
@@ -121,6 +271,8 @@ class ServeClient:
         strict: bool = False,
         machine: Optional[str] = None,
         config: Optional[Mapping[str, Any]] = None,
+        deadline_ms: Optional[float] = None,
+        rid: Optional[str] = None,
     ) -> Dict[str, Any]:
         payload: Dict[str, Any] = {
             "program": program,
@@ -131,29 +283,42 @@ class ServeClient:
             payload["machine"] = machine
         if config is not None:
             payload["config"] = dict(config)
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        if rid is not None:
+            payload["rid"] = rid
         return self.request("POST", "/batch", payload)
 
-    def tune(self, program: str, transform: str, **options: Any) -> Dict[str, Any]:
+    def tune(
+        self, program: str, transform: str, **options: Any
+    ) -> Dict[str, Any]:
         payload = {"program": program, "transform": transform, **options}
+        # /tune is not naturally idempotent; an auto-generated key makes
+        # the replayed request dedupe server-side instead of launching
+        # the same tuning run twice.
+        payload.setdefault("idempotency_key", uuid.uuid4().hex)
         return self.request("POST", "/tune", payload)
 
     def job(self, job_id: str) -> Dict[str, Any]:
         return self.request("GET", f"/jobs/{job_id}")
 
     def wait_job(self, job_id: str, timeout: float = 300.0) -> Dict[str, Any]:
-        import time
-
+        """Poll a job to a terminal state with capped exponential
+        backoff (50 ms doubling to 1 s) — tight enough for short tunes,
+        no busy-spin for long ones."""
         deadline = time.monotonic() + timeout
+        delay = 0.05
         while True:
             snapshot = self.job(job_id)
-            if snapshot["state"] in ("done", "failed"):
+            if snapshot["state"] in ("done", "failed", "cancelled"):
                 return snapshot
             if time.monotonic() >= deadline:
                 raise TimeoutError(
                     f"job {job_id} still {snapshot['state']} "
                     f"after {timeout:.0f}s"
                 )
-            time.sleep(0.1)
+            time.sleep(min(delay, max(0.0, deadline - time.monotonic())))
+            delay = min(1.0, delay * 2)
 
     def check(self, program: str) -> Dict[str, Any]:
         return self.request("POST", "/check", {"program": program})

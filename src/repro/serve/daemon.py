@@ -4,25 +4,49 @@ Pure marshaling over the stdlib: a :class:`ThreadingHTTPServer` (one
 thread per connection, no new dependencies) that parses JSON bodies,
 dispatches to the app method for the route, and serializes the response.
 All domain errors arrive as :class:`~repro.serve.app.ServeError` and map
-to ``{"error": message}`` bodies at the error's status; anything else is
-a 500 with the exception text.
+to the structured body of :func:`repro.serve.records.error_body` at the
+error's status (sheds and deadline errors carry a machine-readable
+``reason`` plus a ``Retry-After`` header); anything else is a 500 with
+the exception text.
 
-``POST /shutdown`` answers first, then stops the server from a helper
-thread (``shutdown()`` deadlocks when called from a handler thread), so
-clients always get the acknowledgement.
+Resilience at the transport layer:
+
+* A client that disconnects mid-response (``BrokenPipeError`` /
+  ``ConnectionResetError`` while writing) is *not* an error worth a
+  traceback — and replying to it again on the same dead socket would
+  crash the handler loop.  ``_reply`` swallows write-side connection
+  errors and counts them (``serve.conn_dropped``).
+* ``GET /ready`` is the readiness probe (503 while draining or
+  saturated) as distinct from ``GET /health`` liveness.
+* ``POST /shutdown`` begins a *graceful drain*: the reply acknowledges
+  ``{"state": "draining"}`` immediately, new work sheds with 503, and a
+  helper thread waits for in-flight requests plus the running tune job
+  (bounded by the hard drain timeout) before stopping the accept loop
+  (``shutdown()`` deadlocks when called from a handler thread).
+* The listen backlog is bounded (``request_queue_size``) so overload
+  pushes back at the kernel instead of accumulating unbounded sockets.
+* The deterministic ``conn-drop`` fault kind truncates a response
+  mid-body here — declared ``Content-Length``, half the bytes, close —
+  which is what a retrying client sees as an ``IncompleteRead``.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
 from repro.serve.app import ServeApp, ServeError
+from repro.serve.records import error_body
 
 #: Default daemon port (spells "PB" on a phone keypad, near enough).
 DEFAULT_PORT = 7209
+
+#: Write-side socket failures meaning "the client went away", not "the
+#: daemon is broken".
+_CONN_ERRORS = (BrokenPipeError, ConnectionResetError, ConnectionAbortedError)
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -36,6 +60,9 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             if self.path == "/health":
                 self._reply(200, self.app.health())
+            elif self.path == "/ready":
+                verdict = self.app.ready_probe()
+                self._reply(200 if verdict["ready"] else 503, verdict)
             elif self.path == "/stats":
                 self._reply(200, self.app.stats())
             elif self.path.startswith("/jobs/"):
@@ -46,11 +73,13 @@ class _Handler(BaseHTTPRequestHandler):
                     self.app.program_info(self.path[len("/programs/"):]),
                 )
             else:
-                self._reply(404, {"error": f"no route {self.path!r}"})
+                self._reply(404, error_body(f"no route {self.path!r}"))
+        except _CONN_ERRORS:
+            self._count_conn_dropped()
         except ServeError as exc:
-            self._reply(exc.status, {"error": exc.message})
+            self._reply_error(exc)
         except Exception as exc:  # never kill the connection thread
-            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+            self._reply(500, error_body(f"{type(exc).__name__}: {exc}"))
 
     def do_POST(self) -> None:  # noqa: N802
         try:
@@ -58,24 +87,41 @@ class _Handler(BaseHTTPRequestHandler):
             if self.path == "/compile":
                 self._reply(200, self.app.compile(payload))
             elif self.path == "/run":
-                self._reply(200, self.app.run(payload))
+                self._reply(
+                    200,
+                    self.app.run(payload),
+                    drop=self.app.injected_conn_drop("run", payload),
+                )
             elif self.path == "/batch":
-                self._reply(200, self.app.batch(payload))
+                self._reply(
+                    200,
+                    self.app.batch(payload),
+                    drop=self.app.injected_conn_drop("batch", payload),
+                )
             elif self.path == "/tune":
                 self._reply(200, self.app.tune(payload))
             elif self.path == "/check":
                 self._reply(200, self.app.check(payload))
             elif self.path == "/shutdown":
-                self._reply(200, {"ok": True, "state": "stopping"})
+                self.app.begin_drain()
+                self._reply(200, {"ok": True, "state": "draining"})
                 threading.Thread(
-                    target=self.server.shutdown, daemon=True
+                    target=self._drain_then_stop, daemon=True
                 ).start()
             else:
-                self._reply(404, {"error": f"no route {self.path!r}"})
+                self._reply(404, error_body(f"no route {self.path!r}"))
+        except _CONN_ERRORS:
+            self._count_conn_dropped()
         except ServeError as exc:
-            self._reply(exc.status, {"error": exc.message})
+            self._reply_error(exc)
         except Exception as exc:
-            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+            self._reply(500, error_body(f"{type(exc).__name__}: {exc}"))
+
+    def _drain_then_stop(self) -> None:
+        """Graceful stop: finish admitted work (bounded by the drain
+        timeout), then break the accept loop."""
+        self.app.drain()
+        self.server.shutdown()
 
     # -- plumbing -----------------------------------------------------------
 
@@ -83,6 +129,9 @@ class _Handler(BaseHTTPRequestHandler):
         length = int(self.headers.get("Content-Length") or 0)
         if length == 0:
             return {}
+        # A client vanishing mid-upload raises a connection error here,
+        # caught by the route dispatcher so the handler never runs on a
+        # half-read body.
         raw = self.rfile.read(length)
         try:
             payload = json.loads(raw)
@@ -92,13 +141,55 @@ class _Handler(BaseHTTPRequestHandler):
             raise ServeError(400, "JSON body must be an object")
         return payload
 
-    def _reply(self, status: int, payload: Dict[str, Any]) -> None:
+    def _reply_error(self, exc: ServeError) -> None:
+        self._reply(
+            exc.status,
+            error_body(exc.message, reason=exc.code,
+                       retry_after=exc.retry_after),
+            retry_after=exc.retry_after,
+        )
+
+    def _reply(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        retry_after: Optional[float] = None,
+        drop: bool = False,
+    ) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            if retry_after is not None:
+                # HTTP wants integral seconds; never round a positive
+                # hint down to "retry immediately".
+                self.send_header(
+                    "Retry-After", str(max(1, math.ceil(retry_after)))
+                )
+            if drop:
+                self.send_header("Connection", "close")
+            self.end_headers()
+            if drop:
+                # Injected conn-drop: declared length, half the bytes,
+                # then hang up — the client sees an IncompleteRead.
+                self.wfile.write(body[: len(body) // 2])
+                self.wfile.flush()
+                self.close_connection = True
+                self._count_conn_dropped()
+                return
+            self.wfile.write(body)
+        except _CONN_ERRORS:
+            # The peer hung up while we were answering.  Writing again
+            # (e.g. an error reply) would just raise on the same dead
+            # socket; count it and let the handler thread end quietly.
+            self.close_connection = True
+            self._count_conn_dropped()
+
+    def _count_conn_dropped(self) -> None:
+        sink = getattr(self.app, "sink", None)
+        if sink is not None:
+            sink.count("serve.conn_dropped")
 
     def log_message(self, fmt: str, *args: Any) -> None:
         """Per-request access logging is the sink's job (counters and
@@ -109,15 +200,25 @@ class ServeDaemon:
     """One app bound to one listening socket.
 
     ``port=0`` binds an ephemeral port (tests and the latency benchmark
-    use this); read it back from :attr:`port`.
+    use this); read it back from :attr:`port`.  ``backlog`` bounds the
+    kernel listen queue — the outermost tier of admission control.
     """
 
     def __init__(
-        self, app: ServeApp, host: str = "127.0.0.1", port: int = DEFAULT_PORT
+        self,
+        app: ServeApp,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        backlog: int = 64,
     ) -> None:
         self.app = app
         handler = type("_BoundHandler", (_Handler,), {"app": app})
-        self.server = ThreadingHTTPServer((host, port), handler)
+        server_cls = type(
+            "_BoundServer",
+            (ThreadingHTTPServer,),
+            {"request_queue_size": max(1, int(backlog))},
+        )
+        self.server = server_cls((host, port), handler)
         self.server.daemon_threads = True
         self._thread: Optional[threading.Thread] = None
 
@@ -145,7 +246,13 @@ class ServeDaemon:
         self._thread.start()
         return self
 
-    def stop(self) -> None:
+    def stop(self, graceful: bool = True) -> None:
+        """Stop the daemon.  ``graceful`` (default) sheds new work and
+        waits (bounded) for in-flight requests before closing the
+        socket, mirroring ``POST /shutdown`` / SIGTERM."""
+        if graceful:
+            self.app.begin_drain()
+            self.app.drain()
         self.server.shutdown()
         if self._thread is not None:
             self._thread.join(timeout=5.0)

@@ -6,9 +6,22 @@ daemon worker threads (each of which may itself fan measurements over
 the fault-tolerant :class:`~repro.autotuner.parallel.ParallelEvaluator`
 process pool).  Jobs move ``queued → running → done | failed``; the
 runner's return value becomes ``job.result``, its exception becomes
-``job.error``.  State transitions happen under one lock and
-:meth:`JobQueue.get` returns plain snapshots, so handlers polling
-``GET /jobs/<id>`` never see a torn job.
+``job.error``.  All state transitions happen under one condition
+variable: :meth:`JobQueue.get` returns plain snapshots (handlers
+polling ``GET /jobs/<id>`` never see a torn job) and :meth:`JobQueue.
+wait` blocks *event-based* on the condition — no busy-polling.
+
+Resilience hooks:
+
+* **Idempotent enqueue** — ``submit(..., idempotency_key=...)`` returns
+  the existing job for a repeated key instead of enqueuing a duplicate,
+  so a client that retries a tune request over a flaky connection never
+  starts the same tuning run twice.
+* **Drain** — :meth:`drain` stops accepting work and cancels
+  still-queued jobs (``queued → cancelled``) while the currently
+  running job finishes; :meth:`wait_idle` blocks until workers go
+  quiet.  ``close()`` without a preceding drain keeps the original
+  semantics (queued jobs complete before the sentinel).
 """
 
 from __future__ import annotations
@@ -16,8 +29,16 @@ from __future__ import annotations
 import queue
 import threading
 import traceback
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: Terminal job states (waiting on a job ends when it reaches one).
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+class QueueDraining(RuntimeError):
+    """Raised by ``submit`` once the queue is draining — the serve app
+    maps it to a structured 503 shed."""
 
 
 @dataclass
@@ -27,7 +48,7 @@ class Job:
     job_id: str
     kind: str
     payload: Dict[str, Any]
-    state: str = "queued"  # queued | running | done | failed
+    state: str = "queued"  # queued | running | done | failed | cancelled
     result: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
 
@@ -58,10 +79,13 @@ class JobQueue:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self._runner = runner
-        self._lock = threading.Lock()
+        self._cond = threading.Condition()
         self._jobs: Dict[str, Job] = {}
+        self._keys: Dict[str, str] = {}  # idempotency key -> job id
         self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
         self._next = 0
+        self._running = 0
+        self._draining = False
         self._threads: List[threading.Thread] = []
         for index in range(workers):
             thread = threading.Thread(
@@ -70,23 +94,42 @@ class JobQueue:
             thread.start()
             self._threads.append(thread)
 
-    def submit(self, kind: str, payload: Dict[str, Any]) -> str:
-        with self._lock:
+    def submit(
+        self,
+        kind: str,
+        payload: Dict[str, Any],
+        idempotency_key: Optional[str] = None,
+    ) -> Tuple[str, bool]:
+        """Enqueue one job; returns ``(job_id, deduped)``.
+
+        A repeated ``idempotency_key`` returns the original job id with
+        ``deduped=True`` and enqueues nothing — the retry contract for
+        the non-idempotent ``/tune`` route.
+        """
+        with self._cond:
+            if self._draining:
+                raise QueueDraining("job queue is draining")
+            if idempotency_key is not None:
+                existing = self._keys.get(idempotency_key)
+                if existing is not None:
+                    return existing, True
             self._next += 1
             job_id = f"j{self._next}"
             self._jobs[job_id] = Job(job_id, kind, dict(payload))
+            if idempotency_key is not None:
+                self._keys[idempotency_key] = job_id
         self._queue.put(job_id)
-        return job_id
+        return job_id, False
 
     def get(self, job_id: str) -> Dict[str, Any]:
-        with self._lock:
+        with self._cond:
             job = self._jobs.get(job_id)
             if job is None:
                 raise KeyError(f"unknown job {job_id!r}")
             return job.snapshot()
 
     def jobs(self) -> List[Dict[str, Any]]:
-        with self._lock:
+        with self._cond:
             return [
                 self._jobs[job_id].snapshot()
                 for job_id in sorted(
@@ -95,18 +138,44 @@ class JobQueue:
             ]
 
     def wait(self, job_id: str, timeout: float = 60.0) -> Dict[str, Any]:
-        """Poll until the job leaves the queue/running states (testing
-        and client convenience; the HTTP API itself never blocks)."""
-        import time
+        """Block (event-based, no polling) until the job reaches a
+        terminal state; raises ``TimeoutError`` past ``timeout``."""
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise KeyError(f"unknown job {job_id!r}")
+            if not self._cond.wait_for(
+                lambda: job.state in TERMINAL_STATES, timeout=timeout
+            ):
+                raise TimeoutError(f"job {job_id} still {job.state}")
+            return job.snapshot()
 
-        deadline = time.monotonic() + timeout
-        while True:
-            snapshot = self.get(job_id)
-            if snapshot["state"] in ("done", "failed"):
-                return snapshot
-            if time.monotonic() >= deadline:
-                raise TimeoutError(f"job {job_id} still {snapshot['state']}")
-            time.sleep(0.02)
+    # -- drain / shutdown ---------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def drain(self) -> int:
+        """Stop accepting jobs and cancel everything still queued; the
+        running job (if any) finishes.  Returns the cancel count."""
+        cancelled = 0
+        with self._cond:
+            self._draining = True
+            for job in self._jobs.values():
+                if job.state == "queued":
+                    job.state = "cancelled"
+                    job.error = "cancelled: daemon draining"
+                    cancelled += 1
+            self._cond.notify_all()
+        return cancelled
+
+    def wait_idle(self, timeout: float) -> bool:
+        """Block until no worker is running a job (or ``timeout``)."""
+        with self._cond:
+            return self._cond.wait_for(
+                lambda: self._running == 0, timeout=timeout
+            )
 
     def close(self) -> None:
         """Stop accepting work and let workers drain their sentinel."""
@@ -122,16 +191,24 @@ class JobQueue:
             job_id = self._queue.get()
             if job_id is None:
                 return
-            with self._lock:
+            with self._cond:
                 job = self._jobs[job_id]
+                if job.state == "cancelled":
+                    continue
                 job.state = "running"
+                self._running += 1
+                self._cond.notify_all()
             try:
                 result = self._runner(job)
             except Exception:
-                with self._lock:
+                with self._cond:
                     job.state = "failed"
                     job.error = traceback.format_exc(limit=8)
+                    self._running -= 1
+                    self._cond.notify_all()
             else:
-                with self._lock:
+                with self._cond:
                     job.state = "done"
                     job.result = result
+                    self._running -= 1
+                    self._cond.notify_all()

@@ -47,3 +47,22 @@ def malformed_record(lineno: int, message: str) -> Dict[str, Any]:
     """The record a malformed (unparseable / unknown-transform) request
     line degrades to when ``--strict`` is off."""
     return {"id": None, "line": lineno, "ok": False, "error": message}
+
+
+def error_body(
+    message: str,
+    reason: Optional[str] = None,
+    retry_after: Optional[float] = None,
+) -> Dict[str, Any]:
+    """The structured HTTP error body every non-2xx daemon response
+    carries: ``error`` (human text) plus, when known, a machine-readable
+    ``reason`` (``capacity`` | ``queue_timeout`` | ``draining`` |
+    ``deadline_exceeded`` | ``store_io`` | ...) and a ``retry_after``
+    hint in seconds (mirrored in the ``Retry-After`` header).  The chaos
+    harness validates shed/deadline errors against this shape."""
+    body: Dict[str, Any] = {"error": message}
+    if reason is not None:
+        body["reason"] = reason
+    if retry_after is not None:
+        body["retry_after"] = retry_after
+    return body

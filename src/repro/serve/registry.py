@@ -89,11 +89,13 @@ class ProgramEntry:
     program token, so sharing one engine across requests reuses its
     stacked-plan cache)."""
 
-    def __init__(self, phash: str, source: str, program: CompiledProgram):
+    def __init__(
+        self, phash: str, source: str, program: CompiledProgram, sink=None
+    ):
         self.phash = phash
         self.source = source
         self.program = program
-        self.engine = BatchEngine()
+        self.engine = BatchEngine(sink=sink)
         #: BatchEngine is submit/gather-cycle stateful; one cycle at a time.
         self.engine_lock = threading.Lock()
 
@@ -133,7 +135,7 @@ class ServeRegistry:
                 self._count("serve.program_hits")
                 return entry, True
             program = compile_program(source)
-            entry = ProgramEntry(phash, source, program)
+            entry = ProgramEntry(phash, source, program, sink=self.sink)
             self._programs[phash] = entry
             self._count("serve.compiles")
             return entry, False
@@ -178,6 +180,14 @@ class ServeRegistry:
             self._configs[key] = entry
             self._count("serve.version_bumps")
             return entry
+
+    def current_version(self, phash: str, machine: str, bucket: str) -> int:
+        """The registered version for one exact key (0 when absent) —
+        the durable-publish path reserves ``current_version() + 1``,
+        writes the artifact, and only then commits the registry bump, so
+        an acknowledged version is always on disk."""
+        entry = self._configs.get((phash, machine, bucket))
+        return entry.version if entry is not None else 0
 
     def lookup(
         self, phash: str, machine: str, bucket: str

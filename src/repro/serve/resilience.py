@@ -1,0 +1,368 @@
+"""Serving-layer resilience primitives: admission control, deadlines,
+structured shedding, drain coordination, and the client retry policy.
+
+The serve daemon fronts heavy traffic with finite resources, so every
+overload decision is made *explicitly* here instead of implicitly by
+queue growth:
+
+* :class:`AdmissionController` — a weighted concurrency limiter plus a
+  bounded accept queue in front of ``ServeApp.run/batch/tune``.  A
+  request is admitted immediately when in-flight weight fits
+  ``max_concurrency``, waits (bounded, deadline-aware) when the accept
+  queue has room, and otherwise is **shed immediately** with a
+  structured :class:`ShedError` (HTTP 429/503 + ``Retry-After`` + a
+  machine-readable ``reason``) — never silently queued to OOM.  Batch
+  requests weigh their request count, so one 1024-line batch cannot
+  starve the limiter accounting.
+* :class:`Deadline` — a per-request wall-clock budget (``deadline_ms``
+  on ``/run`` and ``/batch``, or the server default).  The batch
+  engine's drain loop checks it at bucket/segment boundaries; an
+  expired request gets a well-formed :class:`DeadlineExceeded` record
+  while bucket-mates already executing complete normally.
+* :class:`RetryPolicy` — bounded exponential backoff with deterministic
+  (seeded, blake2b-derived) jitter for :class:`~repro.serve.client.
+  ServeClient`; honors ``Retry-After`` hints on sheds.
+* :class:`ResilienceConfig` — one knob bundle threaded from the CLI
+  through the app to the admission controller and drain logic.
+
+Counters (on the app's :class:`~repro.observe.trace.TraceSink`):
+``serve.shed.capacity`` / ``serve.shed.queue_timeout`` /
+``serve.shed.draining`` / ``serve.shed.injected``,
+``serve.deadline.expired`` / ``serve.deadline.batch_requests``,
+``serve.drain.begun`` / ``serve.drain.completed`` /
+``serve.drain.forced``; the client counts ``serve.retry.attempts`` /
+``serve.retry.recoveries`` / ``serve.retry.giveups`` on its own sink.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, Mapping, Optional
+
+
+class ServeError(Exception):
+    """An error with an HTTP status; the daemon maps it to a JSON body.
+
+    ``code`` is the machine-readable reason (``"capacity"``,
+    ``"draining"``, ``"deadline_exceeded"``, …) clients branch on;
+    ``retry_after`` (seconds) is the shed back-pressure hint surfaced
+    both in the body and as the HTTP ``Retry-After`` header.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        code: Optional[str] = None,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.code = code
+        self.retry_after = retry_after
+
+
+class ShedError(ServeError):
+    """Load shed: the request was refused *before* any work happened,
+    so retrying it (after ``retry_after``) is always safe."""
+
+
+class DeadlineExceeded(Exception):
+    """A request's deadline budget expired before (or between) its
+    execution boundaries.  The message is a pure function of the budget
+    — no wall-clock content — so shed records stay byte-deterministic.
+    """
+
+
+@dataclass
+class ResilienceConfig:
+    """Serving-resilience knobs (one instance per :class:`ServeApp`).
+
+    ``max_concurrency`` and ``max_queue`` are *weighted* units: a run or
+    tune costs 1, a batch costs its request-line count (clamped to
+    ``max_concurrency`` so a maximal batch occupies the whole limiter
+    rather than becoming unservable).  ``queue_high_water`` is the
+    readiness threshold: ``/ready`` reports saturated once the accept
+    queue holds that many units.
+    """
+
+    max_concurrency: int = 8
+    max_queue: int = 16
+    queue_timeout_s: float = 30.0
+    default_deadline_ms: Optional[float] = None
+    drain_timeout_s: float = 10.0
+    retry_after_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1")
+        if self.max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        if self.default_deadline_ms is not None and self.default_deadline_ms <= 0:
+            raise ValueError("default_deadline_ms must be > 0")
+
+    @property
+    def queue_high_water(self) -> int:
+        return max(1, self.max_queue // 2)
+
+    def clamp_cost(self, cost: int) -> int:
+        return max(1, min(int(cost), self.max_concurrency))
+
+
+class Deadline:
+    """A monotonic wall-clock budget for one request."""
+
+    __slots__ = ("budget_ms", "_expires_at")
+
+    def __init__(self, budget_ms: float) -> None:
+        if budget_ms <= 0:
+            raise ValueError("deadline budget must be > 0 ms")
+        self.budget_ms = float(budget_ms)
+        self._expires_at = time.monotonic() + self.budget_ms / 1000.0
+
+    @classmethod
+    def from_payload(
+        cls,
+        payload: Mapping[str, Any],
+        default_ms: Optional[float] = None,
+    ) -> Optional["Deadline"]:
+        """The request's ``deadline_ms`` (or the server default, or
+        ``None`` for unbounded).  A malformed value is a 400."""
+        raw = payload.get("deadline_ms", default_ms)
+        if raw is None:
+            return None
+        try:
+            budget = float(raw)
+            if budget <= 0:
+                raise ValueError
+        except (TypeError, ValueError):
+            raise ServeError(
+                400, f"bad deadline_ms {raw!r}: must be a number > 0"
+            ) from None
+        return cls(budget)
+
+    def expired(self) -> bool:
+        return time.monotonic() >= self._expires_at
+
+    def remaining_s(self) -> float:
+        return max(0.0, self._expires_at - time.monotonic())
+
+    def error(self) -> DeadlineExceeded:
+        """The structured per-request error — deterministic text (the
+        budget, never the elapsed time) so batch records keep byte
+        parity across runs."""
+        return DeadlineExceeded(
+            f"{self.budget_ms:g}ms request budget exhausted"
+        )
+
+    def serve_error(self) -> ServeError:
+        return ServeError(
+            504,
+            f"deadline_exceeded: {self.budget_ms:g}ms request budget "
+            "exhausted",
+            code="deadline_exceeded",
+        )
+
+
+class AdmissionController:
+    """Weighted concurrency limiter + bounded accept queue.
+
+    All state lives under one condition variable: ``_inflight`` is the
+    weighted cost of admitted requests, ``_queued`` the weighted cost of
+    requests waiting for a slot.  ``admit`` is a context manager; the
+    slot is released on exit however the request ends.
+
+    Shedding is immediate and structured:
+
+    * draining → 503 ``draining`` (retry against the next instance),
+    * accept queue full → 429 ``capacity``,
+    * queued past ``queue_timeout_s`` → 429 ``queue_timeout``,
+    * queued past the request deadline → the deadline's 504.
+    """
+
+    def __init__(self, config: ResilienceConfig, sink=None) -> None:
+        self.config = config
+        self.sink = sink
+        self._cond = threading.Condition()
+        self._inflight = 0
+        self._queued = 0
+        self._draining = False
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._cond:
+            return {
+                "inflight": self._inflight,
+                "queued": self._queued,
+                "max_concurrency": self.config.max_concurrency,
+                "max_queue": self.config.max_queue,
+                "draining": self._draining,
+            }
+
+    def ready(self) -> Dict[str, Any]:
+        """The readiness probe's verdict: accepting and not saturated."""
+        with self._cond:
+            if self._draining:
+                return {"ready": False, "reason": "draining"}
+            if self._queued >= self.config.queue_high_water:
+                return {"ready": False, "reason": "saturated"}
+            return {"ready": True, "reason": "ok"}
+
+    # -- admission ----------------------------------------------------------
+
+    @contextlib.contextmanager
+    def admit(
+        self,
+        route: str,
+        cost: int = 1,
+        deadline: Optional[Deadline] = None,
+        forced_shed: bool = False,
+    ) -> Iterator[None]:
+        cost = self.config.clamp_cost(cost)
+        self._acquire(route, cost, deadline, forced_shed)
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._inflight -= cost
+                self._cond.notify_all()
+
+    def _shed(
+        self, route: str, counter: str, status: int, code: str, message: str
+    ) -> ShedError:
+        self._count(f"serve.shed.{counter}")
+        retry_after = (
+            self.config.drain_timeout_s
+            if code == "draining"
+            else self.config.retry_after_s
+        )
+        return ShedError(
+            status,
+            f"{route} shed: {message}",
+            code=code,
+            retry_after=retry_after,
+        )
+
+    def _acquire(
+        self,
+        route: str,
+        cost: int,
+        deadline: Optional[Deadline],
+        forced_shed: bool,
+    ) -> None:
+        timeout_at = time.monotonic() + self.config.queue_timeout_s
+        with self._cond:
+            if forced_shed:
+                raise self._shed(
+                    route, "injected", 429, "capacity",
+                    "injected shed storm (dev/test)",
+                )
+            queued = False
+            try:
+                while True:
+                    if self._draining:
+                        raise self._shed(
+                            route, "draining", 503, "draining",
+                            "daemon is draining; retry against the next "
+                            "instance",
+                        )
+                    if self._inflight + cost <= self.config.max_concurrency:
+                        self._inflight += cost
+                        return
+                    if not queued:
+                        if self._queued + cost > self.config.max_queue:
+                            raise self._shed(
+                                route, "capacity", 429, "capacity",
+                                f"concurrency limit "
+                                f"{self.config.max_concurrency} and accept "
+                                f"queue {self.config.max_queue} are full",
+                            )
+                        queued = True
+                        self._queued += cost
+                    now = time.monotonic()
+                    if now >= timeout_at:
+                        raise self._shed(
+                            route, "queue_timeout", 429, "queue_timeout",
+                            f"queued past "
+                            f"{self.config.queue_timeout_s:g}s without a "
+                            "slot",
+                        )
+                    if deadline is not None and deadline.expired():
+                        self._count("serve.deadline.expired")
+                        raise deadline.serve_error()
+                    wait = timeout_at - now
+                    if deadline is not None:
+                        wait = min(wait, deadline.remaining_s())
+                    self._cond.wait(timeout=max(0.001, wait))
+            finally:
+                if queued:
+                    self._queued -= cost
+
+    # -- drain --------------------------------------------------------------
+
+    def begin_drain(self) -> bool:
+        """Flip the draining flag; returns True the first time only.
+        Queued waiters wake and shed with ``draining``."""
+        with self._cond:
+            if self._draining:
+                return False
+            self._draining = True
+            self._cond.notify_all()
+            return True
+
+    def wait_idle(self, timeout: float) -> bool:
+        """Block until no request is in flight (or ``timeout``)."""
+        with self._cond:
+            return self._cond.wait_for(
+                lambda: self._inflight == 0 and self._queued == 0,
+                timeout=timeout,
+            )
+
+    def _count(self, name: str) -> None:
+        if self.sink is not None:
+            self.sink.count(name)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic jitter.
+
+    The jitter fraction is blake2b-derived from ``(seed, route,
+    attempt)`` — the same construction as the fault injector — so a
+    retry schedule replays identically across runs, which keeps the
+    chaos harness deterministic end to end.  ``Retry-After`` hints from
+    sheds are honored (capped at ``max_backoff_s``) and never shortened
+    below the server's ask.
+    """
+
+    retries: int = 3
+    backoff_s: float = 0.05
+    max_backoff_s: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0x52E7
+
+    def delay(
+        self,
+        route: str,
+        attempt: int,
+        retry_after: Optional[float] = None,
+    ) -> float:
+        base = min(self.max_backoff_s, self.backoff_s * (2.0 ** attempt))
+        digest = hashlib.blake2b(
+            f"{self.seed}|{route}|{attempt}".encode("utf-8"), digest_size=8
+        ).digest()
+        fraction = int.from_bytes(digest, "big") / 2.0**64
+        delay = base * (1.0 + self.jitter * (2.0 * fraction - 1.0))
+        if retry_after is not None:
+            delay = max(delay, min(float(retry_after), self.max_backoff_s))
+        return delay

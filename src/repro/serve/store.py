@@ -8,9 +8,16 @@ Layout (everything human-readable JSON / DSL text)::
       configs/<hash>/<machine>/<bucket>.json       # ChoiceConfig JSON
       configs/<hash>/<machine>/<bucket>.meta.json  # version, digest, origin
 
-Writes are atomic (temp file + ``os.replace``) so a killed daemon never
-leaves a half-written artifact; a truncated/corrupt artifact is skipped
-(and counted) during recovery instead of poisoning startup.  Recovery
+Writes are atomic **and durable**: the temp file is fsync'd before
+``os.replace`` and the directory is fsync'd after, so neither a killed
+daemon (atomicity) nor a machine crash (durability) can lose an
+acknowledged publish or leave a half-written artifact; a
+truncated/corrupt artifact is skipped (and counted) during recovery
+instead of poisoning startup.  An optional
+:class:`~repro.faults.injector.FaultInjector` turns on deterministic
+``store-io-fail`` injection: a firing save raises ``OSError`` *before*
+any byte reaches disk, the failure mode the chaos harness uses to prove
+publish-then-crash recovery never regresses versions.  Recovery
 (:meth:`ArtifactStore.recover_into`) replays programs first, then config
 entries at their **persisted** versions — a restarted daemon resumes the
 version sequence instead of resetting it, so clients comparing versions
@@ -29,6 +36,21 @@ from repro.compiler import ChoiceConfig
 from repro.serve.registry import ServeRegistry
 
 
+def _fsync_dir(directory: str) -> None:
+    """fsync a directory so a just-replaced entry survives a machine
+    crash (no-op on platforms that refuse directory fds)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def _atomic_write(path: str, text: str) -> None:
     directory = os.path.dirname(path)
     os.makedirs(directory, exist_ok=True)
@@ -36,7 +58,14 @@ def _atomic_write(path: str, text: str) -> None:
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
             handle.write(text)
+            handle.flush()
+            # Durability, not just atomicity: the data must be on disk
+            # before the rename makes it visible...
+            os.fsync(handle.fileno())
         os.replace(tmp, path)
+        # ...and the rename itself must be on disk before the publish
+        # is acknowledged.
+        _fsync_dir(directory)
     except BaseException:
         if os.path.exists(tmp):
             os.unlink(tmp)
@@ -46,10 +75,17 @@ def _atomic_write(path: str, text: str) -> None:
 class ArtifactStore:
     """Durable programs + configs under one root directory."""
 
-    def __init__(self, root: str) -> None:
+    def __init__(self, root: str, injector=None) -> None:
         self.root = root
+        self.injector = injector
         os.makedirs(self.programs_dir, exist_ok=True)
         os.makedirs(self.configs_dir, exist_ok=True)
+
+    def _maybe_fail(self, identity: str, attempt: int = 0) -> None:
+        if self.injector is not None and self.injector.fires(
+            "store-io-fail", identity, attempt
+        ):
+            raise OSError(f"injected store I/O failure writing {identity}")
 
     @property
     def programs_dir(self) -> str:
@@ -98,8 +134,20 @@ class ArtifactStore:
         bucket: str,
         config: ChoiceConfig,
         meta: Dict,
+        attempt: int = 0,
     ) -> None:
-        """Persist one config entry; ``meta`` must carry ``version``."""
+        """Persist one config entry; ``meta`` must carry ``version``.
+
+        ``attempt`` is the caller's retry counter for this publish —
+        under the injector's default at-most-once rule a ``store-io-
+        fail`` fires on attempt 0 and the retry lands durably, so an
+        injected plan proves the retry contract instead of wedging the
+        key forever."""
+        self._maybe_fail(
+            f"configs/{phash}/{machine}/{bucket}"
+            f"/v{int(meta.get('version', 1))}",
+            attempt=attempt,
+        )
         config_path, meta_path = self._config_paths(phash, machine, bucket)
         _atomic_write(config_path, config.to_json())
         _atomic_write(

@@ -419,7 +419,7 @@ class TestHTTP:
     def test_shutdown_route_stops_server(self):
         daemon = ServeDaemon(ServeApp(), port=0).start_background()
         client = ServeClient(port=daemon.port, timeout=30.0)
-        assert client.shutdown()["state"] == "stopping"
+        assert client.shutdown()["state"] == "draining"
         daemon._thread.join(timeout=5.0)
         assert not daemon._thread.is_alive()
 

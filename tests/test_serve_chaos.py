@@ -1,0 +1,96 @@
+"""Chaos tests: the serving invariant under injected fault schedules.
+
+Each test drives :mod:`repro.faults.serve_harness` — a live daemon, a
+deterministic request schedule, retrying clients — and asserts that
+every request either got the byte-identical fault-free response or
+exactly one well-formed structured error, with no hung threads; plus
+the kill-and-restart durability checks for the artifact store.
+"""
+
+import tempfile
+
+import pytest
+
+from repro.faults import FaultInjector
+from repro.faults.serve_harness import (
+    COMBINED_INJECT,
+    KIND_INJECTS,
+    SCALE,
+    check_serve_resilience,
+    check_store_recovery,
+    run_serve_chaos,
+)
+from repro.serve import ServeApp, ServeError
+
+
+@pytest.mark.parametrize(
+    "kind", ["conn-drop", "slow-handler", "shed-storm", "drain-race"]
+)
+def test_single_kind_invariant(kind):
+    report = check_serve_resilience(
+        f"{KIND_INJECTS[kind]},seed=3", requests=9, workers=3
+    )
+    assert report.ok
+    assert report.parity + report.structured_errors == report.requests
+    assert not report.hung_threads
+
+
+def test_combined_plan_keeps_parity_majority():
+    report = check_serve_resilience(f"{COMBINED_INJECT},seed=2", requests=12)
+    assert report.ok
+    # The combined plan's probabilities leave most requests recovering
+    # to byte parity; sheds during an injected drain are the rest.
+    assert report.parity >= 1
+    assert report.client_counters.get("serve.retry.attempts", 0) >= 1
+
+
+def test_store_recovery_under_injected_io_failures():
+    report = check_store_recovery(f"{KIND_INJECTS['store-io-fail']},seed=5")
+    assert report.ok
+    assert report.parity == report.requests  # every publish finally landed
+    assert report.server_counters.get("serve.store.write_failures", 0) >= 1
+
+
+def test_kill_and_restart_never_regresses_versions():
+    """An unacknowledged (failed) publish must be invisible after a
+    crash; a retried publish lands durably and survives the restart."""
+    from repro.compiler import ChoiceConfig
+
+    injector = FaultInjector.parse("store-io-fail:1x1")
+    with tempfile.TemporaryDirectory() as root:
+        app = ServeApp(store_dir=root, injector=injector)
+        phash = app.compile({"source": SCALE})["program"]
+        with pytest.raises(ServeError) as excinfo:
+            app.publish_config(
+                phash, "xeon8", "any", ChoiceConfig(), attempt=0
+            )
+        assert excinfo.value.code == "store_io"
+        app.close()  # simulated crash after the failed, unacked publish
+
+        restarted = ServeApp(store_dir=root, injector=injector)
+        assert (
+            restarted.registry.current_version(phash, "xeon8", "any") == 0
+        )
+        # The retry contract: attempt 1 lands durably at version 1.
+        entry = restarted.publish_config(
+            phash, "xeon8", "any", ChoiceConfig(), attempt=1
+        )
+        assert entry.version == 1
+        restarted.close()
+
+        recovered = ServeApp(store_dir=root)
+        assert (
+            recovered.registry.current_version(phash, "xeon8", "any") == 1
+        )
+        recovered.close()
+
+
+def test_run_serve_chaos_report_shape(tmp_path):
+    report_path = tmp_path / "chaos.json"
+    summary = run_serve_chaos(
+        [4], requests=6, report_path=str(report_path)
+    )
+    assert summary["ok"] is True
+    # One run per fault kind plus the combined plan.
+    assert len(summary["runs"]) == 6
+    assert report_path.exists()

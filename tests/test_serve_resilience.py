@@ -1,0 +1,567 @@
+"""Tests for the serving-layer resilience stack.
+
+Covers admission control (weighted sheds, bounded queueing, structured
+429/503 + Retry-After), request deadline budgets on /run and /batch
+(including the batch engine's bucket-boundary checks), graceful drain
+semantics (in-flight work completes byte-identically while new work
+sheds), liveness vs readiness probes, the event-based job queue with
+idempotent enqueue, client-side bounded retries against injected
+transport faults, and the dropped-connection tolerance of the HTTP
+handler.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.batch.engine import BatchEngine
+from repro.faults import FaultInjector
+from repro.serve import (
+    AdmissionController,
+    Deadline,
+    DeadlineExceeded,
+    JobQueue,
+    QueueDraining,
+    ResilienceConfig,
+    RetryPolicy,
+    ServeApp,
+    ServeClient,
+    ServeClientError,
+    ServeDaemon,
+    ServeError,
+    ShedError,
+)
+from repro.serve.daemon import _Handler
+from repro.observe.trace import ThreadSafeSink
+
+SCALE = """
+transform Scale
+from A[n, m]
+to B[n, m]
+{
+  to (B.cell(x, y) b) from (A.cell(x, y) a) { b = a * 2.0 + 1.0; }
+}
+"""
+
+
+def _app(**kwargs):
+    return ServeApp(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# admission control
+
+
+class TestAdmission:
+    def test_capacity_shed_is_structured(self):
+        config = ResilienceConfig(
+            max_concurrency=1, max_queue=0, retry_after_s=0.25
+        )
+        sink = ThreadSafeSink()
+        admission = AdmissionController(config, sink=sink)
+        with admission.admit("run"):
+            with pytest.raises(ShedError) as excinfo:
+                with admission.admit("run"):
+                    pass
+        shed = excinfo.value
+        assert shed.status == 429
+        assert shed.code == "capacity"
+        assert shed.retry_after == 0.25
+        assert sink.counters["serve.shed.capacity"] == 1
+
+    def test_weighted_cost_clamps_to_limit(self):
+        config = ResilienceConfig(max_concurrency=4, max_queue=0)
+        admission = AdmissionController(config)
+        # A maximal batch fills the limiter rather than being unservable.
+        with admission.admit("batch", cost=10_000):
+            assert admission.snapshot()["inflight"] == 4
+            with pytest.raises(ShedError):
+                with admission.admit("run"):
+                    pass
+
+    def test_queued_request_admits_when_slot_frees(self):
+        config = ResilienceConfig(
+            max_concurrency=1, max_queue=4, queue_timeout_s=5.0
+        )
+        admission = AdmissionController(config)
+        admitted = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with admission.admit("run"):
+                admitted.set()
+                release.wait(timeout=5.0)
+
+        thread = threading.Thread(target=holder)
+        thread.start()
+        assert admitted.wait(timeout=2.0)
+        waited = []
+
+        def waiter():
+            with admission.admit("run"):
+                waited.append(True)
+
+        wthread = threading.Thread(target=waiter)
+        wthread.start()
+        time.sleep(0.05)  # the waiter parks in the accept queue
+        assert admission.snapshot()["queued"] == 1
+        release.set()
+        wthread.join(timeout=5.0)
+        thread.join(timeout=5.0)
+        assert waited == [True]
+        assert admission.snapshot() == {
+            "inflight": 0,
+            "queued": 0,
+            "max_concurrency": 1,
+            "max_queue": 4,
+            "draining": False,
+        }
+
+    def test_queue_timeout_sheds(self):
+        config = ResilienceConfig(
+            max_concurrency=1, max_queue=4, queue_timeout_s=0.05
+        )
+        sink = ThreadSafeSink()
+        admission = AdmissionController(config, sink=sink)
+        with admission.admit("run"):
+            with pytest.raises(ShedError) as excinfo:
+                with admission.admit("run"):
+                    pass
+        assert excinfo.value.code == "queue_timeout"
+        assert excinfo.value.status == 429
+        assert sink.counters["serve.shed.queue_timeout"] == 1
+
+    def test_draining_sheds_everything_new(self):
+        config = ResilienceConfig(drain_timeout_s=1.5)
+        admission = AdmissionController(config)
+        assert admission.begin_drain() is True
+        assert admission.begin_drain() is False  # idempotent
+        with pytest.raises(ShedError) as excinfo:
+            with admission.admit("run"):
+                pass
+        assert excinfo.value.status == 503
+        assert excinfo.value.code == "draining"
+        assert excinfo.value.retry_after == 1.5
+
+    def test_ready_verdicts(self):
+        config = ResilienceConfig(max_concurrency=1, max_queue=2)
+        admission = AdmissionController(config)
+        assert admission.ready() == {"ready": True, "reason": "ok"}
+        admission.begin_drain()
+        assert admission.ready() == {"ready": False, "reason": "draining"}
+
+    def test_expired_deadline_while_queued_sheds_504(self):
+        config = ResilienceConfig(
+            max_concurrency=1, max_queue=4, queue_timeout_s=5.0
+        )
+        sink = ThreadSafeSink()
+        admission = AdmissionController(config, sink=sink)
+        with admission.admit("run"):
+            deadline = Deadline(10.0)  # 10ms, expires while queued
+            with pytest.raises(ServeError) as excinfo:
+                with admission.admit("run", deadline=deadline):
+                    pass
+        assert excinfo.value.status == 504
+        assert excinfo.value.code == "deadline_exceeded"
+        assert sink.counters["serve.deadline.expired"] == 1
+
+
+# ---------------------------------------------------------------------------
+# deadlines
+
+
+class TestDeadline:
+    def test_from_payload_validation(self):
+        assert Deadline.from_payload({}) is None
+        assert Deadline.from_payload({}, default_ms=50.0).budget_ms == 50.0
+        assert Deadline.from_payload({"deadline_ms": 25}).budget_ms == 25.0
+        for bad in ("soon", -1, 0, [1]):
+            with pytest.raises(ServeError) as excinfo:
+                Deadline.from_payload({"deadline_ms": bad})
+            assert excinfo.value.status == 400
+
+    def test_error_text_is_wall_clock_free(self):
+        deadline = Deadline(75.0)
+        time.sleep(0.002)
+        # Byte parity: the message depends only on the budget, never on
+        # how late the request actually was.
+        assert str(deadline.error()) == "75ms request budget exhausted"
+        assert isinstance(deadline.error(), DeadlineExceeded)
+
+    def test_batch_engine_expires_at_bucket_boundaries(self):
+        from repro.compiler import compile_program
+
+        program = compile_program(SCALE)
+        transform = program.transform("Scale")
+
+        class Expired:
+            def expired(self):
+                return True
+
+            def error(self):
+                return DeadlineExceeded("1ms request budget exhausted")
+
+        sink = ThreadSafeSink()
+        engine = BatchEngine(sink=sink)
+        for value in (1.0, 2.0, 3.0):
+            engine.submit(transform, {"A": [[value]]})
+        results = engine.gather(deadline=Expired())
+        assert len(results) == 3
+        for result in results:
+            assert result.outputs is None
+            assert isinstance(result.error, DeadlineExceeded)
+        assert sink.counters["batch.deadline_skips"] == 3
+
+    def test_run_endpoint_maps_expired_budget_to_504(self):
+        app = _app(resilience=ResilienceConfig(default_deadline_ms=0.001))
+        try:
+            phash = app.compile({"source": SCALE})["program"]
+            with pytest.raises(ServeError) as excinfo:
+                app.run(
+                    {
+                        "program": phash,
+                        "transform": "Scale",
+                        "inputs": {"A": [[1.0]]},
+                    }
+                )
+            assert excinfo.value.status == 504
+            assert excinfo.value.code == "deadline_exceeded"
+            assert app.sink.counters["serve.deadline.expired"] == 1
+        finally:
+            app.close()
+
+    def test_batch_endpoint_emits_structured_deadline_records(self):
+        app = _app()
+        try:
+            phash = app.compile({"source": SCALE})["program"]
+            lines = [
+                json.dumps(
+                    {"transform": "Scale", "inputs": {"A": [[float(i)]]}}
+                )
+                for i in range(3)
+            ]
+            response = app.batch(
+                {"program": phash, "lines": lines, "deadline_ms": 0.001}
+            )
+            assert response["failed"] == 3
+            for record in response["results"]:
+                assert record["ok"] is False
+                assert (
+                    record["error"]
+                    == "DeadlineExceeded: 0.001ms request budget exhausted"
+                )
+            assert app.sink.counters["serve.deadline.batch_requests"] == 3
+            assert app.sink.counters["batch.deadline_skips"] == 3
+        finally:
+            app.close()
+
+
+# ---------------------------------------------------------------------------
+# job queue
+
+
+class TestJobQueue:
+    def test_event_based_wait(self):
+        started = threading.Event()
+
+        def runner(job):
+            started.wait(timeout=5.0)
+            return {"ran": job.payload["n"]}
+
+        queue = JobQueue(runner, workers=1)
+        try:
+            job_id, deduped = queue.submit("tune", {"n": 7})
+            assert deduped is False
+            started.set()
+            snapshot = queue.wait(job_id, timeout=5.0)
+            assert snapshot["state"] == "done"
+            assert snapshot["result"] == {"ran": 7}
+        finally:
+            queue.close()
+
+    def test_idempotency_key_dedupes(self):
+        queue = JobQueue(lambda job: {}, workers=1)
+        try:
+            first, deduped1 = queue.submit("tune", {}, idempotency_key="k")
+            second, deduped2 = queue.submit("tune", {}, idempotency_key="k")
+            assert first == second
+            assert (deduped1, deduped2) == (False, True)
+        finally:
+            queue.close()
+
+    def test_drain_cancels_queued_keeps_running(self):
+        gate = threading.Event()
+        running = threading.Event()
+
+        def runner(job):
+            running.set()
+            gate.wait(timeout=5.0)
+            return {"ok": True}
+
+        queue = JobQueue(runner, workers=1)
+        try:
+            active, _ = queue.submit("tune", {})
+            assert running.wait(timeout=5.0)
+            queued, _ = queue.submit("tune", {})
+            assert queue.drain() == 1
+            with pytest.raises(QueueDraining):
+                queue.submit("tune", {})
+            assert queue.get(queued)["state"] == "cancelled"
+            gate.set()
+            assert queue.wait(active, timeout=5.0)["state"] == "done"
+            assert queue.wait_idle(timeout=5.0)
+        finally:
+            queue.close()
+
+
+# ---------------------------------------------------------------------------
+# retry policy
+
+
+class TestRetryPolicy:
+    def test_deterministic_and_bounded(self):
+        policy = RetryPolicy(retries=3, backoff_s=0.05, max_backoff_s=0.4)
+        delays = [policy.delay("/run", attempt) for attempt in range(4)]
+        assert delays == [policy.delay("/run", a) for a in range(4)]
+        assert all(0.0 < d <= 0.4 * 1.25 for d in delays)
+        # Exponential shape: later attempts never shrink below the
+        # un-jittered earlier base.
+        assert delays[2] > delays[0]
+
+    def test_honors_retry_after(self):
+        policy = RetryPolicy(backoff_s=0.01, max_backoff_s=0.5)
+        assert policy.delay("/run", 0, retry_after=0.3) >= 0.3
+        # ...but never waits past the cap on an absurd server ask.
+        assert policy.delay("/run", 0, retry_after=60.0) <= 0.5 * 1.25
+
+
+# ---------------------------------------------------------------------------
+# graceful drain over HTTP
+
+
+class TestDrain:
+    def test_shutdown_finishes_inflight_sheds_new(self):
+        """The drain acceptance check: a slow in-flight /batch admitted
+        before /shutdown completes byte-identically to an unfaulted
+        run, while a request arriving during the drain sheds 503."""
+        lines = [
+            json.dumps({"transform": "Scale", "inputs": {"A": [[7.0]]}})
+        ]
+
+        # Baseline bytes from a fault-free daemon.
+        baseline_app = _app()
+        baseline = ServeDaemon(baseline_app, port=0).start_background()
+        try:
+            client = ServeClient(port=baseline.port)
+            phash = client.compile(SCALE)["program"]
+            expected = json.dumps(
+                client.batch(phash, lines), sort_keys=True
+            )
+        finally:
+            baseline.stop()
+
+        # The injected daemon: only the rid-carrying request is slowed.
+        injector = FaultInjector.parse("slow-handler:1,hang=0.4")
+        app = _app(
+            injector=injector,
+            resilience=ResilienceConfig(drain_timeout_s=5.0),
+        )
+        daemon = ServeDaemon(app, port=0).start_background()
+        client = ServeClient(
+            port=daemon.port, retry=RetryPolicy(retries=0)
+        )
+        assert client.compile(SCALE)["program"] == phash
+
+        outcome = {}
+
+        def slow_batch():
+            outcome["response"] = client.batch(phash, lines, rid="slow")
+
+        worker = threading.Thread(target=slow_batch)
+        worker.start()
+        time.sleep(0.1)  # the slow request is admitted and sleeping
+        assert client.shutdown()["state"] == "draining"
+        with pytest.raises(ServeClientError) as excinfo:
+            client.run(phash, "Scale", {"A": [[1.0]]})
+        assert excinfo.value.status == 503
+        assert excinfo.value.reason == "draining"
+        worker.join(timeout=10.0)
+        assert not worker.is_alive()
+        assert (
+            json.dumps(outcome["response"], sort_keys=True) == expected
+        )
+        daemon._thread.join(timeout=10.0)
+        assert not daemon._thread.is_alive()
+        assert app.sink.counters["serve.drain.begun"] == 1
+        assert app.sink.counters["serve.drain.completed"] == 1
+        assert app.sink.counters["serve.shed.draining"] >= 1
+
+    def test_ready_flips_on_drain_health_stays_alive(self):
+        app = _app()
+        daemon = ServeDaemon(app, port=0).start_background()
+        try:
+            client = ServeClient(port=daemon.port)
+            assert client.ready()["ready"] is True
+            assert client.health()["ok"] is True
+            app.begin_drain()
+            verdict = client.ready()
+            assert verdict["ready"] is False
+            assert verdict["reason"] == "draining"
+            # Liveness is not readiness: /health still answers 200.
+            health = client.health()
+            assert health["ok"] is True
+            assert health["draining"] is True
+        finally:
+            daemon.stop()
+
+
+# ---------------------------------------------------------------------------
+# client retries vs injected transport faults
+
+
+class TestClientRetries:
+    def _daemon(self, inject):
+        app = _app(injector=FaultInjector.parse(inject))
+        return app, ServeDaemon(app, port=0).start_background()
+
+    def test_conn_drop_recovers_on_retry(self):
+        app, daemon = self._daemon("conn-drop:1x1")
+        try:
+            sink = ThreadSafeSink()
+            client = ServeClient(
+                port=daemon.port,
+                retry=RetryPolicy(retries=2, backoff_s=0.01),
+                sink=sink,
+            )
+            phash = client.compile(SCALE)["program"]
+            response = client.run(
+                phash, "Scale", {"A": [[2.0]]}, rid="r1"
+            )
+            assert response["outputs"]["B"] == [[5.0]]
+            assert sink.counters["serve.retry.attempts"] >= 1
+            assert sink.counters["serve.retry.recoveries"] == 1
+            assert app.sink.counters["serve.conn_dropped"] >= 1
+        finally:
+            daemon.stop()
+
+    def test_conn_drop_without_retries_raises(self):
+        app, daemon = self._daemon("conn-drop:1x1")
+        try:
+            client = ServeClient(
+                port=daemon.port, retry=RetryPolicy(retries=0)
+            )
+            phash = client.compile(SCALE)["program"]
+            with pytest.raises(Exception):
+                client.run(phash, "Scale", {"A": [[2.0]]}, rid="r1")
+        finally:
+            daemon.stop()
+
+    def test_shed_storm_retry_lands_identical_bytes(self):
+        app, daemon = self._daemon("shed-storm:1x1")
+        try:
+            client = ServeClient(
+                port=daemon.port,
+                retry=RetryPolicy(retries=2, backoff_s=0.01),
+            )
+            phash = client.compile(SCALE)["program"]
+            plain = client.run(phash, "Scale", {"A": [[3.0]]})
+            stormed = client.run(phash, "Scale", {"A": [[3.0]]}, rid="s1")
+            assert json.dumps(stormed, sort_keys=True) == json.dumps(
+                plain, sort_keys=True
+            )
+            assert app.sink.counters["serve.shed.injected"] == 1
+        finally:
+            daemon.stop()
+
+    def test_shed_carries_reason_and_retry_after(self):
+        app = _app(
+            resilience=ResilienceConfig(
+                max_concurrency=1, max_queue=0, retry_after_s=0.5
+            )
+        )
+        daemon = ServeDaemon(app, port=0).start_background()
+        try:
+            client = ServeClient(
+                port=daemon.port, retry=RetryPolicy(retries=0)
+            )
+            phash = client.compile(SCALE)["program"]
+            with app.admission.admit("test-holder"):
+                with pytest.raises(ServeClientError) as excinfo:
+                    client.run(phash, "Scale", {"A": [[1.0]]})
+            shed = excinfo.value
+            assert shed.status == 429
+            assert shed.reason == "capacity"
+            assert shed.retry_after == 0.5
+        finally:
+            daemon.stop()
+
+    def test_tune_retry_dedupes_via_idempotency_key(self):
+        app = _app()
+        try:
+            payload = {
+                "program": app.compile({"source": SCALE})["program"],
+                "transform": "Scale",
+                "max_size": 4,
+                "idempotency_key": "tune-1",
+            }
+            first = app.tune(dict(payload))
+            second = app.tune(dict(payload))
+            assert first["job"] == second["job"]
+            assert (first["deduped"], second["deduped"]) == (False, True)
+            assert app.sink.counters["serve.tune_jobs"] == 1
+        finally:
+            app.close()
+
+
+# ---------------------------------------------------------------------------
+# dropped connections in the HTTP handler (the crash-loop fix)
+
+
+class TestConnDropHandling:
+    def _bare_handler(self, app):
+        handler_cls = type("_TestHandler", (_Handler,), {"app": app})
+        handler = object.__new__(handler_cls)
+        handler.close_connection = False
+        handler.send_response = lambda *a, **k: None
+        handler.send_header = lambda *a, **k: None
+        handler.end_headers = lambda: None
+        return handler
+
+    def test_reply_swallows_broken_pipe(self):
+        app = _app()
+        try:
+            handler = self._bare_handler(app)
+
+            class _DeadSocket:
+                def write(self, data):
+                    raise BrokenPipeError("peer went away")
+
+                def flush(self):
+                    pass
+
+            handler.wfile = _DeadSocket()
+            handler._reply(200, {"ok": True})  # must not raise
+            assert handler.close_connection is True
+            assert app.sink.counters["serve.conn_dropped"] == 1
+        finally:
+            app.close()
+
+    def test_reply_swallows_connection_reset(self):
+        app = _app()
+        try:
+            handler = self._bare_handler(app)
+
+            class _ResetSocket:
+                def write(self, data):
+                    raise ConnectionResetError("reset by peer")
+
+                def flush(self):
+                    pass
+
+            handler.wfile = _ResetSocket()
+            handler._reply(500, {"error": "boom"})
+            assert app.sink.counters["serve.conn_dropped"] == 1
+        finally:
+            app.close()
