@@ -1,0 +1,190 @@
+"""Fusion microbenchmark: the verified fused rewrite vs the program as
+written.
+
+A two-rule elementwise pipeline (`A → T → B`, the consumer reading the
+intermediate once) runs under the vector leaf path with `__fuse__` off
+and on.  Fusion eliminates the intermediate matrix allocation and one
+full traversal, collapsing the pipeline into a single vector sweep; the
+outputs are checked bit-for-bit (the PB601 legality proof's claim).
+For contrast, a PB602-blocked chain (rolling sum) is also timed with
+the knob on — a verified no-op, so its "speedup" hovers at 1x.
+
+Results go to ``benchmarks/results/fusion.txt`` (human) and
+``benchmarks/results/BENCH_fusion.json`` (machine-readable; CI uploads
+it as an artifact).
+
+Script mode: ``python benchmarks/bench_fusion.py [--quick]``.
+``--quick`` shrinks sizes/repeats and exits nonzero unless the fused
+pipeline is at least 1.2x the unfused one — the CI perf gate.
+"""
+
+import argparse
+import statistics
+import sys
+import time
+
+import numpy as np
+
+from harness import fmt_row, write_json, write_report
+
+from repro.compiler import ChoiceConfig, compile_program
+
+PIPELINE = """
+transform Pipeline
+from A[n, m]
+through T[n, m]
+to B[n, m]
+{
+  to (T.cell(x, y) t) from (A.cell(x, y) a) { t = a * 2.0 + 1.0; }
+  to (B.cell(x, y) b) from (T.cell(x, y) t) { b = t * 1.5 - 0.5; }
+}
+"""
+
+ROLLINGSUM = """
+transform RollingSum
+from A[n]
+through S[n]
+to B[n]
+{
+  primary to (S.cell(0) s) from (A.cell(0) a) { s = a; }
+  to (S.cell(i) s) from (A.cell(i) a, S.cell(i - 1) prev) { s = a + prev; }
+  to (B.cell(i) b) from (S.cell(i) s) { b = s; }
+}
+"""
+
+
+def _config(transform: str, fuse: int, leaf: int = 2) -> ChoiceConfig:
+    config = ChoiceConfig()
+    config.set_tunable(f"{transform}.__leaf_path__", leaf)
+    config.set_tunable(f"{transform}.__fuse__", fuse)
+    return config
+
+
+def _time_run(transform, inputs, config, repeats: int):
+    # Warm up closure compilation / vector planning / the fused-variant
+    # cache so the medians compare steady-state execution.
+    transform.run({k: v.copy() for k, v in inputs.items()}, config)
+    times = []
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = transform.run(
+            {k: v.copy() for k, v in inputs.items()}, config
+        )
+        times.append(time.perf_counter() - start)
+    return statistics.median(times), result
+
+
+def _bench_case(name, transform, inputs, repeats, leaf=2):
+    """Time unfused vs fused; verify bit-for-bit parity."""
+    row = {"case": name, "times": {}}
+    baseline = None
+    for fuse, label in ((0, "unfused"), (1, "fused")):
+        config = _config(transform.name, fuse, leaf)
+        seconds, result = _time_run(transform, inputs, config, repeats)
+        outputs = {
+            out: matrix.data.tobytes()
+            for out, matrix in result.outputs.items()
+        }
+        if baseline is None:
+            baseline = outputs
+        elif outputs != baseline:
+            raise AssertionError(f"{name}: fused output differs from unfused")
+        row["times"][label] = seconds
+    row["speedup"] = row["times"]["unfused"] / row["times"]["fused"]
+    row["has_fusion"] = transform.has_fusion()
+    return row
+
+
+def run_benchmark(quick: bool = False):
+    rng = np.random.default_rng(13)
+    pipe_n = 384 if quick else 1024
+    rs_n = 512 if quick else 2048
+    repeats = 5 if quick else 9
+
+    rows = []
+
+    program = compile_program(PIPELINE)
+    transform = program.transform("Pipeline")
+    assert transform.has_fusion(), "pipeline must be PB601-legal"
+    inputs = {"A": rng.uniform(-4.0, 4.0, (pipe_n, pipe_n))}
+    rows.append(_bench_case("pipeline", transform, inputs, repeats))
+
+    program = compile_program(ROLLINGSUM)
+    transform = program.transform("RollingSum")
+    assert not transform.has_fusion(), "rolling sum must stay blocked"
+    inputs = {"A": rng.uniform(-1.0, 1.0, rs_n)}
+    # The chain rule is sequential: the closure path is its real engine.
+    rows.append(_bench_case("rollingsum", transform, inputs, repeats, leaf=1))
+
+    payload = {
+        "quick": quick,
+        "sizes": {"pipeline": pipe_n, "rollingsum": rs_n},
+        "repeats": repeats,
+        "cases": rows,
+    }
+    write_json("BENCH_fusion", payload)
+
+    widths = [12, 12, 12, 10, 8]
+    lines = [
+        "Verified fusion: median wall-clock seconds per run (vector leaves)",
+        fmt_row(["case", "unfused", "fused", "speedup", "fused?"], widths),
+    ]
+    for row in rows:
+        t = row["times"]
+        lines.append(
+            fmt_row(
+                [
+                    row["case"],
+                    f"{t['unfused']:.4f}",
+                    f"{t['fused']:.4f}",
+                    f"{row['speedup']:.2f}x",
+                    "yes" if row["has_fusion"] else "no",
+                ],
+                widths,
+            )
+        )
+    lines.append(
+        "(rollingsum is PB602-blocked: __fuse__=1 is a verified no-op, "
+        "so its ratio is noise around 1x)"
+    )
+    write_report("fusion", lines)
+    return payload
+
+
+def test_fusion(benchmark):
+    payload = benchmark.pedantic(
+        run_benchmark, args=(True,), rounds=1, iterations=1
+    )
+    by_case = {row["case"]: row for row in payload["cases"]}
+    assert by_case["pipeline"]["speedup"] > 1.2
+    assert by_case["pipeline"]["has_fusion"]
+    assert not by_case["rollingsum"]["has_fusion"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small sizes + enforce the CI gate (fused >= 1.2x unfused "
+        "on the elementwise pipeline)",
+    )
+    args = parser.parse_args(argv)
+    payload = run_benchmark(quick=args.quick)
+    if args.quick:
+        by_case = {row["case"]: row for row in payload["cases"]}
+        speedup = by_case["pipeline"]["speedup"]
+        if speedup < 1.2:
+            print(
+                f"FAIL: fused pipeline is {speedup:.2f}x the unfused run "
+                f"(need >= 1.2x)",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"fusion perf gate OK: fused {speedup:.2f}x unfused")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,9 @@
 """Static verifier suite over compiled transform IR.
 
-Five pass families — symbolic/witness bounds checking, write-write race
-detection, coverage auditing, hygiene lints, and the leaf-path
-eligibility report — emitting structured
+Six pass families — symbolic/witness bounds checking, write-write race
+detection, coverage auditing, hygiene lints, the leaf-path
+eligibility report, and the dependence/fusion-legality analysis that
+gates the rewrite layer — emitting structured
 :class:`~repro.analysis.diagnostics.Diagnostic` records with stable
 ``PBxxx`` codes, source positions, fix hints, and concrete witnesses.
 Exposed through the ``repro check`` CLI subcommand and the
@@ -24,6 +25,15 @@ from repro.analysis.races import check_races
 from repro.analysis.coverage import check_coverage
 from repro.analysis.lints import check_lints
 from repro.analysis.leafpaths import check_leaf_paths
+from repro.analysis.depend import (
+    ConflictWitness,
+    Dependence,
+    FusionCandidate,
+    check_depend,
+    fusion_candidates,
+    rule_dependences,
+    validate_conflict,
+)
 from repro.analysis.check import (
     analyze_program,
     analyze_transform,
@@ -43,10 +53,14 @@ __all__ = [
     "WARNING",
     "WitnessBudget",
     "DEFAULT_BUDGET",
+    "ConflictWitness",
+    "Dependence",
+    "FusionCandidate",
     "analyze_program",
     "analyze_transform",
     "check_bounds",
     "check_coverage",
+    "check_depend",
     "check_file",
     "check_leaf_paths",
     "check_lints",
@@ -54,6 +68,9 @@ __all__ = [
     "check_source",
     "default_severity",
     "diagnostic_from_error",
+    "fusion_candidates",
     "record_report",
+    "rule_dependences",
     "run_check",
+    "validate_conflict",
 ]

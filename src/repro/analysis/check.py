@@ -27,6 +27,7 @@ from typing import List, Optional
 
 from repro.analysis.bounds import check_bounds
 from repro.analysis.coverage import check_coverage
+from repro.analysis.depend import check_depend
 from repro.analysis.diagnostics import (
     AnalysisReport,
     Diagnostic,
@@ -53,6 +54,7 @@ def analyze_transform(
     if not errors_only:
         diagnostics.extend(check_lints(compiled, budget, path))
         diagnostics.extend(check_leaf_paths(compiled, budget, path))
+        diagnostics.extend(check_depend(compiled, budget, path))
     if errors_only:
         diagnostics = [d for d in diagnostics if d.is_error]
     return diagnostics
@@ -218,8 +220,17 @@ def run_check(
     """The ``repro check`` subcommand: check files, print, exit-code."""
     out = out if out is not None else sys.stdout
     report = AnalysisReport()
+    seen = set()
     for path in paths:
-        report.extend(check_file(path, budget).diagnostics)
+        for diag in check_file(path, budget).diagnostics:
+            # Multi-file runs can visit one file twice (repeated argument,
+            # module re-export): identical findings collapse to one, and
+            # the report order is the diagnostics' stable sort regardless
+            # of the argument order.
+            if diag in seen:
+                continue
+            seen.add(diag)
+            report.add(diag)
     record_report(report, sink)
     if fmt == "json":
         print(report.to_json(), file=out)

@@ -1,0 +1,616 @@
+"""Static dependence analysis and fusion legality (pass family 6).
+
+For every pair of rules sharing a matrix the pass classifies the
+potential dependences Bernstein-style — *flow* (writer feeds reader),
+*anti* (reader precedes a writer of the same cells), *output* (two
+writers) — and computes the symbolic dependence distance per dimension
+from the affine read/write regions: when both accesses sweep a
+dimension unit-stride in one instance variable, instances pair up
+positionally and the distance is the exact constant gap (see
+:func:`repro.symbolic.solve.unit_stride_offset`); anything else is
+reported as ``*`` (unknown).
+
+On top of the classification sits the legality gate for the first
+verified rewrite, producer→consumer fusion of adjacent elementwise
+rules (:mod:`repro.rewrite.fuse`).  A ``through`` matrix is a *fusion
+candidate* when exactly one rule writes it and exactly one other rule
+reads it; the candidate is
+
+* ``legal`` (PB601) when the producer is a pure elementwise step — an
+  identity-mapped single-cell write, a one-statement body over its cell
+  reads with only vector-stable calls — so substituting its expression
+  into the consumer preserves every per-element operation sequence
+  bit-for-bit;
+* ``blocked`` (PB602) when a writer of the matrix also reads it and a
+  concrete conflicting application pair exists: a (sizes, writer rule +
+  instance, reader rule + instance, cell) witness, replay-validated by
+  :func:`validate_conflict` against the engine's exact region geometry,
+  proving the matrix's cells depend on its own cells (a carried flow
+  dependence — rolling sums, wavefront stencils) so no substitution can
+  eliminate it;
+* ``ineligible`` otherwise, with the structural reason.
+
+PB602 follows the verifier-wide witness contract: it is only emitted
+with a concrete, replayed witness — a suspected-but-unproven chain is
+reported as ineligible instead.  PB603 is the per-transform rewrite
+audit (always emitted, like PB503): dependence counts plus the status
+of every candidate, so ``repro check`` documents why a transform did or
+did not gain a fused variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, INFO
+from repro.analysis.witness import (
+    DEFAULT_BUDGET,
+    WitnessBudget,
+    describe_bounds,
+    describe_env,
+    region_cells,
+    size_envs,
+)
+from repro.compiler.ir import ROLE_INPUT, RegionIR, RuleIR, TransformIR
+from repro.language import ast_nodes as ast
+from repro.symbolic.solve import unit_stride_offset
+
+#: Per-dimension dependence distance; ``None`` renders as ``*``.
+Distance = Tuple[Optional[Fraction], ...]
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """One classified dependence between two rules over one matrix."""
+
+    kind: str  # "flow" | "anti" | "output"
+    matrix: str
+    src_rule: str
+    dst_rule: str
+    distance: Distance
+
+    def distance_text(self) -> str:
+        inner = ", ".join("*" if d is None else str(d) for d in self.distance)
+        return f"({inner})"
+
+
+@dataclass(frozen=True)
+class ConflictWitness:
+    """A replayable cross-instance flow conflict carried by ``matrix``:
+    one application writes ``cell`` and a *different* application — of a
+    rule that also writes the matrix — reads it, so the matrix's cells
+    depend on its own cells and substitution cannot eliminate it."""
+
+    sizes: Tuple[Tuple[str, int], ...]
+    writer_rule: str
+    writer_rule_id: int
+    writer: Tuple[Tuple[str, int], ...]
+    reader_rule: str
+    reader_rule_id: int
+    reader: Tuple[Tuple[str, int], ...]
+    cell: Tuple[int, ...]
+    matrix: str
+
+    def describe(self) -> str:
+        cellbox = describe_bounds(
+            self.matrix, [(c, c + 1) for c in self.cell]
+        )
+
+        def instance(assignment) -> str:
+            if not assignment:
+                return "(sole instance)"
+            return f"({describe_env({}, dict(assignment))})"
+
+        return (
+            f"{describe_env(dict(self.sizes))}: {self.writer_rule} instance "
+            f"{instance(self.writer)} writes {cellbox}; "
+            f"{self.reader_rule} instance {instance(self.reader)} reads it"
+        )
+
+
+@dataclass(frozen=True)
+class FusionCandidate:
+    """The fusion verdict for one ``through`` matrix."""
+
+    transform: str
+    matrix: str
+    producer: str
+    consumer: str
+    producer_id: int
+    consumer_id: int
+    status: str  # "legal" | "blocked" | "ineligible"
+    reason: str
+    distances: Tuple[Distance, ...] = ()
+    conflict: Optional[ConflictWitness] = None
+    line: int = 0
+    column: int = 0
+
+    def distance_text(self) -> str:
+        if not self.distances:
+            return "(none)"
+        parts = []
+        for vec in self.distances:
+            inner = ", ".join("*" if d is None else str(d) for d in vec)
+            parts.append(f"({inner})")
+        return " ".join(parts)
+
+
+def _region_distance(
+    src_region: RegionIR,
+    dst_region: RegionIR,
+    src_vars,
+    dst_vars,
+) -> Distance:
+    if src_region.view_kind != "cell" or dst_region.view_kind != "cell":
+        return tuple(None for _ in src_region.box.intervals)
+    return tuple(
+        unit_stride_offset(s.lo, d.lo, src_vars, dst_vars)
+        for s, d in zip(src_region.box.intervals, dst_region.box.intervals)
+    )
+
+
+def rule_dependences(ir: TransformIR) -> List[Dependence]:
+    """Every classified dependence pair over every computed matrix."""
+    deps: List[Dependence] = []
+    seen = set()
+
+    def emit(kind, matrix, src, dst, src_region, dst_region):
+        distance = _region_distance(
+            src_region, dst_region, src.rule_vars, dst.rule_vars
+        )
+        key = (kind, matrix, src.rule_id, dst.rule_id, distance)
+        if key in seen:
+            return
+        seen.add(key)
+        deps.append(Dependence(kind, matrix, src.label, dst.label, distance))
+
+    for name in sorted(ir.matrices):
+        if ir.matrices[name].role == ROLE_INPUT:
+            continue
+        writers = [
+            (rule, reg)
+            for rule in ir.rules
+            for reg in rule.to_regions
+            if reg.matrix == name
+        ]
+        readers = [
+            (rule, reg)
+            for rule in ir.rules
+            for reg in rule.from_regions
+            if reg.matrix == name
+        ]
+        for writer, wreg in writers:
+            for reader, rreg in readers:
+                emit("flow", name, writer, reader, wreg, rreg)
+                emit("anti", name, reader, writer, rreg, wreg)
+        for i, (w1, reg1) in enumerate(writers):
+            for w2, reg2 in writers[i + 1 :]:
+                if w1.rule_id == w2.rule_id:
+                    continue
+                emit("output", name, w1, w2, reg1, reg2)
+    return deps
+
+
+def _tunable_names(ir: TransformIR):
+    return {t.name for t in ir.tunables}
+
+
+def _structural_block(
+    ir: TransformIR, producer: RuleIR, consumer: RuleIR, name: str
+) -> str:
+    """Why substituting the producer's expression into the consumer is
+    not obviously exact; empty string when fusion is legal."""
+    from repro.engine_fast.vectorize import VECTOR_STABLE_CALLS
+
+    p, c = producer, consumer
+    if not p.is_instance_rule:
+        return f"producer {p.label} is a whole-region rule"
+    if p.native_body is not None:
+        return f"producer {p.label} has a native body"
+    if p.where or p.residual_where:
+        return f"producer {p.label} has a where-clause"
+    if len(p.to_regions) != 1:
+        return f"producer {p.label} writes {len(p.to_regions)} regions"
+    to = p.to_regions[0]
+    if to.view_kind != "cell":
+        return f"producer {p.label} writes a non-cell view"
+    coords = []
+    for interval in to.box.intervals:
+        lo = interval.lo
+        names = lo.variables()
+        if (
+            len(names) != 1
+            or lo.coefficient(names[0]) != 1
+            or lo.constant != 0
+        ):
+            return (
+                f"producer {p.label} write coordinates are not an "
+                f"identity map over its instance variables"
+            )
+        coords.append(names[0])
+    if len(set(coords)) != len(coords) or set(coords) != set(p.rule_vars):
+        return (
+            f"producer {p.label} write coordinates are not an "
+            f"identity map over its instance variables"
+        )
+    for reg in p.from_regions:
+        if reg.view_kind != "cell":
+            return f"producer {p.label} reads a non-cell view of {reg.matrix}"
+    if len(p.body) != 1:
+        return f"producer {p.label} body has {len(p.body)} statements"
+    stmt = p.body[0]
+    if (
+        not isinstance(stmt, ast.Assign)
+        or stmt.op != "="
+        or not isinstance(stmt.target, ast.Var)
+        or stmt.target.name != to.bind_name
+    ):
+        return (
+            f"producer {p.label} body is not a single '=' assignment "
+            f"to its output cell"
+        )
+    banned = set(p.rule_vars)
+    allowed = (
+        {reg.bind_name for reg in p.from_regions}
+        | set(ir.size_vars)
+        | _tunable_names(ir)
+    )
+
+    def walk(node) -> str:
+        if isinstance(node, ast.Num):
+            return ""
+        if isinstance(node, ast.Var):
+            if node.name in banned:
+                return (
+                    f"producer {p.label} body references instance "
+                    f"variable {node.name!r}"
+                )
+            if node.name not in allowed:
+                return f"producer {p.label} body references {node.name!r}"
+            return ""
+        if isinstance(node, ast.BinOp):
+            return walk(node.left) or walk(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return walk(node.operand)
+        if isinstance(node, ast.Call):
+            if node.name not in VECTOR_STABLE_CALLS:
+                return f"producer {p.label} body calls {node.name!r}"
+            for arg in node.args:
+                err = walk(arg)
+                if err:
+                    return err
+            return ""
+        return f"producer {p.label} body uses {type(node).__name__}"
+
+    err = walk(stmt.value)
+    if err:
+        return err
+
+    if not c.is_instance_rule:
+        return f"consumer {c.label} is a whole-region rule"
+    if c.native_body is not None:
+        return f"consumer {c.label} has a native body"
+    intermediate_binds = set()
+    for reg in c.from_regions:
+        if reg.matrix == name:
+            if reg.view_kind != "cell":
+                return (
+                    f"consumer {c.label} reads {name} through a "
+                    f"{reg.view_kind} view"
+                )
+            intermediate_binds.add(reg.bind_name)
+    for stmt in c.body:
+        target = stmt.target
+        tname = None
+        if isinstance(target, ast.Var):
+            tname = target.name
+        elif isinstance(target, ast.CellAccess):
+            base = target.base
+            tname = base if isinstance(base, str) else getattr(base, "name", None)
+        if tname in intermediate_binds:
+            return (
+                f"consumer {c.label} body assigns to intermediate "
+                f"binding {tname!r}"
+            )
+    return ""
+
+
+def _carried_conflict(
+    compiled, matrix: str, budget: WitnessBudget
+) -> Optional[ConflictWitness]:
+    """Hunt a concrete flow conflict carried by ``matrix``: under the
+    engine's default option selection, one application writes a cell
+    that a different application of a *writer rule* reads.  Enumeration
+    reuses the races pass's application model (size guards, residual
+    fallbacks), so every returned witness describes applications the
+    engine really runs."""
+    from repro.analysis.races import _applications
+
+    segments = compiled.grid.segments.get(matrix, ())
+    for env in size_envs(compiled, budget):
+        apps = []
+        for segment in segments:
+            if not segment.options:
+                continue
+            segment_apps = _applications(
+                compiled, segment, segment.options[0], env, budget
+            )
+            if segment_apps is None:
+                apps = None
+                break
+            apps.extend(segment_apps)
+        if not apps:
+            continue
+        writes: Dict[Tuple[int, ...], Tuple[RuleIR, Dict[str, int]]] = {}
+        for chosen, instance_env, assignment in apps:
+            for reg in chosen.to_regions:
+                if reg.matrix != matrix:
+                    continue
+                cells = region_cells(reg.box.concrete(instance_env), budget)
+                for cell in cells or ():
+                    writes.setdefault(cell, (chosen, assignment))
+        for chosen, instance_env, assignment in apps:
+            for reg in chosen.from_regions:
+                if reg.matrix != matrix:
+                    continue
+                cells = region_cells(reg.box.concrete(instance_env), budget)
+                for cell in cells or ():
+                    hit = writes.get(cell)
+                    if hit is None:
+                        continue
+                    writer_rule, writer_assignment = hit
+                    if (
+                        writer_rule.rule_id == chosen.rule_id
+                        and writer_assignment == assignment
+                    ):
+                        continue
+                    witness = ConflictWitness(
+                        sizes=tuple(sorted(env.items())),
+                        writer_rule=writer_rule.label,
+                        writer_rule_id=writer_rule.rule_id,
+                        writer=tuple(sorted(writer_assignment.items())),
+                        reader_rule=chosen.label,
+                        reader_rule_id=chosen.rule_id,
+                        reader=tuple(sorted(assignment.items())),
+                        cell=cell,
+                        matrix=matrix,
+                    )
+                    if validate_conflict(compiled, witness):
+                        return witness
+    return None
+
+
+def validate_conflict(compiled, witness: ConflictWitness) -> bool:
+    """Replay a conflict witness against the engine's exact geometry:
+    the writer application's to-region must contain the cell, a
+    *different* application's from-region must read it."""
+    rules = compiled.ir.rules
+    if not (
+        0 <= witness.writer_rule_id < len(rules)
+        and 0 <= witness.reader_rule_id < len(rules)
+    ):
+        return False
+    writer = dict(witness.writer)
+    reader = dict(witness.reader)
+    if witness.writer_rule_id == witness.reader_rule_id and writer == reader:
+        return False
+    env = dict(witness.sizes)
+
+    def hits(regions, instance) -> bool:
+        instance_env = {**env, **instance}
+        for reg in regions:
+            if reg.matrix != witness.matrix:
+                continue
+            bounds = reg.box.concrete(instance_env)
+            if len(bounds) == len(witness.cell) and all(
+                lo <= coord < hi
+                for coord, (lo, hi) in zip(witness.cell, bounds)
+            ):
+                return True
+        return False
+
+    return hits(rules[witness.writer_rule_id].to_regions, writer) and hits(
+        rules[witness.reader_rule_id].from_regions, reader
+    )
+
+
+def _candidate_for(compiled, mat, budget: WitnessBudget) -> Optional[FusionCandidate]:
+    ir = compiled.ir
+    name = mat.name
+    writers = [r for r in ir.rules if name in r.writes_matrices()]
+    readers = [r for r in ir.rules if name in r.reads_matrices()]
+    if not writers or not readers:
+        return None  # dead matrix: hygiene's PB403 territory
+
+    def cand(status, reason="", producer=None, consumer=None, distances=(), conflict=None):
+        return FusionCandidate(
+            transform=ir.name,
+            matrix=name,
+            producer=producer.label if producer else "",
+            consumer=consumer.label if consumer else "",
+            producer_id=producer.rule_id if producer else -1,
+            consumer_id=consumer.rule_id if consumer else -1,
+            status=status,
+            reason=reason,
+            distances=tuple(distances),
+            conflict=conflict,
+            line=mat.line or ir.line,
+            column=mat.column or ir.column,
+        )
+
+    writer_ids = {r.rule_id for r in writers}
+    external_readers = [r for r in readers if r.rule_id not in writer_ids]
+    if any(name in w.reads_matrices() for w in writers):
+        # A writer reads the matrix it helps compute: cells of `name`
+        # may depend on other cells of `name`, which substitution cannot
+        # express.  Blocked only with a concrete, replayed conflict.
+        conflict = _carried_conflict(compiled, name, budget)
+        if conflict is not None:
+            producer = ir.rules[conflict.writer_rule_id]
+            consumer = external_readers[0] if external_readers else None
+            return cand(
+                "blocked",
+                f"cells of {name} depend on other {name} cells "
+                f"({conflict.reader_rule} reads what {conflict.writer_rule} "
+                f"writes; flow dependence carried by {name})",
+                producer=producer,
+                consumer=consumer,
+                conflict=conflict,
+            )
+    if len(writers) > 1:
+        return cand(
+            "ineligible",
+            f"{len(writers)} rules write {name}; fusion needs a single producer",
+        )
+    producer = writers[0]
+    if len(external_readers) != 1:
+        return cand(
+            "ineligible",
+            f"{name} feeds {len(external_readers)} consumer rules; "
+            f"fusion needs exactly one",
+            producer=producer,
+        )
+    consumer = external_readers[0]
+    distances = []
+    if len(producer.to_regions) == 1:
+        write_region = producer.to_regions[0]
+        for reg in consumer.from_regions:
+            if reg.matrix == name:
+                distances.append(
+                    _region_distance(
+                        write_region,
+                        reg,
+                        producer.rule_vars,
+                        consumer.rule_vars,
+                    )
+                )
+    if name in producer.reads_matrices():
+        return cand(
+            "ineligible",
+            f"producer {producer.label} reads {name}; no concrete "
+            f"conflicting instance found within budget",
+            producer=producer,
+            consumer=consumer,
+            distances=distances,
+        )
+    reason = _structural_block(ir, producer, consumer, name)
+    if reason:
+        return cand(
+            "ineligible",
+            reason,
+            producer=producer,
+            consumer=consumer,
+            distances=distances,
+        )
+    return cand(
+        "legal",
+        producer=producer,
+        consumer=consumer,
+        distances=distances,
+    )
+
+
+def fusion_candidates(
+    compiled, budget: WitnessBudget = DEFAULT_BUDGET
+) -> List[FusionCandidate]:
+    """The fusion verdict of every ``through`` matrix, name order."""
+    ir = compiled.ir
+    out = []
+    for mat in sorted(ir.throughs, key=lambda m: m.name):
+        candidate = _candidate_for(compiled, mat, budget)
+        if candidate is not None:
+            out.append(candidate)
+    return out
+
+
+def check_depend(
+    compiled, budget: WitnessBudget = DEFAULT_BUDGET, path: str = ""
+) -> List[Diagnostic]:
+    """PB601/PB602 per fusion candidate plus the PB603 audit."""
+    ir = compiled.ir
+    deps = rule_dependences(ir)
+    candidates = fusion_candidates(compiled, budget)
+    diagnostics: List[Diagnostic] = []
+    for cand in candidates:
+        if cand.status == "legal":
+            diagnostics.append(
+                Diagnostic(
+                    code="PB601",
+                    severity=INFO,
+                    message=(
+                        f"fusing {cand.producer} into {cand.consumer} over "
+                        f"{cand.matrix} is legal; distance vector(s) "
+                        f"{cand.distance_text()}"
+                    ),
+                    transform=ir.name,
+                    rule=cand.consumer,
+                    region=cand.matrix,
+                    line=cand.line,
+                    column=cand.column,
+                    hint=(
+                        f"apply with `repro rewrite --apply` or set "
+                        f"tunable {ir.name}.__fuse__ = 1"
+                    ),
+                    path=path,
+                )
+            )
+        elif cand.status == "blocked":
+            diagnostics.append(
+                Diagnostic(
+                    code="PB602",
+                    severity=INFO,
+                    message=(
+                        f"fusion over {cand.matrix} is blocked: {cand.reason}"
+                    ),
+                    transform=ir.name,
+                    rule=cand.producer,
+                    region=cand.matrix,
+                    line=cand.line,
+                    column=cand.column,
+                    witness=cand.conflict.describe() if cand.conflict else "",
+                    hint=(
+                        "fusion would read the producer's expression instead "
+                        "of the cell another instance wrote"
+                    ),
+                    path=path,
+                )
+            )
+    kinds = {"flow": 0, "anti": 0, "output": 0}
+    for dep in deps:
+        kinds[dep.kind] += 1
+    clauses = []
+    for cand in candidates:
+        if cand.status == "ineligible":
+            clauses.append(f"{cand.matrix} ineligible ({cand.reason})")
+        else:
+            clauses.append(f"{cand.matrix} {cand.status}")
+    detail = "; ".join(clauses) if clauses else "no fusion candidates"
+    diagnostics.append(
+        Diagnostic(
+            code="PB603",
+            severity=INFO,
+            message=(
+                f"rewrite audit: {len(deps)} dependence(s) "
+                f"({kinds['flow']} flow, {kinds['anti']} anti, "
+                f"{kinds['output']} output); {detail}"
+            ),
+            transform=ir.name,
+            line=ir.line,
+            column=ir.column,
+            path=path,
+        )
+    )
+    return diagnostics
+
+
+__all__ = [
+    "Dependence",
+    "ConflictWitness",
+    "FusionCandidate",
+    "rule_dependences",
+    "fusion_candidates",
+    "validate_conflict",
+    "check_depend",
+]

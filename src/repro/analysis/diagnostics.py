@@ -2,7 +2,8 @@
 
 Every finding of the analysis passes is a :class:`Diagnostic`: a stable
 code (``PB1xx`` bounds, ``PB2xx`` races/deadlocks, ``PB3xx`` coverage,
-``PB4xx`` hygiene, ``PB5xx`` leaf execution paths), a severity, the
+``PB4xx`` hygiene, ``PB5xx`` leaf execution paths, ``PB6xx``
+dependence/rewrite legality), a severity, the
 offending transform/rule/region, a
 source position when the program came from the parser, a one-line fix
 hint, and — for the witness-based checks — the concrete size/instance
@@ -45,6 +46,9 @@ CODE_TABLE: Dict[str, Tuple[str, str, str]] = {
     "PB501": (INFO, "leafpaths", "rule qualifies for vectorized leaf execution"),
     "PB502": (INFO, "leafpaths", "rule is not vectorizable (closure path applies)"),
     "PB503": (INFO, "leafpaths", "transform batch-axis (stacking) eligibility"),
+    "PB601": (INFO, "depend", "producer→consumer fusion is legal (proven distance)"),
+    "PB602": (INFO, "depend", "fusion blocked by a cross-instance flow dependence"),
+    "PB603": (INFO, "depend", "rewrite audit: dependence and fusion summary"),
 }
 
 

@@ -26,12 +26,17 @@ def _probe_points(lo: int, hi: int, arity: int) -> List[int]:
     ``arity < 2`` cannot space interior probes, so it degrades to
     endpoint probing ``[lo, hi]``.
     """
-    if lo < 1:
-        raise ValueError("n-ary search operates on positive ranges")
+    if lo < 0:
+        raise ValueError("n-ary search operates on non-negative ranges")
     if hi <= lo:
         return [lo]
     if arity < 2:
         return [lo, hi]
+    if lo == 0:
+        # Zero breaks geometric spacing (binary knobs like __fuse__,
+        # zero-based user tunables): probe it explicitly and space the
+        # remaining probes over [1, hi].
+        return sorted({0, *_probe_points(1, hi, max(1, arity - 1))})
     points = set()
     ratio = (hi / lo) ** (1.0 / (arity - 1))
     value = float(lo)

@@ -62,6 +62,7 @@ to exercise those paths.
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import sys
 from typing import List, Optional, Sequence
@@ -156,6 +157,108 @@ def cmd_check(args: argparse.Namespace) -> int:
     from repro.analysis import run_check
 
     return run_check(args.source, fmt=args.format, strict=args.strict)
+
+
+def cmd_rewrite(args: argparse.Namespace) -> int:
+    """List proven rewrite opportunities, or apply them and emit DSL."""
+    from repro.analysis.depend import check_depend, fusion_candidates
+    from repro.rewrite import REWRITE_BUDGET, UnparseError, program_src
+
+    program = _load_program(args.source)
+    if args.transform and args.transform not in program.transforms:
+        print(f"error: unknown transform {args.transform!r}", file=sys.stderr)
+        return 2
+    names = (
+        [args.transform] if args.transform else sorted(program.transforms)
+    )
+
+    candidates = {}
+    diagnostics = []
+    for name in names:
+        compiled = program.transform(name)
+        candidates[name] = fusion_candidates(compiled, REWRITE_BUDGET)
+        diagnostics.extend(check_depend(compiled, REWRITE_BUDGET, args.source))
+
+    applied = {}
+    rewritten = None
+    if args.apply:
+        out_transforms = []
+        for name in sorted(program.transforms):
+            compiled = program.transform(name)
+            variant = compiled.fused_variant() if name in names else None
+            applied[name] = variant is not None
+            out_transforms.append((variant or compiled).ir)
+        try:
+            rewritten = program_src(out_transforms)
+        except UnparseError as exc:
+            print(f"error: cannot emit rewritten source: {exc}", file=sys.stderr)
+            return 2
+
+    if args.json:
+        payload = {
+            "source": args.source,
+            "transforms": {
+                name: {
+                    "candidates": [
+                        {
+                            "matrix": cand.matrix,
+                            "producer": cand.producer,
+                            "consumer": cand.consumer,
+                            "status": cand.status,
+                            "reason": cand.reason,
+                            "distances": [
+                                ["*" if d is None else str(d) for d in vec]
+                                for vec in cand.distances
+                            ],
+                            "witness": (
+                                cand.conflict.describe()
+                                if cand.conflict
+                                else ""
+                            ),
+                        }
+                        for cand in candidates[name]
+                    ],
+                    "applied": applied.get(name, False),
+                }
+                for name in names
+            },
+            "diagnostics": [d.to_dict() for d in diagnostics],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for name in names:
+            cands = candidates[name]
+            if not cands:
+                print(f"{name}: no fusion candidates")
+            for cand in cands:
+                line = f"{name}: {cand.matrix} {cand.status}"
+                if cand.status == "legal":
+                    line += (
+                        f" — fuse {cand.producer} into {cand.consumer}, "
+                        f"distance {cand.distance_text()}"
+                    )
+                elif cand.reason:
+                    line += f" — {cand.reason}"
+                print(line)
+                if cand.conflict:
+                    print(f"  witness: {cand.conflict.describe()}")
+
+    if args.apply and rewritten is not None:
+        fused_names = sorted(n for n, did in applied.items() if did)
+        if not fused_names:
+            print("rewrite: no legal fusions to apply", file=sys.stderr)
+        else:
+            print(
+                f"rewrite: fused {', '.join(fused_names)} "
+                f"(re-verified clean)",
+                file=sys.stderr,
+            )
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(rewritten)
+        elif not args.json:
+            print(rewritten)
+    return 0
 
 
 _LEAF_PATHS = {"interp": 0, "closure": 1, "vector": 2}
@@ -732,6 +835,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 on warnings too (default: only errors fail)",
     )
     p_check.set_defaults(func=cmd_check)
+
+    p_rewrite = sub.add_parser(
+        "rewrite",
+        help="list or apply verified IR rewrites (producer→consumer fusion)",
+    )
+    p_rewrite.add_argument("source", help="DSL file to analyze/rewrite")
+    p_rewrite.add_argument(
+        "-t", "--transform", default=None,
+        help="restrict to one transform (default: all)",
+    )
+    p_rewrite.add_argument(
+        "--list", action="store_true",
+        help="list fusion candidates with legality verdicts (the default)",
+    )
+    p_rewrite.add_argument(
+        "--apply", action="store_true",
+        help="apply every legal fusion and emit the rewritten DSL",
+    )
+    p_rewrite.add_argument(
+        "--json", action="store_true",
+        help="machine-readable report (candidates + PB6xx diagnostics)",
+    )
+    p_rewrite.add_argument(
+        "-o", "--output", default=None,
+        help="write rewritten DSL here instead of stdout (with --apply)",
+    )
+    p_rewrite.set_defaults(func=cmd_rewrite)
 
     p_run = sub.add_parser("run", help="run a transform")
     p_run.add_argument("source")

@@ -106,6 +106,10 @@ class RunResult:
         return self.outputs[name].data
 
 
+#: "fused variant not planned yet" marker (None is a valid cached plan).
+_FUSED_UNSET = object()
+
+
 class _EngineState:
     """Mutable state threaded through one top-level run."""
 
@@ -243,6 +247,10 @@ class CompiledTransform:
         self._vector_plans: Dict[
             Tuple[str, int, bool, bool], Tuple[Optional[VectorPlan], str]
         ] = {}
+        # The legality-gated fused rewrite (repro.rewrite), planned and
+        # verified lazily on first request; None once planning decides
+        # there is nothing (or nothing provably safe) to fuse.
+        self._fused: object = _FUSED_UNSET
 
     # -- public API ------------------------------------------------------------
 
@@ -412,12 +420,35 @@ class CompiledTransform:
 
     # -- the engine -------------------------------------------------------------
 
+    def fused_variant(self) -> Optional["CompiledTransform"]:
+        """The verified fused rewrite of this transform, or ``None``.
+
+        Planned once: producer→consumer fusion is applied wherever the
+        dependence analyzer proves PB601, the result is re-verified by
+        the error-severity passes, and the compiled variant is cached.
+        ``None`` (also cached) means the transform runs unfused no
+        matter what ``__fuse__`` says.
+        """
+        if self._fused is _FUSED_UNSET:
+            from repro.rewrite.fuse import build_fused_variant
+
+            self._fused = build_fused_variant(self)
+        return self._fused  # type: ignore[return-value]
+
+    def has_fusion(self) -> bool:
+        """Whether ``__fuse__ = 1`` would change anything."""
+        return self.fused_variant() is not None
+
     def _execute(
         self,
         state: _EngineState,
         input_views: Dict[str, MatrixView],
         explicit_sizes: Optional[Mapping[str, int]] = None,
     ) -> Tuple[Dict[str, Matrix], Dict[str, int]]:
+        if state.config.fuse_enabled(self.name):
+            variant = self.fused_variant()
+            if variant is not None:
+                return variant._execute(state, input_views, explicit_sizes)
         env = self._bind_sizes(input_views, explicit_sizes)
 
         for guard in self.grid.order_guards:
@@ -1267,6 +1298,7 @@ def specialize(
         clone._size_cache = compiled._size_cache
         clone._dir_cache = compiled._dir_cache
         clone._vector_plans = compiled._vector_plans
+        clone._fused = compiled._fused
         static.transforms[name] = clone
     return static
 

@@ -81,8 +81,9 @@ class ChoiceConfig:
     choice sites are ``"Transform.Matrix.segment"``, tunables are
     ``"Transform.name"`` plus the reserved runtime tunables
     ``"Transform.__seq_cutoff__"``, ``"Transform.__block_size__"``,
-    ``"Transform.__leaf_path__"`` (0 interp / 1 closure / 2 vector) and
-    ``"Transform.__vectorize_cutoff__"``.
+    ``"Transform.__leaf_path__"`` (0 interp / 1 closure / 2 vector),
+    ``"Transform.__vectorize_cutoff__"`` and ``"Transform.__fuse__"``
+    (run the verified fused rewrite when one exists).
     """
 
     choices: Dict[str, Selector] = field(default_factory=dict)
@@ -149,6 +150,13 @@ class ChoiceConfig:
                 )
             ),
         )
+
+    def fuse_enabled(self, transform: str, default: int = 0) -> int:
+        """Whether the engine dispatches to the transform's verified
+        fused rewrite (:mod:`repro.rewrite`) when one exists: 0 runs the
+        program as written (the default), 1 runs the fused variant.  A
+        no-op on transforms with no legal fusion."""
+        return 1 if self.tunable(f"{transform}.__fuse__", default) else 0
 
     # -- serialization ---------------------------------------------------------
 

@@ -73,7 +73,7 @@ from repro.symbolic import Affine
 if TYPE_CHECKING:  # typing only — keeps engine_fast free of compiler deps
     from repro.compiler.ir import RegionIR, RuleIR, TransformIR
 
-__all__ = ["VectorPlan", "plan_vector_leaf"]
+__all__ = ["VECTOR_STABLE_CALLS", "VectorPlan", "plan_vector_leaf"]
 
 #: builtins whose NumPy lowering is bit-identical to the scalar path.
 _VECTOR_BUILTINS = {
@@ -82,6 +82,12 @@ _VECTOR_BUILTINS = {
     "floor": "np.floor",
     "ceil": "np.ceil",
 }
+
+#: every call name whose vector lowering matches the scalar path exactly
+#: (the builtins above plus the variadic min/max reductions).  The fusion
+#: legality gate (repro.analysis.depend) only inlines producer bodies
+#: built from these, so a fused body stays on the same numeric ops.
+VECTOR_STABLE_CALLS = frozenset(_VECTOR_BUILTINS) | {"min", "max"}
 
 
 # -- runtime helpers -------------------------------------------------------

@@ -1,0 +1,42 @@
+"""Legality-gated IR-to-IR rewrites (the scheduling layer's first axis).
+
+Every rewrite here is *verified*: it may only be applied when the
+static dependence analyzer (:mod:`repro.analysis.depend`) proves it
+legal (PB601), and the rewritten IR is re-checked by the full
+error-severity verifier before the engine will run it.  The first
+rewrite is producer→consumer fusion of adjacent elementwise rules
+(:mod:`repro.rewrite.fuse`), exposed to the genetic tuner as the
+reserved ``__fuse__`` tunable and to the CLI as ``repro rewrite``.
+"""
+
+from repro.rewrite.fuse import (
+    FusionError,
+    REWRITE_BUDGET,
+    apply_fusion,
+    build_fused_variant,
+    fuse_transform,
+)
+from repro.rewrite.unparse import (
+    UnparseError,
+    affine_src,
+    expr_src,
+    program_src,
+    region_src,
+    rule_src,
+    transform_src,
+)
+
+__all__ = [
+    "FusionError",
+    "REWRITE_BUDGET",
+    "UnparseError",
+    "affine_src",
+    "apply_fusion",
+    "build_fused_variant",
+    "expr_src",
+    "fuse_transform",
+    "program_src",
+    "region_src",
+    "rule_src",
+    "transform_src",
+]

@@ -1,0 +1,173 @@
+"""Emit DSL source from transform IR.
+
+``repro rewrite --apply`` hands back a *program*, not an opaque blob:
+the fused IR is rendered as PetaBricks DSL text that round-trips
+through the parser into an equivalent transform, so the rewritten
+source can be checked, tuned, and served like any hand-written one.
+
+Only parser-built transforms unparse: rules with native (Python)
+bodies have no source form and raise :class:`UnparseError`.  Versioned
+matrices (``U<0..k>[n]``) were desugared to a leading dimension during
+IR building and are emitted in that desugared form — the rules already
+index the leading dimension directly, so the program is unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.compiler.ir import MatrixIR, RegionIR, RuleIR, TransformIR
+from repro.language import ast_nodes as ast
+from repro.symbolic.expr import Affine, AffineLike
+
+__all__ = [
+    "UnparseError",
+    "affine_src",
+    "expr_src",
+    "region_src",
+    "rule_src",
+    "transform_src",
+    "program_src",
+]
+
+
+class UnparseError(Exception):
+    """The IR has no DSL source form (native body, unknown node)."""
+
+
+def affine_src(expr: AffineLike) -> str:
+    """An affine expression as DSL/parser source, e.g. ``2 * i - n + 1``."""
+    expr = Affine.coerce(expr)
+    parts = []
+    for var in sorted(expr.coefficients):
+        coeff = expr.coefficients[var]
+        if coeff == 0:
+            continue
+        if coeff == 1:
+            parts.append(var)
+        elif coeff == -1:
+            parts.append(f"-{var}")
+        elif coeff.denominator == 1:
+            parts.append(f"{coeff.numerator} * {var}")
+        else:
+            parts.append(f"{coeff.numerator} * {var} / {coeff.denominator}")
+    const = expr.constant
+    if const != 0 or not parts:
+        if const.denominator == 1:
+            parts.append(str(const.numerator))
+        else:
+            parts.append(f"{const.numerator} / {const.denominator}")
+    return " + ".join(parts).replace("+ -", "- ")
+
+
+def expr_src(node: ast.ExprNode) -> str:
+    """A rule-body expression as source (fully parenthesized)."""
+    if isinstance(node, ast.Num):
+        return repr(node.value)
+    if isinstance(node, ast.Var):
+        return node.name
+    if isinstance(node, ast.BinOp):
+        return f"({expr_src(node.left)} {node.op} {expr_src(node.right)})"
+    if isinstance(node, ast.UnaryOp):
+        return f"({node.op}{expr_src(node.operand)})"
+    if isinstance(node, ast.Call):
+        args = ", ".join(expr_src(arg) for arg in node.args)
+        return f"{node.name}({args})"
+    if isinstance(node, ast.CellAccess):
+        args = ", ".join(expr_src(arg) for arg in node.args)
+        return f"{node.base}.cell({args})"
+    if isinstance(node, ast.Ternary):
+        return (
+            f"({expr_src(node.cond)} ? {expr_src(node.if_true)} : "
+            f"{expr_src(node.if_false)})"
+        )
+    raise UnparseError(f"cannot unparse {type(node).__name__}")
+
+
+def region_src(region: RegionIR) -> str:
+    """One region binding: ``A.cell(i, j) a`` / ``B.region(0, n, 0, m) b``."""
+    intervals = region.box.intervals
+    if region.view_kind == "all":
+        return f"{region.matrix} {region.bind_name}"
+    if region.view_kind == "cell":
+        args = [affine_src(iv.lo) for iv in intervals]
+    elif region.view_kind == "region":
+        args = [affine_src(iv.lo) for iv in intervals]
+        args += [affine_src(iv.hi) for iv in intervals]
+    elif region.view_kind == "row":
+        args = [affine_src(intervals[1].lo)]
+    elif region.view_kind == "column":
+        args = [affine_src(intervals[0].lo)]
+    else:
+        raise UnparseError(f"unknown view kind {region.view_kind!r}")
+    return f"{region.matrix}.{region.view_kind}({', '.join(args)}) {region.bind_name}"
+
+
+def _target_src(target: ast.ExprNode) -> str:
+    if isinstance(target, ast.Var):
+        return target.name
+    if isinstance(target, ast.CellAccess):
+        args = ", ".join(expr_src(arg) for arg in target.args)
+        return f"{target.base}.cell({args})"
+    raise UnparseError(f"cannot unparse lvalue {type(target).__name__}")
+
+
+def rule_src(rule: RuleIR, indent: str = "  ") -> str:
+    """One rule block."""
+    if rule.native_body is not None:
+        raise UnparseError(f"rule {rule.label} has a native body")
+    if rule.priority == 0:
+        prefix = "primary "
+    elif rule.priority == 2:
+        prefix = "secondary "
+    elif rule.priority == 1:
+        prefix = ""
+    else:
+        prefix = f"priority({rule.priority}) "
+    to = ", ".join(region_src(reg) for reg in rule.to_regions)
+    frm = ", ".join(region_src(reg) for reg in rule.from_regions)
+    header = f"{prefix}to ({to}) from ({frm})"
+    if rule.where:
+        header += " where " + ", ".join(expr_src(w) for w in rule.where)
+    lines = [f"{indent}{header} {{"]
+    for stmt in rule.body:
+        lines.append(
+            f"{indent}  {_target_src(stmt.target)} {stmt.op} "
+            f"{expr_src(stmt.value)};"
+        )
+    lines.append(f"{indent}}}")
+    return "\n".join(lines)
+
+
+def _matrix_src(mat: MatrixIR) -> str:
+    if not mat.dims:
+        return mat.name
+    return f"{mat.name}[{', '.join(affine_src(dim) for dim in mat.dims)}]"
+
+
+def transform_src(ir: TransformIR) -> str:
+    """The whole transform as parseable DSL source."""
+    lines = [f"transform {ir.name}"]
+    if ir.inputs:
+        lines.append("from " + ", ".join(_matrix_src(m) for m in ir.inputs))
+    if ir.throughs:
+        lines.append("through " + ", ".join(_matrix_src(m) for m in ir.throughs))
+    if ir.outputs:
+        lines.append("to " + ", ".join(_matrix_src(m) for m in ir.outputs))
+    for tun in ir.tunables:
+        if tun.default is not None:
+            lines.append(f"tunable {tun.name}({tun.lo}, {tun.hi}, {tun.default});")
+        else:
+            lines.append(f"tunable {tun.name}({tun.lo}, {tun.hi});")
+    if ir.generator:
+        lines.append(f"generator {ir.generator}")
+    lines.append("{")
+    for rule in ir.rules:
+        lines.append(rule_src(rule))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def program_src(transforms: Sequence[TransformIR]) -> str:
+    """Several transforms, blank-line separated."""
+    return "\n\n".join(transform_src(ir) for ir in transforms) + "\n"

@@ -399,6 +399,33 @@ def test_run_check_json(tmp_path, capsys):
     assert diag["path"] == str(bad)
 
 
+def test_run_check_dedupes_repeated_paths(tmp_path, capsys):
+    """Passing one file twice reports each finding exactly once."""
+    path = tmp_path / "prog.pbcc"
+    path.write_text(UNUSED_DECLS)
+    run_check([str(path)], fmt="json")
+    once = capsys.readouterr().out
+    run_check([str(path), str(path)], fmt="json")
+    twice = capsys.readouterr().out
+    assert json.loads(once)["diagnostics"], "fixture must emit findings"
+    assert once == twice
+
+
+def test_run_check_order_is_argument_order_independent(tmp_path, capsys):
+    """Multi-file JSON reports are stably sorted, not argument-ordered."""
+    first = tmp_path / "a.pbcc"
+    first.write_text(UNUSED_DECLS)
+    second = tmp_path / "b.pbcc"
+    second.write_text(OVERLAP_WRITE)
+    run_check([str(first), str(second)], fmt="json")
+    forward = capsys.readouterr().out
+    run_check([str(second), str(first)], fmt="json")
+    backward = capsys.readouterr().out
+    assert forward == backward
+    paths = [d["path"] for d in json.loads(forward)["diagnostics"]]
+    assert paths == sorted(paths)
+
+
 def test_cli_check_subcommand(tmp_path, capsys):
     from repro.cli import main
 
@@ -432,8 +459,39 @@ def test_code_table_severities_are_valid():
     for code, (severity, family, summary) in CODE_TABLE.items():
         Diagnostic(code=code, severity=severity, message=summary)
         assert family in (
-            "general", "bounds", "races", "coverage", "hygiene", "leafpaths"
+            "general", "bounds", "races", "coverage", "hygiene",
+            "leafpaths", "depend",
         )
+
+
+def test_code_table_covers_every_emitted_code():
+    """Every PB-code literal a pass can emit has a CODE_TABLE row."""
+    import re
+
+    pattern = re.compile(r"[\"'](PB\d{3})[\"']")
+    emitted = set()
+    src_root = os.path.join(REPO_ROOT, "src", "repro")
+    for dirpath, _dirnames, filenames in os.walk(src_root):
+        for filename in filenames:
+            if not filename.endswith(".py") or filename == "diagnostics.py":
+                continue
+            with open(
+                os.path.join(dirpath, filename), encoding="utf-8"
+            ) as handle:
+                emitted |= set(pattern.findall(handle.read()))
+    unknown = emitted - set(CODE_TABLE)
+    assert not unknown, f"codes emitted without a CODE_TABLE row: {unknown}"
+
+
+def test_design_doc_table_matches_code_table():
+    """DESIGN.md's diagnostic-code table lists exactly the registry."""
+    import re
+
+    design = os.path.join(REPO_ROOT, "DESIGN.md")
+    with open(design, encoding="utf-8") as handle:
+        text = handle.read()
+    documented = set(re.findall(r"^\| (PB\d{3}) \|", text, re.MULTILINE))
+    assert documented == set(CODE_TABLE)
 
 
 def test_report_ordering_and_summary():

@@ -85,6 +85,17 @@ class TestNarySearch:
         best, cost = nary_search(lambda v: (v - 90) ** 2, 2, 100, arity=1)
         assert (best, cost) == (100, 100)
 
+    def test_zero_based_range(self):
+        # Regression: binary knobs like __fuse__ span [0, 1]; zero used
+        # to be rejected outright (it breaks geometric spacing).
+        from repro.autotuner.nary import _probe_points
+
+        assert _probe_points(0, 1, 4) == [0, 1]
+        assert _probe_points(0, 100, 4)[0] == 0
+        assert nary_search(lambda v: (v - 0) ** 2, 0, 1)[0] == 0
+        assert nary_search(lambda v: (v - 1) ** 2, 0, 1)[0] == 1
+        assert nary_search(lambda v: (v - 37) ** 2, 0, 1000)[0] == 37
+
     def test_probe_points_equal_bounds(self):
         from repro.autotuner.nary import _probe_points
 
@@ -102,11 +113,11 @@ class TestNarySearch:
         assert _probe_points(1, 2, 4) == [1, 2]
         assert _probe_points(3, 4, 2) == [3, 4]
 
-    def test_probe_points_rejects_nonpositive(self):
+    def test_probe_points_rejects_negative(self):
         from repro.autotuner.nary import _probe_points
 
         with pytest.raises(ValueError):
-            _probe_points(0, 10, 4)
+            _probe_points(-1, 10, 4)
 
     def test_batch_objective_matches_serial(self):
         def objective(v):

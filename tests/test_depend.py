@@ -1,0 +1,342 @@
+"""Unit tests for the static dependence analyzer (pass family 6).
+
+Covers the Bernstein classification (flow/anti/output with symbolic
+distances), the fusion legality gate (legal / blocked / ineligible with
+structural reasons), the PB602 witness contract (every blocked verdict
+carries a concrete conflict that replays against the engine's exact
+geometry), and the PB601/PB602/PB603 diagnostics.
+"""
+
+from dataclasses import replace
+from fractions import Fraction
+
+from repro.analysis.check import check_source
+from repro.analysis.depend import (
+    check_depend,
+    fusion_candidates,
+    rule_dependences,
+    validate_conflict,
+)
+from repro.analysis.witness import WitnessBudget
+from repro.compiler import compile_program
+from repro.symbolic import Affine
+from repro.symbolic.solve import unit_stride_offset
+
+BUDGET = WitnessBudget(
+    max_size=3, max_envs=8, max_instances=512, max_cells=1024
+)
+
+# A legal producer→consumer chain: one elementwise writer of T, one
+# aligned elementwise reader.
+PIPE = """
+transform Pipe
+from A[n, m]
+through T[n, m]
+to B[n, m]
+{
+  to (T.cell(x, y) t) from (A.cell(x, y) a) { t = a * 2.0 + 1.0; }
+  to (B.cell(x, y) b) from (T.cell(x, y) t) { b = t * 1.5 - 0.5; }
+}
+"""
+
+# Same shape but the consumer reads one cell ahead: still legal, with a
+# nonzero constant distance.
+SHIFT = """
+transform Shift
+from A[n + 1]
+through T[n + 1]
+to B[n]
+{
+  to (T.cell(i) t) from (A.cell(i) a) { t = a + 1.0; }
+  to (B.cell(i) b) from (T.cell(i + 1) t) { b = t * 2.0; }
+}
+"""
+
+# Non-unit-stride consumer read: the distance is unknowable ("*") but
+# substitution is still exact, so fusion stays legal.
+STRIDE = """
+transform Stride
+from A[2 * n]
+through T[2 * n]
+to B[n]
+{
+  to (T.cell(j) t) from (A.cell(j) a) { t = a * 3.0; }
+  to (B.cell(i) b) from (T.cell(2 * i) t) { b = t + 1.0; }
+}
+"""
+
+# A carried flow dependence: the chain rule reads S cells another
+# instance writes, so fusion over S must be blocked with a witness.
+ROLLING = """
+transform Rolling
+from A[n]
+through S[n]
+to B[n]
+{
+  primary to (S.cell(0) s) from (A.cell(0) a) { s = a; }
+  to (S.cell(i) s) from (A.cell(i) a, S.cell(i - 1) prev) { s = a + prev; }
+  to (B.cell(i) b) from (S.cell(i) s) { b = s; }
+}
+"""
+
+# Two interchangeable writers of T (an algorithmic choice): ineligible.
+TWO_WRITERS = """
+transform TwoWriters
+from A[n]
+through T[n]
+to B[n]
+{
+  to (T.cell(i) t) from (A.cell(i) a) { t = a; }
+  to (T.cell(i) t) from (A.cell(i) a) { t = a + 0.0; }
+  to (B.cell(i) b) from (T.cell(i) t) { b = t; }
+}
+"""
+
+# T feeds two distinct consumer rules: ineligible.
+TWO_CONSUMERS = """
+transform TwoConsumers
+from A[n]
+through T[n]
+to B[n], C[n]
+{
+  to (T.cell(i) t) from (A.cell(i) a) { t = a * 2.0; }
+  to (B.cell(i) b) from (T.cell(i) t) { b = t; }
+  to (C.cell(i) c) from (T.cell(i) t) { c = t + 1.0; }
+}
+"""
+
+# The producer reads a region view: not a pure elementwise step.
+REGION_PRODUCER = """
+transform RegionProducer
+from A[n + 1]
+through T[n]
+to B[n]
+{
+  to (T.cell(i) t) from (A.region(i, i + 2) w) { t = sum(w); }
+  to (B.cell(i) b) from (T.cell(i) t) { b = t; }
+}
+"""
+
+COPY = """
+transform Copy
+from A[n]
+to B[n]
+{
+  to (B.cell(i) b) from (A.cell(i) a) { b = a; }
+}
+"""
+
+
+def compiled(source, name):
+    return compile_program(source).transform(name)
+
+
+# -- the distance primitive ------------------------------------------------
+
+
+class TestUnitStrideOffset:
+    def test_aligned_sweep_is_zero(self):
+        i, j = Affine.var("i"), Affine.var("j")
+        assert unit_stride_offset(i, j, ("i",), ("j",)) == 0
+
+    def test_constant_gap(self):
+        i, j = Affine.var("i"), Affine.var("j")
+        assert unit_stride_offset(i, j + 1, ("i",), ("j",)) == Fraction(1)
+        assert unit_stride_offset(i + 2, j, ("i",), ("j",)) == Fraction(-2)
+
+    def test_both_constant(self):
+        assert unit_stride_offset(0, 0, ("i",), ("j",)) == 0
+
+    def test_non_unit_stride_is_unknown(self):
+        i, j = Affine.var("i"), Affine.var("j")
+        assert unit_stride_offset(i, 2 * j, ("i",), ("j",)) is None
+
+    def test_broadcast_is_unknown(self):
+        # One side sweeps, the other is fixed: the gap varies per pair.
+        i = Affine.var("i")
+        assert unit_stride_offset(i, Affine.const(0), ("i",), ("j",)) is None
+
+    def test_size_var_gap_is_not_constant(self):
+        # A size variable is not an instance variable; a residual size
+        # term makes the per-pair gap symbolic, hence unknown.
+        i, j, n = Affine.var("i"), Affine.var("j"), Affine.var("n")
+        assert unit_stride_offset(i + n, j, ("i",), ("j",)) is None
+        assert unit_stride_offset(i, j + n, ("i",), ("j",)) is None
+
+
+# -- classification --------------------------------------------------------
+
+
+class TestRuleDependences:
+    def test_pipe_flow_and_anti(self):
+        deps = rule_dependences(compiled(PIPE, "Pipe").ir)
+        by_kind = {(d.kind, d.src_rule, d.dst_rule): d for d in deps}
+        flow = by_kind[("flow", "rule0", "rule1")]
+        anti = by_kind[("anti", "rule1", "rule0")]
+        assert flow.matrix == "T" and anti.matrix == "T"
+        assert flow.distance == (Fraction(0), Fraction(0))
+        assert flow.distance_text() == "(0, 0)"
+        assert len(deps) == 2  # A is input, B has no reader
+
+    def test_shift_distance(self):
+        deps = rule_dependences(compiled(SHIFT, "Shift").ir)
+        flow = next(d for d in deps if d.kind == "flow")
+        assert flow.distance == (Fraction(1),)
+
+    def test_stride_distance_unknown(self):
+        deps = rule_dependences(compiled(STRIDE, "Stride").ir)
+        flow = next(d for d in deps if d.kind == "flow")
+        assert flow.distance == (None,)
+        assert flow.distance_text() == "(*)"
+
+    def test_output_dependence_between_writers(self):
+        deps = rule_dependences(compiled(TWO_WRITERS, "TwoWriters").ir)
+        outputs = [d for d in deps if d.kind == "output"]
+        assert len(outputs) == 1
+        assert outputs[0].matrix == "T"
+        assert outputs[0].distance == (Fraction(0),)
+
+    def test_rolling_carried_flow(self):
+        deps = rule_dependences(compiled(ROLLING, "Rolling").ir)
+        carried = [
+            d
+            for d in deps
+            if d.kind == "flow" and d.src_rule == "rule1" and d.dst_rule == "rule1"
+        ]
+        assert carried, "chain rule must depend on itself through S"
+        assert carried[0].distance == (Fraction(-1),)
+
+
+# -- fusion candidates -----------------------------------------------------
+
+
+class TestFusionCandidates:
+    def test_pipe_is_legal(self):
+        (cand,) = fusion_candidates(compiled(PIPE, "Pipe"), BUDGET)
+        assert cand.status == "legal"
+        assert (cand.matrix, cand.producer, cand.consumer) == (
+            "T", "rule0", "rule1",
+        )
+        assert cand.distances == ((Fraction(0), Fraction(0)),)
+
+    def test_shift_is_legal_with_distance(self):
+        (cand,) = fusion_candidates(compiled(SHIFT, "Shift"), BUDGET)
+        assert cand.status == "legal"
+        assert cand.distances == ((Fraction(1),),)
+        assert cand.distance_text() == "(1)"
+
+    def test_stride_is_legal_with_unknown_distance(self):
+        (cand,) = fusion_candidates(compiled(STRIDE, "Stride"), BUDGET)
+        assert cand.status == "legal"
+        assert cand.distance_text() == "(*)"
+
+    def test_rolling_is_blocked_with_witness(self):
+        (cand,) = fusion_candidates(compiled(ROLLING, "Rolling"), BUDGET)
+        assert cand.status == "blocked"
+        assert cand.conflict is not None
+        assert cand.conflict.matrix == "S"
+        assert "depend on other S cells" in cand.reason
+
+    def test_two_writers_ineligible(self):
+        (cand,) = fusion_candidates(compiled(TWO_WRITERS, "TwoWriters"), BUDGET)
+        assert cand.status == "ineligible"
+        assert "2 rules write T" in cand.reason
+
+    def test_two_consumers_ineligible(self):
+        (cand,) = fusion_candidates(
+            compiled(TWO_CONSUMERS, "TwoConsumers"), BUDGET
+        )
+        assert cand.status == "ineligible"
+        assert "2 consumer rules" in cand.reason
+
+    def test_region_producer_ineligible(self):
+        (cand,) = fusion_candidates(
+            compiled(REGION_PRODUCER, "RegionProducer"), BUDGET
+        )
+        assert cand.status == "ineligible"
+        assert "non-cell view" in cand.reason
+
+    def test_no_throughs_no_candidates(self):
+        assert fusion_candidates(compiled(COPY, "Copy"), BUDGET) == []
+
+
+# -- the PB602 witness contract --------------------------------------------
+
+
+class TestConflictWitness:
+    def test_witness_replays(self):
+        transform = compiled(ROLLING, "Rolling")
+        (cand,) = fusion_candidates(transform, BUDGET)
+        assert validate_conflict(transform, cand.conflict)
+
+    def test_tampered_witness_rejected(self):
+        transform = compiled(ROLLING, "Rolling")
+        (cand,) = fusion_candidates(transform, BUDGET)
+        witness = cand.conflict
+        # Wrong cell: neither region contains it.
+        assert not validate_conflict(
+            transform, replace(witness, cell=(99,))
+        )
+        # Same rule, same instance: not a cross-instance conflict.
+        assert not validate_conflict(
+            transform,
+            replace(
+                witness,
+                reader_rule_id=witness.writer_rule_id,
+                reader=witness.writer,
+            ),
+        )
+        # Out-of-range rule id.
+        assert not validate_conflict(
+            transform, replace(witness, writer_rule_id=17)
+        )
+
+    def test_witness_description_names_the_instances(self):
+        transform = compiled(ROLLING, "Rolling")
+        (cand,) = fusion_candidates(transform, BUDGET)
+        text = cand.conflict.describe()
+        assert "writes S[" in text and "reads it" in text
+
+
+# -- diagnostics -----------------------------------------------------------
+
+
+class TestCheckDepend:
+    def test_pipe_emits_pb601_and_audit(self):
+        transform = compiled(PIPE, "Pipe")
+        diags = check_depend(transform, BUDGET)
+        codes = [d.code for d in diags]
+        assert codes == ["PB601", "PB603"]
+        pb601 = diags[0]
+        assert pb601.severity == "info"
+        assert "is legal" in pb601.message
+        assert "__fuse__" in pb601.hint
+        assert pb601.region == "T"
+        audit = diags[1]
+        assert "2 dependence(s) (1 flow, 1 anti, 0 output)" in audit.message
+        assert "T legal" in audit.message
+
+    def test_rolling_emits_pb602_with_witness(self):
+        transform = compiled(ROLLING, "Rolling")
+        diags = check_depend(transform, BUDGET)
+        pb602 = next(d for d in diags if d.code == "PB602")
+        assert pb602.severity == "info"
+        assert pb602.witness, "PB602 must carry a replayable witness"
+        audit = next(d for d in diags if d.code == "PB603")
+        assert "S blocked" in audit.message
+
+    def test_audit_always_emitted(self):
+        diags = check_depend(compiled(COPY, "Copy"), BUDGET)
+        assert [d.code for d in diags] == ["PB603"]
+        assert "no fusion candidates" in diags[0].message
+
+    def test_ineligible_reason_lands_in_audit(self):
+        diags = check_depend(compiled(TWO_WRITERS, "TwoWriters"), BUDGET)
+        audit = next(d for d in diags if d.code == "PB603")
+        assert "T ineligible (2 rules write T" in audit.message
+
+    def test_check_source_includes_depend_family(self):
+        report = check_source(PIPE)
+        codes = {d.code for d in report}
+        assert {"PB601", "PB603"} <= codes
+        assert report.exit_code(strict=True) == 0

@@ -14,6 +14,8 @@ This program exercises several language/compiler features *together*:
   direction merge would reject.
 """
 
+import pathlib
+
 import numpy as np
 import pytest
 
@@ -95,6 +97,46 @@ class TestCompilation:
             if all(opt.primary == 2 for opt in seg.options)
         ]
         assert interiors and boundaries
+
+
+class TestStaticAnalysis:
+    EXAMPLE = str(
+        pathlib.Path(__file__).resolve().parent.parent
+        / "examples"
+        / "heat_diffusion.py"
+    )
+
+    def test_example_passes_strict_check(self, capsys):
+        from repro.analysis import run_check
+
+        assert run_check([self.EXAMPLE], strict=True) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s), 0 warning(s)" in out
+
+    def test_example_is_fully_batch_stackable(self):
+        """PB503: every configuration of the bundled example stacks."""
+        from repro.analysis import check_file
+
+        pb503 = [
+            d for d in check_file(self.EXAMPLE) if d.code == "PB503"
+        ]
+        assert pb503, "each transform gets a stacking verdict"
+        assert all(
+            "batch-stackable under every configuration" in d.message
+            for d in pb503
+        )
+
+    def test_versioned_stencil_blocks_fusion_with_witness(self, heat):
+        """The wavefront reads U cells other instances wrote: PB602,
+        backed by a replay-valid conflict witness."""
+        from repro.analysis.depend import fusion_candidates, validate_conflict
+
+        (cand,) = [
+            c for c in fusion_candidates(heat) if c.matrix == "U"
+        ]
+        assert cand.status == "blocked"
+        assert cand.conflict is not None
+        assert validate_conflict(heat, cand.conflict)
 
 
 class TestExecution:
