@@ -1,0 +1,115 @@
+"""Aggregate every machine-readable benchmark result into one artifact.
+
+Each perf-gated benchmark writes ``benchmarks/results/BENCH_<name>.json``
+on its own; this script merges them into a single trajectory artifact,
+``benchmarks/results/BENCH_report.json``, plus a human summary table
+(``benchmarks/results/report.txt``).  CI runs it after the perf gates
+and uploads the merged file, so one download tracks every gate's
+headline numbers across the project's history.
+
+The merge is schema-agnostic: every ``BENCH_*.json`` payload is embedded
+verbatim under its benchmark name, and any payload exposing the common
+``cases: [{case, speedup, ...}]`` shape additionally contributes rows to
+the headline table.
+
+Script mode: ``python benchmarks/bench_report.py``.  Exits nonzero when
+no ``BENCH_*.json`` files exist (CI ordering bug), zero otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+from harness import RESULTS_DIR, fmt_row, write_json, write_report
+
+#: The merged artifact itself — never an input to the merge.
+REPORT_NAME = "BENCH_report"
+
+
+def collect() -> dict:
+    """All ``BENCH_*.json`` payloads keyed by benchmark name."""
+    merged = {}
+    for path in sorted(RESULTS_DIR.glob("BENCH_*.json")):
+        if path.stem == REPORT_NAME:
+            continue
+        name = path.stem[len("BENCH_"):]
+        try:
+            merged[name] = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            merged[name] = {"error": f"unreadable payload: {exc}"}
+    return merged
+
+
+def headlines(merged: dict) -> list:
+    """``(bench, case, speedup)`` rows from every case-shaped payload."""
+    rows = []
+    for bench, payload in sorted(merged.items()):
+        for case in payload.get("cases", []) if isinstance(payload, dict) else []:
+            if isinstance(case, dict) and "speedup" in case:
+                rows.append(
+                    {
+                        "bench": bench,
+                        "case": str(case.get("case", "?")),
+                        "speedup": float(case["speedup"]),
+                    }
+                )
+    return rows
+
+
+def run_report() -> dict:
+    merged = collect()
+    rows = headlines(merged)
+    payload = {
+        "benchmarks": merged,
+        "headlines": rows,
+        "count": len(merged),
+    }
+    write_json(REPORT_NAME, payload)
+
+    widths = [18, 18, 10]
+    lines = [
+        f"Benchmark trajectory: {len(merged)} machine-readable result(s) "
+        "merged",
+        fmt_row(["bench", "case", "speedup"], widths),
+    ]
+    for row in rows:
+        lines.append(
+            fmt_row(
+                [row["bench"], row["case"], f"{row['speedup']:.2f}x"],
+                widths,
+            )
+        )
+    if not rows:
+        lines.append("(no case-shaped payloads; see BENCH_report.json)")
+    write_report("report", lines)
+    return payload
+
+
+def test_report(results_dir):
+    payload = run_report()
+    assert payload["count"] >= 0
+    # The merged artifact embeds whatever gates already ran; it must
+    # never swallow its own output on a re-run.
+    assert REPORT_NAME[len("BENCH_"):] not in payload["benchmarks"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.parse_args(argv)
+    payload = run_report()
+    if payload["count"] == 0:
+        print(
+            "FAIL: no BENCH_*.json results to merge — run the perf "
+            "gates first",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"bench report OK: merged {payload['count']} result(s), "
+        f"{len(payload['headlines'])} headline row(s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

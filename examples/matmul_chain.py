@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Cache-blocked schedule search: tiling and interchange on a matmul chain.
+
+Matrix multiply written as a rolling reduction: ``S[k]`` accumulates the
+first ``k`` outer products, so the ``k`` dimension is a sequential chain
+and ``(i, j)`` stay data parallel.  The dependence analyzer proves the
+schedule tilable (PB604: the only cross-instance dependence is carried
+by ``k`` with zero free-variable offsets — nothing ever crosses between
+``(i, j)`` tiles), which unlocks three reserved tunables the genetic
+tuner searches alongside the leaf path:
+
+* ``__tile_i__`` / ``__tile_j__`` — block the data-parallel space;
+* ``__interchange__`` — run the whole ``k`` chain per tile while the
+  tile is cache-hot, instead of streaming every tile per ``k`` step.
+
+Run:  python examples/matmul_chain.py
+"""
+
+import numpy as np
+
+from repro import ChoiceConfig, TraceSink, compile_program
+
+MATMUL_CHAIN = """
+transform MatMulChain
+from A[n, p], B[p, m]
+through S[p + 1, n, m]
+to C[n, m]
+{
+  // S[0] is the zero accumulator
+  to (S.cell(0, i, j) s) from () { s = 0.0; }
+
+  // S[k] adds the k-th outer product; k is a sequential chain,
+  // (i, j) are data parallel within a step
+  to (S.cell(k, i, j) s)
+  from (S.cell(k - 1, i, j) prev, A.cell(i, k - 1) a, B.cell(k - 1, j) b)
+  {
+    s = prev + a * b;
+  }
+
+  // the answer is the last accumulator plane
+  to (C.cell(i, j) c) from (S.cell(p, i, j) s) { c = s; }
+}
+"""
+
+
+def main() -> None:
+    program = compile_program(MATMUL_CHAIN)
+    mm = program.transform("MatMulChain")
+
+    from repro.analysis.depend import schedule_candidates
+
+    print("schedule candidates (PB604/PB605 verdicts):")
+    for cand in schedule_candidates(mm):
+        print(
+            f"  {cand.segment}/{cand.rule}: {cand.status}  "
+            f"chain ({', '.join(cand.chain_vars)})  "
+            f"free ({', '.join(cand.free_vars)})"
+        )
+    print(f"  has_tiling() -> {mm.has_tiling()}")
+
+    rng = np.random.default_rng(7)
+    n, p, m = 48, 6, 40
+    A = rng.uniform(-1.0, 1.0, (n, p))
+    B = rng.uniform(-1.0, 1.0, (p, m))
+
+    def run(**tunables):
+        config = ChoiceConfig()
+        config.set_tunable("MatMulChain.__leaf_path__", 2)
+        for name, value in tunables.items():
+            config.set_tunable(f"MatMulChain.{name}", value)
+        sink = TraceSink()
+        result = mm.run([A.copy(), B.copy()], config, sink=sink)
+        return result.output("C"), sink
+
+    untiled, sink0 = run()
+    tiled, sink1 = run(__tile_i__=16, __tile_j__=16, __interchange__=1)
+    print("\nuntiled vs tiled+interchange:")
+    print(f"  bit-identical: {untiled.tobytes() == tiled.tobytes()}")
+    print(f"  matches A @ B: {np.allclose(untiled, A @ B)}")
+    print(
+        f"  vector blocks: {sink0.counter('exec.vectorized_blocks')} untiled, "
+        f"{sink1.counter('exec.vectorized_blocks')} tiled "
+        f"({sink1.counter('exec.tiled_blocks')} tile invocations)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -36,6 +36,22 @@ reported as ineligible instead.  PB603 is the per-transform rewrite
 audit (always emitted, like PB503): dependence counts plus the status
 of every candidate, so ``repro check`` documents why a transform did or
 did not gain a fused variant.
+
+The second rewrite family is *schedule* legality (PB604/PB605): may the
+engine block a rule's data-parallel (free) instance variables into
+cache-sized tiles, and run the sequential chain dimension tile-by-tile
+(loop interchange) instead of sweeping the whole free space at every
+chain step?  Tiles execute in ascending lexicographic order over the
+free space, so the transformation is exact when every self-dependence
+the rule carries either stays inside one tile (all free-variable gaps
+zero) or points the same way as both orders: a flow dependence (later
+chain step) must never reach a lexicographically earlier tile, an anti
+dependence never a later one.  :func:`schedule_candidates` derives the
+per-variable gaps from the same unit-stride offsets as the distance
+vectors; a refusal is only reported as ``blocked`` (PB605) with a
+replay-validated :class:`ScheduleWitness` — a concrete pair of
+applications of the rule that a tiled interchange would run in the
+wrong order — mirroring the PB602 contract.
 """
 
 from __future__ import annotations
@@ -416,6 +432,391 @@ def validate_conflict(compiled, witness: ConflictWitness) -> bool:
     )
 
 
+# -- schedule legality: tiling and interchange (PB604/PB605) ----------------
+
+
+@dataclass(frozen=True)
+class ScheduleWitness:
+    """A replayable pair of applications of one rule proving that
+    running its free (data-parallel) variables tile-by-tile, chain
+    inside each tile, would execute the reader's tile on the wrong side
+    of the writer's: the writer produces ``cell`` of ``matrix`` and a
+    *different* application of the same rule consumes it from a tile
+    the interchanged order visits too early (or, for an anti
+    dependence, too late)."""
+
+    sizes: Tuple[Tuple[str, int], ...]
+    segment: str
+    rule: str
+    rule_id: int
+    writer: Tuple[Tuple[str, int], ...]
+    reader: Tuple[Tuple[str, int], ...]
+    cell: Tuple[int, ...]
+    matrix: str
+
+    def describe(self) -> str:
+        cellbox = describe_bounds(self.matrix, [(c, c + 1) for c in self.cell])
+        return (
+            f"{describe_env(dict(self.sizes))}: {self.rule} instance "
+            f"({describe_env({}, dict(self.writer))}) writes {cellbox}; "
+            f"instance ({describe_env({}, dict(self.reader))}) reads it "
+            f"from a tile the blocked order runs on the wrong side of "
+            f"the write"
+        )
+
+
+@dataclass(frozen=True)
+class ScheduleCandidate:
+    """The tiling/interchange verdict for one (segment, rule) site.
+
+    Only sites with both a sequential chain variable and at least one
+    data-parallel free variable are candidates — with no chain there is
+    nothing to interchange and plain blocking is a no-op partition; with
+    no free variable there is nothing to tile."""
+
+    transform: str
+    segment: str
+    matrix: str
+    rule: str
+    rule_id: int
+    chain_vars: Tuple[str, ...]
+    free_vars: Tuple[str, ...]
+    status: str  # "legal" | "blocked" | "ineligible"
+    reason: str
+    witness: Optional[ScheduleWitness] = None
+    line: int = 0
+    column: int = 0
+
+
+def _schedule_deltas(
+    rule: RuleIR, wreg: RegionIR, rreg: RegionIR
+) -> Tuple[Optional[Dict[str, Fraction]], str]:
+    """Per-variable instance gap (reader − writer) implied by one
+    application writing a cell through ``wreg`` that another reads
+    through ``rreg``.
+
+    Returns ``(deltas, reason)``: a non-empty ``reason`` means some
+    dimension cannot be related exactly (the conservative answer);
+    ``deltas is None`` with an empty reason means the two accesses
+    provably never touch the same cell, so the pair carries no
+    dependence at all."""
+    var_set = set(rule.rule_vars)
+    if wreg.view_kind != "cell" or rreg.view_kind != "cell":
+        return {}, (
+            f"{rule.label} accesses {wreg.matrix} through a non-cell view"
+        )
+    deltas: Dict[str, Fraction] = {}
+    for dim, (wiv, riv) in enumerate(
+        zip(wreg.box.intervals, rreg.box.intervals)
+    ):
+        write_coord, read_coord = wiv.lo, riv.lo
+        wvars = [v for v in write_coord.variables() if v in var_set]
+        rvars = [v for v in read_coord.variables() if v in var_set]
+        offset = unit_stride_offset(
+            write_coord, read_coord, rule.rule_vars, rule.rule_vars
+        )
+        if not wvars and not rvars:
+            # Both coordinates fixed per application: the accesses alias
+            # only if the (size-symbolic) coordinates coincide.
+            if offset is not None and offset != 0:
+                return None, ""
+            if offset == 0:
+                continue
+            return {}, (
+                f"{rule.label}: {wreg.matrix} dim {dim} write/read "
+                f"coordinates cannot be compared"
+            )
+        if offset is None or wvars != rvars:
+            return {}, (
+                f"{rule.label}: {wreg.matrix} dim {dim} does not pair "
+                f"write and read instances one-to-one"
+            )
+        var = wvars[0]
+        delta = -offset  # same cell ⇒ reader instance = writer + delta
+        if var in deltas and deltas[var] != delta:
+            # Two dimensions pin the same variable to different gaps:
+            # the accesses can never alias.
+            return None, ""
+        deltas[var] = delta
+    return deltas, ""
+
+
+def _pair_block_reason(
+    rule: RuleIR,
+    matrix: str,
+    deltas: Dict[str, Fraction],
+    chain_vars: Tuple[str, ...],
+    free_vars: Tuple[str, ...],
+    directions: Dict[str, int],
+) -> str:
+    """Why tiling the free variables (chain run per tile, tiles in
+    ascending lexicographic order) could reorder this self-dependence;
+    empty when the pair is provably schedule-safe."""
+    free_d = []
+    for var in free_vars:
+        if var not in deltas:
+            return (
+                f"{rule.label}: the {matrix} self-dependence does not "
+                f"relate instances of {var!r}"
+            )
+        free_d.append(deltas[var])
+    if all(d == 0 for d in free_d):
+        return ""  # the dependence never leaves its tile
+    chain_gap = 0
+    for var in chain_vars:
+        if var not in deltas:
+            return (
+                f"{rule.label}: the {matrix} self-dependence does not "
+                f"relate chain steps of {var!r}"
+            )
+        adjusted = deltas[var] * directions.get(var, 1)
+        if adjusted != 0:
+            chain_gap = 1 if adjusted > 0 else -1
+            break
+    # Tiles run in ascending lex order over the free space, so a
+    # dependence into a later chain step (flow) tolerates only
+    # never-decreasing free coordinates, and one into an earlier step
+    # (anti) only never-increasing ones.
+    if chain_gap > 0 and all(d >= 0 for d in free_d):
+        return ""
+    if chain_gap < 0 and all(d <= 0 for d in free_d):
+        return ""
+    moved = ", ".join(
+        f"Δ{var}={deltas[var]}"
+        for var in free_vars
+        if deltas[var] != 0
+    )
+    return (
+        f"{rule.label}: a {matrix}-carried dependence crosses tiles "
+        f"against the blocked order ({moved}, chain gap "
+        f"{'+' if chain_gap > 0 else '-' if chain_gap < 0 else '0'})"
+    )
+
+
+def _schedule_block_reason(
+    rule: RuleIR,
+    chain_vars: Tuple[str, ...],
+    free_vars: Tuple[str, ...],
+    directions: Dict[str, int],
+) -> str:
+    """First reason any self-dependence of ``rule`` makes tiling its
+    free variables unsafe; empty when every pair is provably safe."""
+    shared = [m for m in rule.writes_matrices() if m in rule.reads_matrices()]
+    for name in shared:
+        for wreg in rule.to_regions:
+            if wreg.matrix != name:
+                continue
+            for rreg in rule.from_regions:
+                if rreg.matrix != name:
+                    continue
+                deltas, reason = _schedule_deltas(rule, wreg, rreg)
+                if reason:
+                    return reason
+                if deltas is None:
+                    continue  # provably never alias
+                reason = _pair_block_reason(
+                    rule, name, deltas, chain_vars, free_vars, directions
+                )
+                if reason:
+                    return reason
+    return ""
+
+
+def _schedule_conflict(
+    compiled,
+    segment,
+    option,
+    rule: RuleIR,
+    budget: WitnessBudget,
+) -> Optional[ScheduleWitness]:
+    """Hunt a concrete application pair of ``rule`` that a tiled
+    interchange would run out of order, using the races pass's exact
+    application model; every returned witness is replay-validated."""
+    from repro.analysis.races import _applications
+
+    shared = [m for m in rule.writes_matrices() if m in rule.reads_matrices()]
+    if not shared:
+        return None
+    for env in size_envs(compiled, budget):
+        apps = _applications(compiled, segment, option, env, budget)
+        if not apps:
+            continue
+        apps = [app for app in apps if app[0].rule_id == rule.rule_id]
+        for matrix in shared:
+            writes: Dict[Tuple[int, ...], List[Dict[str, int]]] = {}
+            for chosen, instance_env, assignment in apps:
+                for reg in chosen.to_regions:
+                    if reg.matrix != matrix:
+                        continue
+                    cells = region_cells(
+                        reg.box.concrete(instance_env), budget
+                    )
+                    for cell in cells or ():
+                        writes.setdefault(cell, []).append(assignment)
+            for chosen, instance_env, assignment in apps:
+                for reg in chosen.from_regions:
+                    if reg.matrix != matrix:
+                        continue
+                    cells = region_cells(
+                        reg.box.concrete(instance_env), budget
+                    )
+                    for cell in cells or ():
+                        for writer_assignment in writes.get(cell, ()):
+                            if writer_assignment == assignment:
+                                continue
+                            witness = ScheduleWitness(
+                                sizes=tuple(sorted(env.items())),
+                                segment=segment.key,
+                                rule=rule.label,
+                                rule_id=rule.rule_id,
+                                writer=tuple(
+                                    sorted(writer_assignment.items())
+                                ),
+                                reader=tuple(sorted(assignment.items())),
+                                cell=cell,
+                                matrix=matrix,
+                            )
+                            if validate_schedule_witness(compiled, witness):
+                                return witness
+    return None
+
+
+def validate_schedule_witness(compiled, witness: ScheduleWitness) -> bool:
+    """Replay a schedule witness against the engine's exact geometry:
+    the writer application's to-region must contain the cell, a
+    *different* application's from-region must read it, and the blocked
+    order must really visit the pair on the wrong side — the reader's
+    tile strictly precedes the writer's while its chain step follows
+    (or vice versa), for every tile size that separates them (size-1
+    tiles separate any two distinct free coordinates)."""
+    rules = compiled.ir.rules
+    if not 0 <= witness.rule_id < len(rules):
+        return False
+    rule = rules[witness.rule_id]
+    writer = dict(witness.writer)
+    reader = dict(witness.reader)
+    if writer == reader:
+        return False
+    segment = compiled._segments.get(witness.segment)
+    if segment is None:
+        return False
+    try:
+        directions, var_order = compiled._var_directions_cached(segment, rule)
+    except Exception:
+        return False
+    chain_vars = tuple(v for v in var_order if directions.get(v, 0) != 0)
+    free_vars = tuple(v for v in var_order if directions.get(v, 0) == 0)
+    if not chain_vars or not free_vars:
+        return False
+    needed = chain_vars + free_vars
+    if any(v not in writer or v not in reader for v in needed):
+        return False
+    env = dict(witness.sizes)
+
+    def hits(regions, instance) -> bool:
+        instance_env = {**env, **instance}
+        for reg in regions:
+            if reg.matrix != witness.matrix:
+                continue
+            bounds = reg.box.concrete(instance_env)
+            if len(bounds) == len(witness.cell) and all(
+                lo <= coord < hi
+                for coord, (lo, hi) in zip(witness.cell, bounds)
+            ):
+                return True
+        return False
+
+    if not (hits(rule.to_regions, writer) and hits(rule.from_regions, reader)):
+        return False
+    chain_w = tuple(directions[v] * writer[v] for v in chain_vars)
+    chain_r = tuple(directions[v] * reader[v] for v in chain_vars)
+    free_w = tuple(writer[v] for v in free_vars)
+    free_r = tuple(reader[v] for v in free_vars)
+    return (chain_r > chain_w and free_r < free_w) or (
+        chain_r < chain_w and free_r > free_w
+    )
+
+
+def schedule_candidates(
+    compiled, budget: WitnessBudget = DEFAULT_BUDGET
+) -> List[ScheduleCandidate]:
+    """The tiling/interchange verdict of every (segment, rule) site
+    that has both a chain and a free instance variable."""
+    ir = compiled.ir
+    out: List[ScheduleCandidate] = []
+    seen = set()
+    for segment in compiled.grid.all_segments():
+        for option in segment.options:
+            rule = ir.rules[option.primary]
+            key = (segment.key, rule.rule_id)
+            if key in seen:
+                continue
+            seen.add(key)
+            if not rule.is_instance_rule or rule.native_body is not None:
+                continue
+            try:
+                directions, var_order = compiled._var_directions_cached(
+                    segment, rule
+                )
+            except Exception:
+                continue
+            chain_vars = tuple(
+                v for v in var_order if directions.get(v, 0) != 0
+            )
+            free_vars = tuple(
+                v for v in var_order if directions.get(v, 0) == 0
+            )
+            if not chain_vars or not free_vars:
+                continue
+
+            def cand(status, reason="", witness=None):
+                return ScheduleCandidate(
+                    transform=ir.name,
+                    segment=segment.key,
+                    matrix=segment.matrix,
+                    rule=rule.label,
+                    rule_id=rule.rule_id,
+                    chain_vars=chain_vars,
+                    free_vars=free_vars,
+                    status=status,
+                    reason=reason,
+                    witness=witness,
+                    line=rule.line or ir.line,
+                    column=rule.column or ir.column,
+                )
+
+            if rule.where or rule.residual_where:
+                out.append(
+                    cand(
+                        "ineligible",
+                        f"{rule.label} has a where-clause; per-instance "
+                        f"fallbacks do not tile",
+                    )
+                )
+                continue
+            reason = _schedule_block_reason(
+                rule, chain_vars, free_vars, directions
+            )
+            if not reason:
+                out.append(cand("legal"))
+                continue
+            witness = _schedule_conflict(
+                compiled, segment, option, rule, budget
+            )
+            if witness is not None:
+                out.append(cand("blocked", reason, witness))
+            else:
+                out.append(
+                    cand(
+                        "ineligible",
+                        f"{reason}; no concrete out-of-order instance "
+                        f"pair found within budget",
+                    )
+                )
+    out.sort(key=lambda c: (c.segment, c.rule_id))
+    return out
+
+
 def _candidate_for(compiled, mat, budget: WitnessBudget) -> Optional[FusionCandidate]:
     ir = compiled.ir
     name = mat.name
@@ -528,10 +929,12 @@ def fusion_candidates(
 def check_depend(
     compiled, budget: WitnessBudget = DEFAULT_BUDGET, path: str = ""
 ) -> List[Diagnostic]:
-    """PB601/PB602 per fusion candidate plus the PB603 audit."""
+    """PB601/PB602 per fusion candidate, PB604/PB605 per schedule
+    candidate, plus the PB603 audit."""
     ir = compiled.ir
     deps = rule_dependences(ir)
     candidates = fusion_candidates(compiled, budget)
+    sched = schedule_candidates(compiled, budget)
     diagnostics: List[Diagnostic] = []
     for cand in candidates:
         if cand.status == "legal":
@@ -577,6 +980,56 @@ def check_depend(
                     path=path,
                 )
             )
+    for site in sched:
+        if site.status == "legal":
+            diagnostics.append(
+                Diagnostic(
+                    code="PB604",
+                    severity=INFO,
+                    message=(
+                        f"tiling/interchange of {site.rule} over "
+                        f"{site.segment} is legal: every "
+                        f"{site.matrix}-carried dependence stays within "
+                        f"or ahead of its tile (chain "
+                        f"({', '.join(site.chain_vars)}), free "
+                        f"({', '.join(site.free_vars)}))"
+                    ),
+                    transform=ir.name,
+                    rule=site.rule,
+                    region=site.matrix,
+                    line=site.line,
+                    column=site.column,
+                    hint=(
+                        f"set tunables {ir.name}.__tile_i__ / "
+                        f"{ir.name}.__tile_j__ (and "
+                        f"{ir.name}.__interchange__ = 1) or let "
+                        f"`repro tune` search them"
+                    ),
+                    path=path,
+                )
+            )
+        elif site.status == "blocked":
+            diagnostics.append(
+                Diagnostic(
+                    code="PB605",
+                    severity=INFO,
+                    message=(
+                        f"tiling/interchange of {site.rule} over "
+                        f"{site.segment} is blocked: {site.reason}"
+                    ),
+                    transform=ir.name,
+                    rule=site.rule,
+                    region=site.matrix,
+                    line=site.line,
+                    column=site.column,
+                    witness=site.witness.describe() if site.witness else "",
+                    hint=(
+                        "a blocked order would visit the reading tile "
+                        "on the wrong side of the writing one"
+                    ),
+                    path=path,
+                )
+            )
     kinds = {"flow": 0, "anti": 0, "output": 0}
     for dep in deps:
         kinds[dep.kind] += 1
@@ -586,6 +1039,14 @@ def check_depend(
             clauses.append(f"{cand.matrix} ineligible ({cand.reason})")
         else:
             clauses.append(f"{cand.matrix} {cand.status}")
+    for site in sched:
+        if site.status == "ineligible":
+            clauses.append(
+                f"schedule {site.segment}/{site.rule} ineligible "
+                f"({site.reason})"
+            )
+        else:
+            clauses.append(f"schedule {site.segment}/{site.rule} {site.status}")
     detail = "; ".join(clauses) if clauses else "no fusion candidates"
     diagnostics.append(
         Diagnostic(
@@ -609,8 +1070,12 @@ __all__ = [
     "Dependence",
     "ConflictWitness",
     "FusionCandidate",
+    "ScheduleCandidate",
+    "ScheduleWitness",
     "rule_dependences",
     "fusion_candidates",
+    "schedule_candidates",
     "validate_conflict",
+    "validate_schedule_witness",
     "check_depend",
 ]

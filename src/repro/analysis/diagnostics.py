@@ -49,6 +49,8 @@ CODE_TABLE: Dict[str, Tuple[str, str, str]] = {
     "PB601": (INFO, "depend", "producer→consumer fusion is legal (proven distance)"),
     "PB602": (INFO, "depend", "fusion blocked by a cross-instance flow dependence"),
     "PB603": (INFO, "depend", "rewrite audit: dependence and fusion summary"),
+    "PB604": (INFO, "depend", "tiling/interchange of a rule's schedule is legal"),
+    "PB605": (INFO, "depend", "tiling/interchange blocked by a tile-crossing dependence"),
 }
 
 

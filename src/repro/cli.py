@@ -159,12 +159,73 @@ def cmd_check(args: argparse.Namespace) -> int:
     return run_check(args.source, fmt=args.format, strict=args.strict)
 
 
+class _RewriteLoadError(Exception):
+    """``repro rewrite`` could not obtain a program from its source."""
+
+
+def _load_rewrite_program(path: str) -> CompiledProgram:
+    """Program for ``repro rewrite``: DSL text, or an imported ``.py``
+    module's ``build_program()`` (same contract as ``repro check``)."""
+    if not path.endswith(".py"):
+        return _load_program(path)
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        f"_repro_rewrite_{abs(hash(path))}", path
+    )
+    if spec is None or spec.loader is None:
+        raise _RewriteLoadError(f"cannot import {path}")
+    module = importlib.util.module_from_spec(spec)
+    try:
+        spec.loader.exec_module(module)
+    except Exception as exc:
+        raise _RewriteLoadError(f"import failed: {exc}") from exc
+    builder = getattr(module, "build_program", None)
+    if not callable(builder):
+        raise _RewriteLoadError(
+            f"{path} does not export build_program()"
+        )
+    return builder()
+
+
 def cmd_rewrite(args: argparse.Namespace) -> int:
     """List proven rewrite opportunities, or apply them and emit DSL."""
-    from repro.analysis.depend import check_depend, fusion_candidates
-    from repro.rewrite import REWRITE_BUDGET, UnparseError, program_src
+    from repro.analysis.check import diagnostic_from_error
+    from repro.analysis.depend import (
+        check_depend,
+        fusion_candidates,
+        schedule_candidates,
+    )
+    from repro.analysis.diagnostics import Diagnostic
+    from repro.language.errors import PetaBricksError
+    from repro.rewrite import (
+        REWRITE_BUDGET,
+        UnparseError,
+        interchange_transform,
+        program_src,
+        tile_transform,
+    )
 
-    program = _load_program(args.source)
+    def fail(message: str, hint: str = "") -> int:
+        diag = Diagnostic(
+            code="PB001",
+            severity="error",
+            message=message,
+            hint=hint,
+            path=args.source,
+        )
+        print(diag.format(), file=sys.stderr)
+        return 2
+
+    try:
+        program = _load_rewrite_program(args.source)
+    except _RewriteLoadError as exc:
+        return fail(str(exc))
+    except PetaBricksError as exc:
+        print(
+            diagnostic_from_error(exc, args.source).format(), file=sys.stderr
+        )
+        return 2
     if args.transform and args.transform not in program.transforms:
         print(f"error: unknown transform {args.transform!r}", file=sys.stderr)
         return 2
@@ -173,10 +234,12 @@ def cmd_rewrite(args: argparse.Namespace) -> int:
     )
 
     candidates = {}
+    schedules = {}
     diagnostics = []
     for name in names:
         compiled = program.transform(name)
         candidates[name] = fusion_candidates(compiled, REWRITE_BUDGET)
+        schedules[name] = schedule_candidates(compiled, REWRITE_BUDGET)
         diagnostics.extend(check_depend(compiled, REWRITE_BUDGET, args.source))
 
     applied = {}
@@ -185,14 +248,38 @@ def cmd_rewrite(args: argparse.Namespace) -> int:
         out_transforms = []
         for name in sorted(program.transforms):
             compiled = program.transform(name)
-            variant = compiled.fused_variant() if name in names else None
-            applied[name] = variant is not None
-            out_transforms.append((variant or compiled).ir)
+            current = compiled
+            did = False
+            if name in names:
+                variant = compiled.fused_variant()
+                if variant is not None:
+                    current = variant
+                    did = True
+                # Fuse-then-tile: schedule rewrites re-plan on the
+                # (possibly fused) result, so a fused rule's iteration
+                # space is what gets blocked.
+                if args.tile:
+                    current, tiled = tile_transform(
+                        current, sizes=args.tile, budget=REWRITE_BUDGET
+                    )
+                    did = did or bool(tiled)
+                if args.interchange:
+                    current, swapped = interchange_transform(
+                        current, budget=REWRITE_BUDGET
+                    )
+                    did = did or bool(swapped)
+            applied[name] = did
+            out_transforms.append(current.ir)
         try:
             rewritten = program_src(out_transforms)
         except UnparseError as exc:
-            print(f"error: cannot emit rewritten source: {exc}", file=sys.stderr)
-            return 2
+            return fail(
+                f"cannot emit rewritten source: {exc}",
+                hint=(
+                    "rules with native (Python) bodies have no DSL "
+                    "source form; run --apply on the DSL original"
+                ),
+            )
 
     if args.json:
         payload = {
@@ -218,6 +305,22 @@ def cmd_rewrite(args: argparse.Namespace) -> int:
                         }
                         for cand in candidates[name]
                     ],
+                    "schedule_candidates": [
+                        {
+                            "segment": cand.segment,
+                            "rule": cand.rule,
+                            "status": cand.status,
+                            "reason": cand.reason,
+                            "chain_vars": list(cand.chain_vars),
+                            "free_vars": list(cand.free_vars),
+                            "witness": (
+                                cand.witness.describe()
+                                if cand.witness
+                                else ""
+                            ),
+                        }
+                        for cand in schedules[name]
+                    ],
                     "applied": applied.get(name, False),
                 }
                 for name in names
@@ -242,14 +345,30 @@ def cmd_rewrite(args: argparse.Namespace) -> int:
                 print(line)
                 if cand.conflict:
                     print(f"  witness: {cand.conflict.describe()}")
+            for cand in schedules[name]:
+                line = (
+                    f"{name}: schedule {cand.segment}/{cand.rule} "
+                    f"{cand.status}"
+                )
+                if cand.status == "legal":
+                    line += (
+                        f" — tile/interchange over "
+                        f"({', '.join(cand.free_vars)}) with chain "
+                        f"({', '.join(cand.chain_vars)})"
+                    )
+                elif cand.reason:
+                    line += f" — {cand.reason}"
+                print(line)
+                if cand.witness:
+                    print(f"  witness: {cand.witness.describe()}")
 
     if args.apply and rewritten is not None:
-        fused_names = sorted(n for n, did in applied.items() if did)
-        if not fused_names:
-            print("rewrite: no legal fusions to apply", file=sys.stderr)
+        done_names = sorted(n for n, did in applied.items() if did)
+        if not done_names:
+            print("rewrite: no legal rewrites to apply", file=sys.stderr)
         else:
             print(
-                f"rewrite: fused {', '.join(fused_names)} "
+                f"rewrite: rewrote {', '.join(done_names)} "
                 f"(re-verified clean)",
                 file=sys.stderr,
             )
@@ -838,20 +957,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_rewrite = sub.add_parser(
         "rewrite",
-        help="list or apply verified IR rewrites (producer→consumer fusion)",
+        help="list or apply verified IR rewrites (fusion, tiling, interchange)",
     )
-    p_rewrite.add_argument("source", help="DSL file to analyze/rewrite")
+    p_rewrite.add_argument(
+        "source", help="DSL file (or .py module) to analyze/rewrite"
+    )
     p_rewrite.add_argument(
         "-t", "--transform", default=None,
         help="restrict to one transform (default: all)",
     )
     p_rewrite.add_argument(
         "--list", action="store_true",
-        help="list fusion candidates with legality verdicts (the default)",
+        help="list rewrite candidates with legality verdicts (the default)",
     )
     p_rewrite.add_argument(
         "--apply", action="store_true",
         help="apply every legal fusion and emit the rewritten DSL",
+    )
+    p_rewrite.add_argument(
+        "--tile", type=int, default=0, metavar="N",
+        help="with --apply: annotate every PB604-legal site with NxN "
+        "tiles (after fusion, so fused rules tile too)",
+    )
+    p_rewrite.add_argument(
+        "--interchange", action="store_true",
+        help="with --apply: annotate every PB604-legal site to run the "
+        "sequential chain per tile (cache-blocked order)",
     )
     p_rewrite.add_argument(
         "--json", action="store_true",

@@ -37,6 +37,7 @@ from repro.engine_fast import (
     LEAF_INTERP,
     LEAF_VECTOR,
     Geometry,
+    LRUCache,
     RuleKernel,
     VectorPlan,
     build_geometry,
@@ -234,19 +235,24 @@ class CompiledTransform:
         self._kernels: Dict[int, Optional[RuleKernel]] = {}
         # Lazily-populated caches: iteration geometry per (segment, rule,
         # size-env), direction analysis per (segment, rule), and vector
-        # plans per (segment, rule, fallback?).
-        self._geom_cache: Dict[object, Geometry] = {}
+        # plans per (segment, rule, fallback?).  The size-keyed caches
+        # are LRU-bounded: a long-lived serve daemon sees arbitrarily
+        # many distinct input shapes.
+        self._geom_cache: LRUCache = LRUCache(_GEOM_CACHE_LIMIT)
         # Size-binding solutions per (input shapes, explicit sizes):
         # recursive transforms re-enter with a handful of distinct
         # shapes thousands of times, and the iterative affine solve in
         # _bind_sizes is pure in this key.
-        self._size_cache: Dict[object, Dict[str, int]] = {}
+        self._size_cache: LRUCache = LRUCache(_GEOM_CACHE_LIMIT)
         self._dir_cache: Dict[
             Tuple[str, int], Tuple[Dict[str, int], List[str]]
         ] = {}
         self._vector_plans: Dict[
             Tuple[str, int, bool, bool], Tuple[Optional[VectorPlan], str]
         ] = {}
+        # PB604 schedule-legality verdicts per (segment, rule): True
+        # when tiling/interchange of the site is provably exact.
+        self._sched_cache: Dict[Tuple[str, int], bool] = {}
         # The legality-gated fused rewrite (repro.rewrite), planned and
         # verified lazily on first request; None once planning decides
         # there is nothing (or nothing provably safe) to fuse.
@@ -335,8 +341,6 @@ class CompiledTransform:
         if cached is not None:
             return dict(cached)
         env = self._bind_sizes_uncached(input_views, explicit)
-        if len(self._size_cache) >= _GEOM_CACHE_LIMIT:
-            self._size_cache.clear()
         self._size_cache[key] = dict(env)
         return env
 
@@ -438,6 +442,64 @@ class CompiledTransform:
     def has_fusion(self) -> bool:
         """Whether ``__fuse__ = 1`` would change anything."""
         return self.fused_variant() is not None
+
+    def has_tiling(self) -> bool:
+        """Whether the ``__tile_i__``/``__tile_j__``/``__interchange__``
+        tunables can change anything: some (segment, rule) site is both
+        PB604 schedule-legal and vectorizable.  Mirrors
+        :meth:`has_fusion` — the tuner only searches knobs that exist."""
+        for segment in self.grid.all_segments():
+            for option in segment.options:
+                rule = self.ir.rules[option.primary]
+                if not self._schedule_legal(segment, rule):
+                    continue
+                plan, _reason = self._vector_plan(
+                    segment, rule, option.fallback is not None
+                )
+                if plan is not None:
+                    return True
+        return False
+
+    def _schedule_legal(self, segment: Segment, rule: RuleIR) -> bool:
+        """Cached PB604 verdict for one (segment, rule) site: may the
+        engine run the site's free variables tile-by-tile (and the chain
+        per tile)?  Uses the same conservative dependence-delta check
+        the ``repro check`` diagnostics report, so the knobs are a
+        verified no-op everywhere the analyzer cannot prove safety."""
+        key = (segment.key, rule.rule_id)
+        cached = self._sched_cache.get(key)
+        if cached is None:
+            from repro.analysis.depend import _schedule_block_reason
+
+            if (
+                not rule.is_instance_rule
+                or rule.native_body is not None
+                or rule.where
+                or rule.residual_where
+            ):
+                cached = False
+            else:
+                try:
+                    directions, var_order = self._var_directions_cached(
+                        segment, rule
+                    )
+                except ExecutionError:
+                    cached = False
+                else:
+                    chain_vars = tuple(
+                        v for v in var_order if directions.get(v, 0) != 0
+                    )
+                    free_vars = tuple(
+                        v for v in var_order if directions.get(v, 0) == 0
+                    )
+                    if not chain_vars or not free_vars:
+                        cached = False
+                    else:
+                        cached = not _schedule_block_reason(
+                            rule, chain_vars, free_vars, directions
+                        )
+            self._sched_cache[key] = cached
+        return cached
 
     def _execute(
         self,
@@ -607,9 +669,24 @@ class CompiledTransform:
         tunables = self._tunable_values(state)
         leaf, plan = self._resolve_leaf(state, segment, rule, fallback, geometry)
         if leaf == LEAF_VECTOR:
-            self._run_vector_steps(
-                state, rule, env, views, geometry, plan, tunables
-            )
+            tiles = self._tile_spec(state, segment, rule, geometry)
+            if tiles is not None:
+                tile_sizes, interchange = tiles
+                self._run_tiled_vector_steps(
+                    state,
+                    rule,
+                    env,
+                    views,
+                    geometry,
+                    plan,
+                    tunables,
+                    tile_sizes,
+                    interchange,
+                )
+            else:
+                self._run_vector_steps(
+                    state, rule, env, views, geometry, plan, tunables
+                )
             return
         if leaf == LEAF_CLOSURE:
             apply_block = self._closure_block_runner(
@@ -655,11 +732,13 @@ class CompiledTransform:
         var_ranges = self._instance_ranges(segment, rule, env, segment_bounds)
         directions, var_order = self._var_directions_cached(segment, rule)
         geometry = build_geometry(var_ranges, directions, var_order)
-        if len(self._geom_cache) >= _GEOM_CACHE_LIMIT:
-            self._geom_cache.clear()
+        before = self._geom_cache.evictions
         self._geom_cache[key] = geometry
         if sink is not None:
             sink.count("exec.geom_cache_misses")
+            evicted = self._geom_cache.evictions - before
+            if evicted:
+                sink.count("exec.geom_cache_evictions", evicted)
         return geometry
 
     def _kernel(self, rule: RuleIR) -> Optional[RuleKernel]:
@@ -999,6 +1078,122 @@ class CompiledTransform:
             if step_task is not None:
                 previous = [step_task]
 
+    def _tile_spec(
+        self,
+        state: _EngineState,
+        segment: Segment,
+        rule: RuleIR,
+        geometry: Geometry,
+    ) -> Optional[Tuple[List[int], bool]]:
+        """The effective (tile sizes per free var, interchange?) for this
+        segment application, or ``None`` to run the untiled sweep.
+
+        Sizes come from the ``__tile_i__``/``__tile_j__`` tunables, with
+        the rule's declared ``tile(...)`` annotation as the default; a
+        size of 0 (or one covering the whole extent) leaves that
+        variable unblocked.  Engages only on PB604-legal sites — on any
+        other site the knobs are a verified no-op."""
+        if not geometry.chain_vars or not geometry.free_vars:
+            return None
+        config = state.config
+        declared = rule.schedule
+        declared_tiles = dict(declared.tile) if declared else {}
+        tile_sizes: List[int] = []
+        tiled = False
+        for dim, var in enumerate(geometry.free_vars):
+            size = declared_tiles.get(var, 0)
+            if dim < 2:
+                size = config.tile_size(self.name, dim, size)
+            lo, hi = geometry.var_ranges[var]
+            if size <= 0 or size >= hi - lo:
+                tile_sizes.append(0)
+            else:
+                tile_sizes.append(size)
+                tiled = True
+        if not tiled:
+            return None
+        if not self._schedule_legal(segment, rule):
+            return None
+        interchange_default = 1 if declared and declared.interchange else 0
+        interchange = bool(
+            config.interchange_enabled(self.name, interchange_default)
+        )
+        return tile_sizes, interchange
+
+    def _run_tiled_vector_steps(
+        self,
+        state: _EngineState,
+        rule: RuleIR,
+        env: Dict[str, int],
+        views: Dict[str, MatrixView],
+        geometry: Geometry,
+        plan: VectorPlan,
+        tunables: Dict[str, int],
+        tile_sizes: List[int],
+        interchange: bool,
+    ) -> None:
+        """Cache-blocked vector path: the free space is cut into tiles
+        and each (chain step, tile) pair runs one bounded slice sweep.
+
+        Plain tiling keeps the chain outermost (every tile per step);
+        ``interchange`` runs tiles outermost — the whole chain sweeps
+        one tile while it is cache-hot before moving to the next, which
+        is the locality win on chain-heavy stacks like matmul.  Tiles
+        execute in ascending lexicographic order, the order the PB604
+        proof assumes; tasks form a single sequential chain, which is
+        always a legal schedule of the recorded graph."""
+        arrays = {name: views[name].to_numpy() for name in plan.matrices}
+        step = plan.maker(env, tunables, arrays)
+        size_by_var = dict(zip(geometry.free_vars, tile_sizes))
+        chunk_lists: List[List[Tuple[int, int]]] = []
+        for var in plan.free_vars:
+            lo, hi = geometry.var_ranges[var]
+            size = size_by_var.get(var, 0)
+            if size <= 0:
+                chunk_lists.append([(lo, hi - lo)])
+            else:
+                chunk_lists.append(
+                    [(s, min(size, hi - s)) for s in range(lo, hi, size)]
+                )
+        tiles = list(itertools.product(*chunk_lists))
+        chain_steps = (
+            list(itertools.product(*geometry.chain_value_lists))
+            if geometry.chain_vars
+            else [()]
+        )
+        recorder = state.recorder
+        sink = recorder.sink
+        label = f"{rule.label}[vec:tiled]"
+        per_cell = (rule.base_work + plan.static_ops) * _VECTOR_WORK_FACTOR
+        previous: List[int] = []
+        pairs = (
+            ((chain, tile) for tile in tiles for chain in chain_steps)
+            if interchange
+            else ((chain, tile) for chain in chain_steps for tile in tiles)
+        )
+        for chain_values, tile in pairs:
+            free_args = [bound for chunk in tile for bound in chunk]
+            volume = 1
+            for _lo, count in tile:
+                volume *= count
+            with recorder.task(
+                deps=sorted(set(previous)),
+                label=label,
+                inline=state.inline,
+            ) as step_task:
+                step(*chain_values, *free_args)
+                # The honest cost model: per-tile slice setup is a real
+                # fixed cost, so over-tiling loses simulated work even
+                # though each sweep is smaller.
+                recorder.charge(volume * per_cell + _VECTOR_STEP_WORK)
+            state.applications += volume
+            if sink is not None:
+                sink.count("exec.vectorized_blocks")
+                sink.count("exec.vectorized_cells", volume)
+                sink.count("exec.tiled_blocks")
+            if step_task is not None:
+                previous = [step_task]
+
     def _instance_ranges(
         self,
         segment: Segment,
@@ -1298,6 +1493,7 @@ def specialize(
         clone._size_cache = compiled._size_cache
         clone._dir_cache = compiled._dir_cache
         clone._vector_plans = compiled._vector_plans
+        clone._sched_cache = compiled._sched_cache
         clone._fused = compiled._fused
         static.transforms[name] = clone
     return static

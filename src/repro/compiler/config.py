@@ -82,8 +82,12 @@ class ChoiceConfig:
     ``"Transform.name"`` plus the reserved runtime tunables
     ``"Transform.__seq_cutoff__"``, ``"Transform.__block_size__"``,
     ``"Transform.__leaf_path__"`` (0 interp / 1 closure / 2 vector),
-    ``"Transform.__vectorize_cutoff__"`` and ``"Transform.__fuse__"``
-    (run the verified fused rewrite when one exists).
+    ``"Transform.__vectorize_cutoff__"``, ``"Transform.__fuse__"``
+    (run the verified fused rewrite when one exists), and the schedule
+    tunables ``"Transform.__tile_i__"`` / ``"Transform.__tile_j__"``
+    (tile sizes for the first/second data-parallel instance variable;
+    0 disables tiling) and ``"Transform.__interchange__"`` (run the
+    sequential chain per tile instead of every tile per chain step).
     """
 
     choices: Dict[str, Selector] = field(default_factory=dict)
@@ -157,6 +161,23 @@ class ChoiceConfig:
         program as written (the default), 1 runs the fused variant.  A
         no-op on transforms with no legal fusion."""
         return 1 if self.tunable(f"{transform}.__fuse__", default) else 0
+
+    def tile_size(self, transform: str, dim: int, default: int = 0) -> int:
+        """Tile size for the ``dim``-th data-parallel (free) instance
+        variable of a PB604-legal site: ``__tile_i__`` for the first,
+        ``__tile_j__`` for the second.  0 (the default) disables tiling
+        of that variable; the engine ignores the knob entirely on sites
+        the dependence analyzer cannot prove safe."""
+        name = "__tile_i__" if dim == 0 else "__tile_j__"
+        return max(0, int(self.tunable(f"{transform}.{name}", default)))
+
+    def interchange_enabled(self, transform: str, default: int = 0) -> int:
+        """Whether tiled sites run tiles outermost — the whole
+        sequential chain sweeps each tile while it is cache-hot —
+        instead of re-visiting every tile at every chain step.  Only
+        meaningful with a nonzero tile size; a no-op on sites without a
+        PB604 legality proof."""
+        return 1 if self.tunable(f"{transform}.__interchange__", default) else 0
 
     # -- serialization ---------------------------------------------------------
 

@@ -71,6 +71,19 @@ class RegionIR:
         return self.box.ndim
 
 
+@dataclass(frozen=True)
+class ScheduleIR:
+    """A rule's declared schedule annotation: default tile sizes for
+    its data-parallel instance variables and whether to interchange
+    (run the whole sequential chain per tile instead of every tile per
+    chain step).  Annotations are *requests* — the engine re-checks
+    PB604 legality at execution and ignores the annotation on sites the
+    analyzer cannot prove safe; tunables override the declared sizes."""
+
+    tile: Tuple[Tuple[str, int], ...] = ()
+    interchange: bool = False
+
+
 @dataclass
 class RuleIR:
     """One rule after semantic analysis.
@@ -101,6 +114,9 @@ class RuleIR:
     line: int = 0
     column: int = 0
     where_positions: Tuple[Tuple[int, int], ...] = ()
+    #: Declared schedule annotation (``tile(...)`` / ``interchange``
+    #: clauses), if any; legality-gated at execution, never trusted.
+    schedule: Optional[ScheduleIR] = None
     # Filled by analysis passes:
     applicable: Dict[str, Box] = field(default_factory=dict)
     var_bounds: Dict[str, Interval] = field(default_factory=dict)
@@ -295,6 +311,8 @@ def instantiate_template(
             priority=rule.priority,
             label=rule.label,
             escapes=rule.escapes,
+            tile=rule.tile,
+            interchange=rule.interchange,
             line=rule.line,
             column=rule.column,
         )
@@ -485,6 +503,27 @@ def _build_rule(
                 column=region.column or rule.column,
             )
 
+    schedule = None
+    if rule.tile or rule.interchange:
+        for var, size in rule.tile:
+            if var not in rule_vars:
+                raise CompileError(
+                    f"{transform_name} rule {index}: tile() names "
+                    f"{var!r}, which is not an instance variable",
+                    line=rule.line,
+                    column=rule.column,
+                )
+            if size < 1:
+                raise CompileError(
+                    f"{transform_name} rule {index}: tile size for "
+                    f"{var!r} must be positive",
+                    line=rule.line,
+                    column=rule.column,
+                )
+        schedule = ScheduleIR(
+            tile=tuple(rule.tile), interchange=rule.interchange
+        )
+
     return RuleIR(
         rule_id=index,
         label=rule.label or f"rule{index}",
@@ -497,6 +536,7 @@ def _build_rule(
         line=rule.line,
         column=rule.column,
         where_positions=tuple((w.line, w.column) for w in rule.where),
+        schedule=schedule,
     )
 
 

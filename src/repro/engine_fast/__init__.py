@@ -22,7 +22,12 @@ iteration geometry so affine bounds are not re-solved per application.
 """
 
 from repro.engine_fast.closure import RuleKernel, lower_rule
-from repro.engine_fast.geometry import Geometry, build_geometry, geometry_key
+from repro.engine_fast.geometry import (
+    Geometry,
+    LRUCache,
+    build_geometry,
+    geometry_key,
+)
 from repro.engine_fast.vectorize import VectorPlan, plan_vector_leaf
 
 #: leaf-path tunable values (``"{Transform}.__leaf_path__"``).
@@ -38,6 +43,7 @@ LEAF_PATH_NAMES = {
 
 __all__ = [
     "Geometry",
+    "LRUCache",
     "LEAF_CLOSURE",
     "LEAF_INTERP",
     "LEAF_PATH_NAMES",

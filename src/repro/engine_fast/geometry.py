@@ -11,8 +11,50 @@ hits and misses through the ``exec.geom_cache_*`` observe counters.
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Sequence, Tuple
+
+_MISSING = object()
+
+
+class LRUCache:
+    """A bounded mapping with least-recently-used eviction.
+
+    Backs the engine's geometry and size-binding caches: both are keyed
+    by input sizes, so a long-lived serve daemon that sees many distinct
+    shapes would otherwise grow them without bound.  Lookups refresh
+    recency; inserting past ``limit`` evicts the stalest entry and
+    increments ``evictions`` (surfaced as ``exec.geom_cache_evictions``).
+    """
+
+    def __init__(self, limit: int):
+        if limit < 1:
+            raise ValueError(f"LRU limit must be >= 1, got {limit}")
+        self.limit = limit
+        self.evictions = 0
+        self._data: OrderedDict = OrderedDict()
+
+    def get(self, key, default=None):
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            return default
+        self._data.move_to_end(key)
+        return value
+
+    def __setitem__(self, key, value) -> None:
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.limit:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
 
 
 @dataclass

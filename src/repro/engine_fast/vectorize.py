@@ -149,6 +149,15 @@ class VectorPlan:
     one call executes the whole data-parallel step.  ``static_ops`` is the
     interpreter's exact per-instance op count (the body is branch-free, so
     it is a constant), used by the engine's work model.
+
+    The ``(lo, count)`` calling convention is also the tiling contract:
+    cache-blocked execution (``__tile_i__``/``__tile_j__`` on a
+    PB604-legal site) calls the *same* step function once per tile with
+    a sub-range of each free variable — the generated slices are affine
+    in ``lo``/``count``, so any partition of the free space computes
+    exactly the cells the full-step call would, in tile-sized pieces.
+    No separate tiled kernel exists; only the engine's driver loop
+    changes (see ``_run_tiled_vector_steps`` in the codegen module).
     """
 
     chain_vars: Tuple[str, ...]

@@ -232,6 +232,11 @@ class RuleDecl:
     priority: int = 1
     label: str = ""
     escapes: Tuple[str, ...] = ()
+    #: Schedule annotation clauses: ``tile(i: 32, j: 32)`` declares
+    #: default tile sizes per instance variable; ``interchange`` asks
+    #: for tiles-outermost execution.  Both are legality-gated hints.
+    tile: Tuple[Tuple[str, int], ...] = ()
+    interchange: bool = False
     line: int = field(default=0, compare=False)
     column: int = field(default=0, compare=False)
 

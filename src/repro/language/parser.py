@@ -245,6 +245,26 @@ class _Parser:
             tok = self.peek()
             raise ParseError("rule missing to(...) clause", tok.line, tok.column)
 
+        # Optional schedule clauses.  `tile` and `interchange` are
+        # context-sensitive names, not keywords: a bare name here was
+        # previously a parse error, so existing programs are unaffected.
+        tile: List[Tuple[str, int]] = []
+        interchange = False
+        while self.at("name") and self.peek().text in ("tile", "interchange"):
+            word = self.take().text
+            if word == "interchange":
+                interchange = True
+                continue
+            self.expect("op", "(")
+            while True:
+                var_tok = self.expect("name")
+                self.expect("op", ":")
+                size = int(self.expect("int").text)
+                tile.append((var_tok.text, size))
+                if not self.accept("op", ","):
+                    break
+            self.expect("op", ")")
+
         wheres: List[WhereClause] = []
         if self.accept("keyword", "where"):
             cond_tok = self.peek()
@@ -279,6 +299,8 @@ class _Parser:
             priority=priority,
             label=f"rule{index}",
             escapes=tuple(escapes),
+            tile=tuple(tile),
+            interchange=interchange,
             line=start.line,
             column=start.column,
         )

@@ -2,11 +2,13 @@
 
 Every rewrite here is *verified*: it may only be applied when the
 static dependence analyzer (:mod:`repro.analysis.depend`) proves it
-legal (PB601), and the rewritten IR is re-checked by the full
-error-severity verifier before the engine will run it.  The first
-rewrite is producer→consumer fusion of adjacent elementwise rules
-(:mod:`repro.rewrite.fuse`), exposed to the genetic tuner as the
-reserved ``__fuse__`` tunable and to the CLI as ``repro rewrite``.
+legal (PB601 for fusion, PB604 for tiling/interchange), and the
+rewritten IR is re-checked by the full error-severity verifier before
+the engine will run it.  The rewrites compose — fuse-then-tile blocks
+the fused rule's iteration space — and each is exposed to the genetic
+tuner as a reserved tunable (``__fuse__``, ``__tile_i__``/
+``__tile_j__``, ``__interchange__``) and to the CLI as
+``repro rewrite``.
 """
 
 from repro.rewrite.fuse import (
@@ -15,6 +17,17 @@ from repro.rewrite.fuse import (
     apply_fusion,
     build_fused_variant,
     fuse_transform,
+)
+from repro.rewrite.interchange import (
+    apply_interchange,
+    interchange_transform,
+)
+from repro.rewrite.tile import (
+    DEFAULT_TILE,
+    ScheduleError,
+    annotate_schedule,
+    apply_tiling,
+    tile_transform,
 )
 from repro.rewrite.unparse import (
     UnparseError,
@@ -27,16 +40,23 @@ from repro.rewrite.unparse import (
 )
 
 __all__ = [
+    "DEFAULT_TILE",
     "FusionError",
     "REWRITE_BUDGET",
+    "ScheduleError",
     "UnparseError",
     "affine_src",
+    "annotate_schedule",
     "apply_fusion",
+    "apply_interchange",
+    "apply_tiling",
     "build_fused_variant",
     "expr_src",
     "fuse_transform",
+    "interchange_transform",
     "program_src",
     "region_src",
     "rule_src",
+    "tile_transform",
     "transform_src",
 ]

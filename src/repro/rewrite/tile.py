@@ -1,0 +1,169 @@
+"""Legality-gated loop tiling (the scheduling layer's second axis).
+
+Fusion (:mod:`repro.rewrite.fuse`) changes *what* the rules compute
+over; tiling changes *how their iteration space is walked*.  A
+PB604-legal site — an instance rule with at least one sequential chain
+variable and one data-parallel free variable whose cross-instance
+dependences never point against the blocked order — may have its free
+variables blocked into fixed-size tiles without changing any value the
+program produces.  The rewrite is purely an annotation: it attaches a
+:class:`~repro.compiler.ir.ScheduleIR` to the rule, which the engine's
+vector leaf path lowers to cache-blocked NumPy execution and which the
+``__tile_i__``/``__tile_j__`` tunables can override at run time.
+
+Like every rewrite in this package the gate is the static dependence
+analyzer: :func:`apply_tiling` refuses candidates the analyzer did not
+prove (PB605 sites carry a replay-validated witness showing a concrete
+instance pair the blocked order would reorder).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Mapping, Tuple, Union
+
+from repro.analysis.depend import ScheduleCandidate, schedule_candidates
+from repro.analysis.witness import WitnessBudget
+from repro.compiler.ir import ScheduleIR, TransformIR
+from repro.rewrite.fuse import REWRITE_BUDGET
+
+__all__ = [
+    "ScheduleError",
+    "annotate_schedule",
+    "apply_tiling",
+    "tile_transform",
+]
+
+#: Default tile edge when the caller does not pick one: big enough to
+#: amortize per-tile step cost, small enough that a 2D float64 tile
+#: (32 * 32 * 8 = 8 KiB) stays deep inside L1.
+DEFAULT_TILE = 32
+
+Sizes = Union[int, Mapping[str, int]]
+
+
+class ScheduleError(Exception):
+    """A schedule rewrite was attempted on a candidate the analyzer
+    did not prove (or with unusable tile sizes)."""
+
+
+def _tile_pairs(
+    candidate: ScheduleCandidate, sizes: Sizes
+) -> Tuple[Tuple[str, int], ...]:
+    """``(var, size)`` pairs in free-variable order, validated."""
+    pairs: List[Tuple[str, int]] = []
+    for var in candidate.free_vars:
+        if isinstance(sizes, int):
+            size = sizes
+        elif var in sizes:
+            size = int(sizes[var])
+        else:
+            continue
+        if size < 1:
+            raise ScheduleError(
+                f"tile size for {var} must be >= 1, got {size}"
+            )
+        pairs.append((var, size))
+    if not pairs:
+        raise ScheduleError(
+            f"no tile sizes for any free variable of {candidate.rule} "
+            f"(free: {', '.join(candidate.free_vars)})"
+        )
+    return tuple(pairs)
+
+
+def annotate_schedule(
+    ir: TransformIR,
+    rule_id: int,
+    *,
+    tile: Tuple[Tuple[str, int], ...] = None,
+    interchange: bool = None,
+) -> TransformIR:
+    """``ir`` with the schedule annotation of one rule merged in.
+
+    ``None`` fields keep whatever the rule already declares, so tiling
+    and interchange compose in either order.  Every rule is rebuilt
+    with cleared analysis fields (the applicable-regions pass re-runs
+    when the new IR is compiled), mirroring :func:`apply_fusion`.
+    """
+    new_rules = []
+    for rule in ir.rules:
+        if rule.rule_id == rule_id:
+            old = rule.schedule
+            merged = ScheduleIR(
+                tile=(
+                    tile
+                    if tile is not None
+                    else (old.tile if old is not None else ())
+                ),
+                interchange=(
+                    interchange
+                    if interchange is not None
+                    else (old.interchange if old is not None else False)
+                ),
+            )
+            rule = replace(rule, schedule=merged)
+        new_rules.append(
+            replace(
+                rule,
+                applicable={},
+                var_bounds={},
+                residual_where=(),
+                size_guards=(),
+            )
+        )
+    return replace(ir, rules=new_rules)
+
+
+def apply_tiling(
+    ir: TransformIR,
+    candidate: ScheduleCandidate,
+    sizes: Sizes = DEFAULT_TILE,
+) -> TransformIR:
+    """The tiled transform IR for one PB604-legal candidate.
+
+    ``sizes`` is either one edge length for every free variable or a
+    ``{var: size}`` mapping (variables it omits stay untiled).  Purely
+    structural — callers re-verify through the compile pipeline before
+    executing the result.
+    """
+    if candidate.status != "legal":
+        raise ScheduleError(
+            f"schedule candidate {candidate.segment}/{candidate.rule} is "
+            f"{candidate.status}, not legal"
+            + (f": {candidate.reason}" if candidate.reason else "")
+        )
+    return annotate_schedule(
+        ir, candidate.rule_id, tile=_tile_pairs(candidate, sizes)
+    )
+
+
+def tile_transform(
+    compiled,
+    sizes: Sizes = DEFAULT_TILE,
+    budget: WitnessBudget = REWRITE_BUDGET,
+) -> Tuple[object, List[ScheduleCandidate]]:
+    """Tile every PB604-legal site of a compiled transform.
+
+    Returns the recompiled transform (the input itself when no site is
+    legal) and the candidates that were applied.
+    """
+    from repro.compiler.codegen import CompiledTransform
+
+    legal = [
+        cand
+        for cand in schedule_candidates(compiled, budget)
+        if cand.status == "legal"
+    ]
+    applied: List[ScheduleCandidate] = []
+    seen_rules = set()
+    ir = compiled.ir
+    for cand in legal:
+        if cand.rule_id in seen_rules:
+            continue
+        seen_rules.add(cand.rule_id)
+        ir = apply_tiling(ir, cand, sizes)
+        applied.append(cand)
+    if not applied:
+        return compiled, []
+    return CompiledTransform(ir, compiled.program), applied

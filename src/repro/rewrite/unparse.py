@@ -127,6 +127,14 @@ def rule_src(rule: RuleIR, indent: str = "  ") -> str:
     to = ", ".join(region_src(reg) for reg in rule.to_regions)
     frm = ", ".join(region_src(reg) for reg in rule.from_regions)
     header = f"{prefix}to ({to}) from ({frm})"
+    if rule.schedule is not None:
+        if rule.schedule.tile:
+            inner = ", ".join(
+                f"{var}: {size}" for var, size in rule.schedule.tile
+            )
+            header += f" tile({inner})"
+        if rule.schedule.interchange:
+            header += " interchange"
     if rule.where:
         header += " where " + ", ".join(expr_src(w) for w in rule.where)
     lines = [f"{indent}{header} {{"]

@@ -1,0 +1,481 @@
+"""Unit tests for the legality-gated schedule rewrites (tiling and
+interchange).
+
+Covers the PB604/PB605 analyzer verdicts with their replay-validated
+witnesses, the `repro.rewrite.tile` / `repro.rewrite.interchange`
+annotation rewrites (including fuse-then-tile composition), the
+engine's cache-blocked vector execution behind the `__tile_i__` /
+`__tile_j__` / `__interchange__` tunables, the genetic tuner gating on
+`has_tiling()`, the LRU-bounded geometry caches, and the CLI surface.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis.depend import (
+    check_depend,
+    schedule_candidates,
+    validate_schedule_witness,
+)
+from repro.cli import main
+from repro.compiler import ChoiceConfig, compile_program
+from repro.engine_fast import LRUCache
+from repro.observe import TraceSink
+from repro.rewrite import (
+    ScheduleError,
+    apply_interchange,
+    apply_tiling,
+    fuse_transform,
+    interchange_transform,
+    tile_transform,
+    transform_src,
+)
+
+# Matrix multiply as a rolling reduction: k is a sequential chain,
+# (i, j) stay data parallel — the canonical PB604-legal shape.
+MATMUL_CHAIN = """
+transform MatMulChain
+from A[n, p], B[p, m]
+through S[p + 1, n, m]
+to C[n, m]
+{
+  to (S.cell(0, i, j) s) from () { s = 0.0; }
+  to (S.cell(k, i, j) s)
+  from (S.cell(k - 1, i, j) prev, A.cell(i, k - 1) a, B.cell(k - 1, j) b)
+  {
+    s = prev + a * b;
+  }
+  to (C.cell(i, j) c) from (S.cell(p, i, j) s) { c = s; }
+}
+"""
+
+# Wavefront stencil: the interior rule reads neighbor columns of the
+# previous step, so an (i)-tile boundary can be crossed against the
+# blocked order — the canonical PB605-blocked shape.
+HEAT = """
+transform Heat
+from A[n]
+to B[n]
+through U<0..k>[n]
+{
+  to (U.cell(0, i) u) from (A.cell(i) a) { u = a; }
+  to (U.cell(t, i) u)
+  from (U.cell(t-1, i-1) l, U.cell(t-1, i) m, U.cell(t-1, i+1) r)
+  {
+    u = (l + 2 * m + r) / 4;
+  }
+  secondary to (U.cell(t, i) u) from (U.cell(t-1, i) m) { u = m; }
+  to (B.cell(i) b) from (U.cell(k, i) u) { b = u; }
+}
+"""
+
+# A fusible elementwise producer feeding a chain consumer: fusion
+# eliminates T, and the fused rule still has chain q over free (i, j) —
+# the fuse-then-tile composition case.
+FUSE_TILE = """
+transform FuseTile
+from A[n, m]
+through T[n, m], S[q_end + 1, n, m]
+to B[n, m]
+{
+  to (T.cell(i, j) t) from (A.cell(i, j) a) { t = a * 2.0 + 1.0; }
+  to (S.cell(0, i, j) s) from () { s = 0.0; }
+  to (S.cell(q, i, j) s)
+  from (S.cell(q - 1, i, j) prev, T.cell(i, j) t)
+  {
+    s = prev * 0.5 + t;
+  }
+  to (B.cell(i, j) b) from (S.cell(q_end, i, j) s) { b = s; }
+}
+"""
+
+PIPE = """
+transform Pipe
+from A[n, m]
+through T[n, m]
+to B[n, m]
+{
+  to (T.cell(x, y) t) from (A.cell(x, y) a) { t = a * 2.0 + 1.0; }
+  to (B.cell(x, y) b) from (T.cell(x, y) t) { b = t * 1.5 - 0.5; }
+}
+"""
+
+
+def compiled(source, name):
+    return compile_program(source).transform(name)
+
+
+def run_bytes(transform, inputs, config=None, sizes=None, sink=None):
+    result = transform.run(
+        {k: v.copy() for k, v in inputs.items()}, config, sizes=sizes,
+        sink=sink,
+    )
+    return {
+        name: matrix.data.tobytes() for name, matrix in result.outputs.items()
+    }
+
+
+def config_with(transform, **tunables):
+    config = ChoiceConfig()
+    for name, value in tunables.items():
+        config.set_tunable(f"{transform}.{name}", value)
+    return config
+
+
+def mm_inputs(seed=0, n=6, p=5, m=7):
+    rng = np.random.default_rng(seed)
+    return {
+        "A": rng.uniform(-2.0, 2.0, (n, p)),
+        "B": rng.uniform(-2.0, 2.0, (p, m)),
+    }
+
+
+# -- analyzer verdicts (PB604 golden / PB605 blocked) ----------------------
+
+
+class TestScheduleCandidates:
+    def test_matmul_chain_is_legal(self):
+        mm = compiled(MATMUL_CHAIN, "MatMulChain")
+        cands = schedule_candidates(mm)
+        assert [c.status for c in cands] == ["legal"]
+        cand = cands[0]
+        assert cand.segment == "S.1"
+        assert cand.chain_vars == ("k",)
+        assert cand.free_vars == ("i", "j")
+        assert cand.witness is None
+
+    def test_heat_interior_is_blocked_with_witness(self):
+        heat = compiled(HEAT, "Heat")
+        blocked = [
+            c for c in schedule_candidates(heat) if c.status == "blocked"
+        ]
+        assert len(blocked) == 1
+        cand = blocked[0]
+        assert "crosses tiles against the blocked order" in cand.reason
+        assert cand.witness is not None
+        assert validate_schedule_witness(heat, cand.witness)
+        # The boundary carry-forward rules only read their own column
+        # (zero free offset): legal despite sharing the segment matrix.
+        assert any(c.status == "legal" for c in schedule_candidates(heat))
+
+    def test_witness_replay_rejects_tampering(self):
+        heat = compiled(HEAT, "Heat")
+        witness = next(
+            c.witness
+            for c in schedule_candidates(heat)
+            if c.status == "blocked"
+        )
+        # A cell outside the writer's region fails containment.
+        bad_cell = dataclasses.replace(
+            witness, cell=tuple(coord + 50 for coord in witness.cell)
+        )
+        assert not validate_schedule_witness(heat, bad_cell)
+        # Writer and reader must be distinct instances.
+        same_instance = dataclasses.replace(witness, reader=witness.writer)
+        assert not validate_schedule_witness(heat, same_instance)
+        # The rule id must exist.
+        bad_rule = dataclasses.replace(witness, rule_id=99)
+        assert not validate_schedule_witness(heat, bad_rule)
+
+    def test_check_depend_emits_pb604_and_pb605(self):
+        mm_codes = [d.code for d in check_depend(compiled(MATMUL_CHAIN, "MatMulChain"))]
+        assert "PB604" in mm_codes and "PB605" not in mm_codes
+        heat_diags = check_depend(compiled(HEAT, "Heat"))
+        heat_codes = [d.code for d in heat_diags]
+        assert "PB604" in heat_codes and "PB605" in heat_codes
+        pb605 = next(d for d in heat_diags if d.code == "PB605")
+        assert pb605.witness  # witness rule: never emitted unproven
+
+    def test_elementwise_pipeline_has_no_candidates(self):
+        # No sequential chain anywhere: nothing to tile against.
+        assert schedule_candidates(compiled(PIPE, "Pipe")) == []
+
+
+# -- the tile / interchange rewrites ---------------------------------------
+
+
+class TestScheduleRewrites:
+    def test_apply_tiling_annotates_and_round_trips(self):
+        mm = compiled(MATMUL_CHAIN, "MatMulChain")
+        tiled, applied = tile_transform(mm, sizes=4)
+        assert [c.segment for c in applied] == ["S.1"]
+        source = transform_src(tiled.ir)
+        assert "tile(i: 4, j: 4)" in source
+        reparsed = compile_program(source).transform("MatMulChain")
+        inputs = mm_inputs(1)
+        assert run_bytes(reparsed, inputs) == run_bytes(mm, inputs)
+
+    def test_interchange_merges_with_tiling(self):
+        mm = compiled(MATMUL_CHAIN, "MatMulChain")
+        tiled, _ = tile_transform(mm, sizes={"j": 3})
+        both, applied = interchange_transform(tiled)
+        assert applied
+        rule = next(r for r in both.ir.rules if r.schedule is not None)
+        assert rule.schedule.tile == (("j", 3),)  # tile survived the merge
+        assert rule.schedule.interchange
+        source = transform_src(both.ir)
+        assert "tile(j: 3) interchange" in source
+        inputs = mm_inputs(2)
+        assert run_bytes(
+            compile_program(source).transform("MatMulChain"), inputs
+        ) == run_bytes(mm, inputs)
+
+    def test_blocked_candidate_is_refused(self):
+        heat = compiled(HEAT, "Heat")
+        blocked = next(
+            c for c in schedule_candidates(heat) if c.status == "blocked"
+        )
+        with pytest.raises(ScheduleError, match="blocked, not legal"):
+            apply_tiling(heat.ir, blocked)
+        with pytest.raises(ScheduleError, match="blocked, not legal"):
+            apply_interchange(heat.ir, blocked)
+
+    def test_bad_tile_sizes_are_refused(self):
+        mm = compiled(MATMUL_CHAIN, "MatMulChain")
+        legal = schedule_candidates(mm)[0]
+        with pytest.raises(ScheduleError, match=">= 1"):
+            apply_tiling(mm.ir, legal, sizes=0)
+        with pytest.raises(ScheduleError, match="no tile sizes"):
+            apply_tiling(mm.ir, legal, sizes={"zz": 4})
+
+    def test_fuse_then_tile_composes(self):
+        ft = compiled(FUSE_TILE, "FuseTile")
+        fused, fusions = fuse_transform(ft)
+        assert fusions  # T was eliminated
+        tiled, schedules = tile_transform(fused, sizes=2)
+        assert schedules and schedules[0].chain_vars == ("q",)
+        fused_rule = next(
+            r for r in tiled.ir.rules if r.schedule is not None
+        )
+        assert "+" in fused_rule.label  # tiling landed on the *fused* rule
+        rng = np.random.default_rng(3)
+        inputs = {"A": rng.uniform(-1.0, 1.0, (5, 6))}
+        config = config_with("FuseTile", __leaf_path__=2)
+        assert run_bytes(
+            tiled, inputs, config, sizes={"q_end": 4}
+        ) == run_bytes(ft, inputs, sizes={"q_end": 4})
+
+
+# -- engine execution behind the tunables ----------------------------------
+
+
+class TestEngineTiling:
+    @pytest.mark.parametrize("leaf", [0, 1, 2])
+    @pytest.mark.parametrize(
+        "knobs",
+        [
+            {},
+            {"__tile_i__": 3},
+            {"__tile_i__": 3, "__tile_j__": 4},
+            {"__tile_i__": 2, "__tile_j__": 2, "__interchange__": 1},
+        ],
+    )
+    def test_bit_identity_across_paths_and_tiles(self, leaf, knobs):
+        mm = compiled(MATMUL_CHAIN, "MatMulChain")
+        inputs = mm_inputs(4)
+        reference = run_bytes(mm, inputs)
+        config = config_with("MatMulChain", __leaf_path__=leaf, **knobs)
+        assert run_bytes(mm, inputs, config) == reference
+
+    def test_tiled_blocks_counter(self):
+        mm = compiled(MATMUL_CHAIN, "MatMulChain")
+        inputs = mm_inputs(5, n=6, p=4, m=7)
+        config = config_with(
+            "MatMulChain", __leaf_path__=2, __tile_i__=3, __tile_j__=4
+        )
+        sink = TraceSink()
+        run_bytes(mm, inputs, config, sink=sink)
+        # ceil(6/3) * ceil(7/4) = 4 tiles per step, 4 chain steps.
+        assert sink.counter("exec.tiled_blocks") == 16
+
+    def test_tile_knob_is_noop_on_blocked_site(self):
+        heat = compiled(HEAT, "Heat")
+        rng = np.random.default_rng(6)
+        inputs = {"A": rng.uniform(-1.0, 1.0, 12)}
+        reference = run_bytes(heat, inputs, sizes={"k": 3})
+        config = config_with(
+            "Heat", __leaf_path__=2, __tile_i__=4, __interchange__=1
+        )
+        sink = TraceSink()
+        assert run_bytes(heat, inputs, config, sizes={"k": 3}, sink=sink) == (
+            reference
+        )
+        # The interior wavefront rule is PB605-blocked and the boundary
+        # rules are chain-only in this segment layout: nothing tiles.
+        assert sink.counter("exec.tiled_blocks") == 0
+
+    def test_has_tiling_gates(self):
+        assert compiled(MATMUL_CHAIN, "MatMulChain").has_tiling()
+        assert not compiled(PIPE, "Pipe").has_tiling()
+
+    def test_oversized_tile_degrades_to_untiled(self):
+        mm = compiled(MATMUL_CHAIN, "MatMulChain")
+        inputs = mm_inputs(7)
+        config = config_with(
+            "MatMulChain", __leaf_path__=2, __tile_i__=1000, __tile_j__=1000
+        )
+        sink = TraceSink()
+        reference = run_bytes(mm, inputs)
+        assert run_bytes(mm, inputs, config, sink=sink) == reference
+        assert sink.counter("exec.tiled_blocks") == 0
+
+
+# -- config knobs ----------------------------------------------------------
+
+
+class TestConfigKnobs:
+    def test_tile_size_and_interchange_round_trip(self):
+        config = ChoiceConfig()
+        config.set_tunable("T.__tile_i__", 32)
+        config.set_tunable("T.__tile_j__", -5)
+        config.set_tunable("T.__interchange__", 3)
+        assert config.tile_size("T", 0) == 32
+        assert config.tile_size("T", 1) == 0  # negatives clamp to off
+        assert config.tile_size("T", 0, default=8) == 32
+        assert config.tile_size("U", 0, default=8) == 8
+        assert config.interchange_enabled("T") == 1
+        assert config.interchange_enabled("U") == 0
+        reloaded = ChoiceConfig.from_json(config.to_json())
+        assert reloaded.tile_size("T", 0) == 32
+
+
+# -- tuner gating ----------------------------------------------------------
+
+
+class TestTunerIntegration:
+    def _tune(self, source, name, make_inputs):
+        from repro.autotuner import Evaluator, GeneticTuner
+        from repro.runtime import MACHINES
+
+        program = compile_program(source)
+        evaluator = Evaluator(program, name, make_inputs, MACHINES["xeon8"])
+        tuner = GeneticTuner(
+            evaluator,
+            min_size=4,
+            max_size=8,
+            population_size=4,
+            tunable_rounds=1,
+            refine_passes=0,
+        )
+        return tuner.tune()
+
+    def test_tile_knobs_searched_when_tiling_exists(self):
+        def make_inputs(size, rng):
+            np_rng = np.random.default_rng(rng.getrandbits(32))
+            return [
+                np_rng.random((size, max(2, size // 2))),
+                np_rng.random((max(2, size // 2), size)),
+            ]
+
+        result = self._tune(MATMUL_CHAIN, "MatMulChain", make_inputs)
+        assert "MatMulChain.__tile_i__" in result.config.tunables
+        assert "MatMulChain.__tile_j__" in result.config.tunables
+        assert "MatMulChain.__interchange__" in result.config.tunables
+
+    def test_tile_knobs_absent_without_legal_tiling(self):
+        def make_inputs(size, rng):
+            np_rng = np.random.default_rng(rng.getrandbits(32))
+            return [np_rng.random((size, size))]
+
+        result = self._tune(PIPE, "Pipe", make_inputs)
+        assert "Pipe.__tile_i__" not in result.config.tunables
+        assert "Pipe.__interchange__" not in result.config.tunables
+
+
+# -- LRU-bounded geometry caches -------------------------------------------
+
+
+class TestLRUCache:
+    def test_eviction_order_and_counter(self):
+        cache = LRUCache(2)
+        cache["a"] = 1
+        cache["b"] = 2
+        assert cache.get("a") == 1  # refresh: 'b' is now stalest
+        cache["c"] = 3
+        assert cache.evictions == 1
+        assert "b" not in cache and "a" in cache and "c" in cache
+        assert len(cache) == 2
+
+    def test_overwrite_refreshes_without_evicting(self):
+        cache = LRUCache(2)
+        cache["a"] = 1
+        cache["b"] = 2
+        cache["a"] = 10
+        cache["c"] = 3
+        assert cache.evictions == 1
+        assert "a" in cache and "b" not in cache
+
+    def test_falsy_values_are_real_entries(self):
+        cache = LRUCache(2)
+        cache["empty"] = {}
+        assert cache.get("empty", "missing") == {}
+        assert cache.get("absent", "missing") == "missing"
+
+    def test_limit_validation(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_geom_cache_eviction_counter_flows_to_sink(self):
+        mm = compiled(MATMUL_CHAIN, "MatMulChain")
+        mm._geom_cache = LRUCache(1)  # force churn across segments
+        sink = TraceSink()
+        run_bytes(
+            mm, mm_inputs(8), config_with("MatMulChain", __leaf_path__=1),
+            sink=sink,
+        )
+        assert sink.counter("exec.geom_cache_misses") > 1
+        assert sink.counter("exec.geom_cache_evictions") > 0
+
+
+# -- CLI surface -----------------------------------------------------------
+
+
+class TestCli:
+    @pytest.fixture()
+    def mm_source(self, tmp_path):
+        path = tmp_path / "mmchain.pbcc"
+        path.write_text(MATMUL_CHAIN)
+        return str(path)
+
+    def test_list_shows_schedule_verdicts(self, mm_source, capsys):
+        assert main(["rewrite", mm_source]) == 0
+        out = capsys.readouterr().out
+        assert "schedule S.1/rule1 legal" in out
+
+    def test_apply_tile_interchange_emits_annotated_source(
+        self, mm_source, capsys
+    ):
+        assert main(
+            ["rewrite", mm_source, "--apply", "--tile", "8", "--interchange"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "tile(i: 8, j: 8) interchange" in out
+
+    def test_json_includes_schedule_candidates(self, mm_source, capsys):
+        import json
+
+        assert main(["rewrite", mm_source, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        sched = payload["transforms"]["MatMulChain"]["schedule_candidates"]
+        assert sched[0]["status"] == "legal"
+        assert sched[0]["chain_vars"] == ["k"]
+
+    def test_apply_on_native_bodies_exits_2_with_diagnostic(self, capsys):
+        # The bundled matmul app builds its rules natively (no DSL
+        # source form), so --apply must refuse with a structured
+        # diagnostic, not a traceback.
+        import repro.apps.matmul as matmul_app
+
+        code = main(["rewrite", matmul_app.__file__, "--apply"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error[PB001]" in err
+        assert "native body" in err
+
+    def test_unloadable_python_module_exits_2(self, tmp_path, capsys):
+        module = tmp_path / "broken.py"
+        module.write_text("raise RuntimeError('boom')\n")
+        assert main(["rewrite", str(module)]) == 2
+        assert "error[PB001]" in capsys.readouterr().err
